@@ -1,0 +1,44 @@
+//===- bench/BenchUtil.h - Shared benchmark helpers -------------*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_BENCH_BENCHUTIL_H
+#define MGC_BENCH_BENCHUTIL_H
+
+#include "driver/Compiler.h"
+#include "gc/Collector.h"
+#include "vm/VM.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace mgc {
+namespace bench {
+
+/// Compiles \p Source, aborting the benchmark binary on errors.
+inline std::unique_ptr<vm::Program>
+compileOrDie(const char *Name, const char *Source,
+             driver::CompilerOptions Options = {}) {
+  auto R = driver::compile(Source, Options);
+  if (!R.Prog) {
+    std::fprintf(stderr, "%s: compilation failed:\n%s\n", Name,
+                 R.Diags.str().c_str());
+    std::exit(1);
+  }
+  return std::move(R.Prog);
+}
+
+inline void printRule(unsigned Width = 78) {
+  for (unsigned I = 0; I != Width; ++I)
+    std::putchar('-');
+  std::putchar('\n');
+}
+
+} // namespace bench
+} // namespace mgc
+
+#endif // MGC_BENCH_BENCHUTIL_H

@@ -1,0 +1,542 @@
+//===- bench/Programs.cpp -------------------------------------------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Programs.h"
+
+using namespace mgc;
+
+//===----------------------------------------------------------------------===//
+// typereg: structural-equivalence type registration
+//===----------------------------------------------------------------------===//
+
+const char *programs::TypeRegSource = R"MG(
+MODULE TypeReg;
+(* Type registration and comparison using structural equivalence, in the
+   style of the Modula-3 runtime's type registry.  Lots of small
+   procedures, frequent calls, heavy allocation of small records. *)
+
+CONST KInt = 0; KBool = 1; KRef = 2; KArr = 3; KRec = 4;
+
+TYPE Ty = REF TyRec;
+     Field = REF FieldRec;
+     TyRec = RECORD
+       kind: INTEGER;
+       lo, hi: INTEGER;
+       elem: Ty;
+       fields: Field
+     END;
+     FieldRec = RECORD fname: INTEGER; ftype: Ty; next: Field END;
+     Reg = REF RegRec;
+     RegRec = RECORD t: Ty; id: INTEGER; next: Reg END;
+     Assum = REF AssumRec;
+     AssumRec = RECORD a, b: Ty; next: Assum END;
+
+VAR registry: Reg; nextId: INTEGER; hits, misses, compares: INTEGER;
+
+PROCEDURE MkTy(kind: INTEGER): Ty;
+VAR t: Ty;
+BEGIN
+  t := NEW(Ty);
+  t^.kind := kind;
+  t^.elem := NIL;
+  t^.fields := NIL;
+  RETURN t
+END MkTy;
+
+PROCEDURE MkInt(): Ty;
+BEGIN
+  RETURN MkTy(KInt)
+END MkInt;
+
+PROCEDURE MkBool(): Ty;
+BEGIN
+  RETURN MkTy(KBool)
+END MkBool;
+
+PROCEDURE MkRef(e: Ty): Ty;
+VAR t: Ty;
+BEGIN
+  t := MkTy(KRef);
+  t^.elem := e;
+  RETURN t
+END MkRef;
+
+PROCEDURE MkArr(lo, hi: INTEGER; e: Ty): Ty;
+VAR t: Ty;
+BEGIN
+  t := MkTy(KArr);
+  t^.lo := lo;
+  t^.hi := hi;
+  t^.elem := e;
+  RETURN t
+END MkArr;
+
+PROCEDURE MkRec(): Ty;
+BEGIN
+  RETURN MkTy(KRec)
+END MkRec;
+
+PROCEDURE AddField(r: Ty; name: INTEGER; ft: Ty);
+VAR f, p: Field;
+BEGIN
+  f := NEW(Field);
+  f^.fname := name;
+  f^.ftype := ft;
+  f^.next := NIL;
+  IF r^.fields = NIL THEN
+    r^.fields := f
+  ELSE
+    p := r^.fields;
+    WHILE p^.next # NIL DO p := p^.next END;
+    p^.next := f
+  END
+END AddField;
+
+PROCEDURE Assumed(x, y: Ty; s: Assum): BOOLEAN;
+BEGIN
+  WHILE s # NIL DO
+    IF (s^.a = x) AND (s^.b = y) THEN RETURN TRUE END;
+    s := s^.next
+  END;
+  RETURN FALSE
+END Assumed;
+
+PROCEDURE Assume(x, y: Ty; s: Assum): Assum;
+VAR n: Assum;
+BEGIN
+  n := NEW(Assum);
+  n^.a := x;
+  n^.b := y;
+  n^.next := s;
+  RETURN n
+END Assume;
+
+PROCEDURE FieldsEqual(f, g: Field; s: Assum): BOOLEAN;
+BEGIN
+  WHILE (f # NIL) AND (g # NIL) DO
+    IF f^.fname # g^.fname THEN RETURN FALSE END;
+    IF NOT EqualRec(f^.ftype, g^.ftype, s) THEN RETURN FALSE END;
+    f := f^.next;
+    g := g^.next
+  END;
+  RETURN (f = NIL) AND (g = NIL)
+END FieldsEqual;
+
+PROCEDURE EqualRec(a, b: Ty; s: Assum): BOOLEAN;
+BEGIN
+  INC(compares);
+  IF a = b THEN RETURN TRUE END;
+  IF (a = NIL) OR (b = NIL) THEN RETURN FALSE END;
+  IF a^.kind # b^.kind THEN RETURN FALSE END;
+  IF Assumed(a, b, s) THEN RETURN TRUE END;
+  s := Assume(a, b, s);
+  IF a^.kind = KRef THEN RETURN EqualRec(a^.elem, b^.elem, s) END;
+  IF a^.kind = KArr THEN
+    IF (a^.lo # b^.lo) OR (a^.hi # b^.hi) THEN RETURN FALSE END;
+    RETURN EqualRec(a^.elem, b^.elem, s)
+  END;
+  IF a^.kind = KRec THEN RETURN FieldsEqual(a^.fields, b^.fields, s) END;
+  RETURN TRUE
+END EqualRec;
+
+PROCEDURE Equal(a, b: Ty): BOOLEAN;
+BEGIN
+  RETURN EqualRec(a, b, NIL)
+END Equal;
+
+PROCEDURE Register(t: Ty): INTEGER;
+VAR r: Reg;
+BEGIN
+  r := registry;
+  WHILE r # NIL DO
+    IF Equal(r^.t, t) THEN
+      INC(hits);
+      RETURN r^.id
+    END;
+    r := r^.next
+  END;
+  INC(misses);
+  r := NEW(Reg);
+  r^.t := t;
+  r^.id := nextId;
+  INC(nextId);
+  r^.next := registry;
+  registry := r;
+  RETURN r^.id
+END Register;
+
+PROCEDURE BuildListTy(depth: INTEGER): Ty;
+(* A recursive "list of arrays" type: the knot is tied through a REF. *)
+VAR rec, arr: Ty;
+BEGIN
+  rec := MkRec();
+  arr := MkArr(1, depth, MkInt());
+  AddField(rec, 1, arr);
+  AddField(rec, 2, MkRef(rec));
+  RETURN MkRef(rec)
+END BuildListTy;
+
+PROCEDURE BuildNested(n: INTEGER): Ty;
+VAR t: Ty; i: INTEGER;
+BEGIN
+  t := MkInt();
+  FOR i := 1 TO n DO
+    IF i MOD 3 = 0 THEN
+      t := MkArr(0, i, t)
+    ELSIF i MOD 3 = 1 THEN
+      t := MkRef(t)
+    ELSE
+      t := MkArr(1, 4, t)
+    END
+  END;
+  RETURN t
+END BuildNested;
+
+PROCEDURE BuildRecordTy(w: INTEGER): Ty;
+VAR r: Ty; i: INTEGER;
+BEGIN
+  r := MkRec();
+  FOR i := 1 TO w DO
+    AddField(r, i, BuildNested(i))
+  END;
+  RETURN r
+END BuildRecordTy;
+
+PROCEDURE Round(n: INTEGER);
+VAR i, id: INTEGER;
+BEGIN
+  FOR i := 1 TO n DO
+    id := Register(BuildNested(i));
+    id := Register(BuildListTy(i));
+    id := Register(BuildRecordTy(i MOD 7 + 1))
+  END
+END Round;
+
+BEGIN
+  registry := NIL;
+  nextId := 0;
+  hits := 0;
+  misses := 0;
+  compares := 0;
+  Round(12);
+  Round(12);   (* second round: everything structurally known already *)
+  Round(12);
+  PutInt(nextId); PutChar(32);
+  PutInt(hits); PutChar(32);
+  PutInt(misses); PutLn();
+END TypeReg.
+)MG";
+
+//===----------------------------------------------------------------------===//
+// FieldList: command parsing for a UNIX shell
+//===----------------------------------------------------------------------===//
+
+const char *programs::FieldListSource = R"MG(
+MODULE FieldList;
+(* Splits command lines into pipelines of commands, each a list of words;
+   supports single-quoted words.  Texts are heap arrays; every slice
+   allocates. *)
+
+TYPE Text = REF ARRAY OF INTEGER;
+     Word = REF WordRec;
+     WordRec = RECORD chars: Text; next: Word END;
+     Cmd = REF CmdRec;
+     CmdRec = RECORD words: Word; nwords: INTEGER; next: Cmd END;
+
+CONST Blank = 32; Tab = 9; Pipe = 124; Quote = 39;
+
+VAR totalCmds, totalWords, totalChars: INTEGER;
+
+PROCEDURE IsBlank(c: INTEGER): BOOLEAN;
+BEGIN
+  RETURN (c = Blank) OR (c = Tab)
+END IsBlank;
+
+PROCEDURE SubText(t: Text; from, limit: INTEGER): Text;
+VAR s: Text; i: INTEGER;
+BEGIN
+  s := NEW(Text, limit - from);
+  FOR i := from TO limit - 1 DO
+    s[i - from] := t[i]
+  END;
+  RETURN s
+END SubText;
+
+PROCEDURE SkipBlanks(t: Text; VAR pos: INTEGER);
+BEGIN
+  WHILE (pos < NUMBER(t)) AND IsBlank(t[pos]) DO INC(pos) END
+END SkipBlanks;
+
+PROCEDURE ScanWord(t: Text; VAR pos: INTEGER): Text;
+VAR start: INTEGER;
+BEGIN
+  IF t[pos] = Quote THEN
+    INC(pos);
+    start := pos;
+    WHILE (pos < NUMBER(t)) AND (t[pos] # Quote) DO INC(pos) END;
+    IF pos < NUMBER(t) THEN
+      INC(pos);
+      RETURN SubText(t, start, pos - 1)
+    END;
+    RETURN SubText(t, start, pos)
+  END;
+  start := pos;
+  WHILE (pos < NUMBER(t)) AND (NOT IsBlank(t[pos])) AND (t[pos] # Pipe) DO
+    INC(pos)
+  END;
+  RETURN SubText(t, start, pos)
+END ScanWord;
+
+PROCEDURE ParseCommand(t: Text; VAR pos: INTEGER): Cmd;
+VAR c: Cmd; w, last: Word;
+BEGIN
+  c := NEW(Cmd);
+  c^.words := NIL;
+  c^.nwords := 0;
+  c^.next := NIL;
+  last := NIL;
+  LOOP
+    SkipBlanks(t, pos);
+    IF (pos >= NUMBER(t)) OR (t[pos] = Pipe) THEN EXIT END;
+    w := NEW(Word);
+    w^.chars := ScanWord(t, pos);
+    w^.next := NIL;
+    IF last = NIL THEN c^.words := w ELSE last^.next := w END;
+    last := w;
+    INC(c^.nwords)
+  END;
+  RETURN c
+END ParseCommand;
+
+PROCEDURE ParseLine(t: Text): Cmd;
+VAR first, last, c: Cmd; pos: INTEGER;
+BEGIN
+  first := NIL;
+  last := NIL;
+  pos := 0;
+  LOOP
+    c := ParseCommand(t, pos);
+    IF first = NIL THEN first := c ELSE last^.next := c END;
+    last := c;
+    IF (pos < NUMBER(t)) AND (t[pos] = Pipe) THEN
+      INC(pos)
+    ELSE
+      EXIT
+    END
+  END;
+  RETURN first
+END ParseLine;
+
+PROCEDURE CountChars(w: Word): INTEGER;
+VAR n: INTEGER;
+BEGIN
+  n := 0;
+  WHILE w # NIL DO
+    n := n + NUMBER(w^.chars);
+    w := w^.next
+  END;
+  RETURN n
+END CountChars;
+
+PROCEDURE Tally(line: Text);
+VAR c: Cmd;
+BEGIN
+  c := ParseLine(line);
+  WHILE c # NIL DO
+    INC(totalCmds);
+    totalWords := totalWords + c^.nwords;
+    totalChars := totalChars + CountChars(c^.words);
+    c := c^.next
+  END
+END Tally;
+
+PROCEDURE Run();
+VAR i: INTEGER;
+BEGIN
+  FOR i := 1 TO 40 DO
+    Tally("ls -l /usr/local/bin");
+    Tally("cat foo.txt | grep -v bar | wc -l");
+    Tally("find . -name '*.m3' -print | xargs grep TYPECASE | sort -u");
+    Tally("echo 'hello   world' | tr a-z A-Z");
+    Tally("   spaced    out   command   ");
+    Tally("make -j4 all 2>&1 | tee build.log | tail -20")
+  END
+END Run;
+
+BEGIN
+  totalCmds := 0;
+  totalWords := 0;
+  totalChars := 0;
+  Run();
+  PutInt(totalCmds); PutChar(32);
+  PutInt(totalWords); PutChar(32);
+  PutInt(totalChars); PutLn();
+END FieldList.
+)MG";
+
+//===----------------------------------------------------------------------===//
+// takl: Gabriel's Takeuchi function on lists
+//===----------------------------------------------------------------------===//
+
+const char *programs::TaklSource = R"MG(
+MODULE Takl;
+(* The Gabriel takl benchmark: the Takeuchi function computed on list
+   lengths. *)
+
+TYPE List = REF ListRec;
+     ListRec = RECORD head: INTEGER; tail: List END;
+
+PROCEDURE Listn(n: INTEGER): List;
+VAR l: List;
+BEGIN
+  IF n = 0 THEN RETURN NIL END;
+  l := NEW(List);
+  l^.head := n;
+  l^.tail := Listn(n - 1);
+  RETURN l
+END Listn;
+
+PROCEDURE Shorterp(x, y: List): BOOLEAN;
+BEGIN
+  IF y = NIL THEN RETURN FALSE END;
+  IF x = NIL THEN RETURN TRUE END;
+  RETURN Shorterp(x^.tail, y^.tail)
+END Shorterp;
+
+PROCEDURE Mas(x, y, z: List): List;
+BEGIN
+  IF NOT Shorterp(y, x) THEN RETURN z END;
+  RETURN Mas(Mas(x^.tail, y, z), Mas(y^.tail, z, x), Mas(z^.tail, x, y))
+END Mas;
+
+PROCEDURE Length(l: List): INTEGER;
+VAR n: INTEGER;
+BEGIN
+  n := 0;
+  WHILE l # NIL DO
+    INC(n);
+    l := l^.tail
+  END;
+  RETURN n
+END Length;
+
+VAR r: List;
+BEGIN
+  r := Mas(Listn(18), Listn(12), Listn(6));
+  PutInt(Length(r)); PutLn();
+END Takl.
+)MG";
+
+//===----------------------------------------------------------------------===//
+// destroy: tree building and replacement
+//===----------------------------------------------------------------------===//
+
+const char *programs::DestroySource = R"MG(
+MODULE Destroy;
+(* Builds a complete tree of branching factor Branch and depth Depth, then
+   repeatedly builds a new subtree at fixed intermediate depth ReplDepth
+   and replaces a pseudo-randomly chosen subtree of the same height.
+   Heavily recursive; triggers garbage collection frequently. *)
+
+CONST Branch = 3; Depth = 6; ReplDepth = 2; Iters = 60;
+
+TYPE Node = REF NodeRec;
+     Kids = REF ARRAY OF Node;
+     NodeRec = RECORD value: INTEGER; kids: Kids END;
+
+VAR seed: INTEGER; root: Node; built: INTEGER;
+
+PROCEDURE Rand(m: INTEGER): INTEGER;
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 2147483648;
+  RETURN seed MOD m
+END Rand;
+
+PROCEDURE MakeTree(d: INTEGER): Node;
+VAR n: Node; i: INTEGER;
+BEGIN
+  n := NEW(Node);
+  INC(built);
+  n^.value := d;
+  IF d > 0 THEN
+    n^.kids := NEW(Kids, Branch);
+    FOR i := 0 TO Branch - 1 DO
+      n^.kids[i] := MakeTree(d - 1)
+    END
+  ELSE
+    n^.kids := NIL
+  END;
+  RETURN n
+END MakeTree;
+
+PROCEDURE PickAt(n: Node; d: INTEGER): Node;
+(* The parent of a random subtree rooted at depth d+1. *)
+BEGIN
+  WHILE d > 0 DO
+    n := n^.kids[Rand(Branch)];
+    DEC(d)
+  END;
+  RETURN n
+END PickAt;
+
+PROCEDURE CountNodes(n: Node): INTEGER;
+VAR i, total: INTEGER;
+BEGIN
+  IF n = NIL THEN RETURN 0 END;
+  total := 1;
+  IF n^.kids # NIL THEN
+    FOR i := 0 TO NUMBER(n^.kids) - 1 DO
+      total := total + CountNodes(n^.kids[i])
+    END
+  END;
+  RETURN total
+END CountNodes;
+
+PROCEDURE Replace();
+VAR parent: Node; fresh: Node;
+BEGIN
+  (* A fresh subtree of the same height as those rooted at ReplDepth+1. *)
+  fresh := MakeTree(Depth - ReplDepth - 1);
+  parent := PickAt(root, ReplDepth);
+  parent^.kids[Rand(Branch)] := fresh
+END Replace;
+
+PROCEDURE Run();
+VAR i: INTEGER;
+BEGIN
+  root := MakeTree(Depth);
+  FOR i := 1 TO Iters DO
+    Replace()
+  END
+END Run;
+
+BEGIN
+  seed := 12345;
+  built := 0;
+  Run();
+  PutInt(CountNodes(root)); PutChar(32);
+  PutInt(built); PutLn();
+END Destroy.
+)MG";
+
+//===----------------------------------------------------------------------===//
+// Expected outputs
+//===----------------------------------------------------------------------===//
+
+// Reference outputs, cross-checked by the test suite across every
+// compiler configuration.  destroy's node count is the complete ternary
+// tree of depth 6: (3^7 - 1) / 2 = 1093.
+const char *programs::TypeRegExpected = "31 77 31\n";
+const char *programs::FieldListExpected = "520 1440 6320\n";
+const char *programs::TaklExpected = "7\n";
+const char *programs::DestroyExpected = "1093 3493\n";
+
+const programs::NamedProgram programs::All[4] = {
+    {"typereg", programs::TypeRegSource, programs::TypeRegExpected},
+    {"FieldList", programs::FieldListSource, programs::FieldListExpected},
+    {"takl", programs::TaklSource, programs::TaklExpected},
+    {"destroy", programs::DestroySource, programs::DestroyExpected},
+};

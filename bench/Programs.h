@@ -1,0 +1,54 @@
+//===- bench/Programs.h - The paper's benchmark programs --------*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MG sources of the four benchmark programs of §6, shared by the test
+/// suite, the table benchmarks, and the examples:
+///
+///  - typereg:   type registration and comparison using structural
+///               equivalence (as in the authors' Modula-3 runtime); many
+///               short procedures with frequent calls.
+///  - FieldList: command parsing for a UNIX shell — texts, word lists,
+///               pipes, quoting.
+///  - takl:      Gabriel's Takeuchi function on lists.
+///  - destroy:   builds a complete tree of given branching factor and
+///               depth, then repeatedly replaces a pseudo-randomly chosen
+///               subtree at a fixed intermediate depth with a fresh one,
+///               triggering frequent collections.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_BENCH_PROGRAMS_H
+#define MGC_BENCH_PROGRAMS_H
+
+namespace mgc {
+namespace programs {
+
+extern const char *TypeRegSource;
+extern const char *FieldListSource;
+extern const char *TaklSource;
+extern const char *DestroySource;
+
+/// Expected outputs (used by tests to pin semantics across every compiler
+/// configuration).
+extern const char *TypeRegExpected;
+extern const char *FieldListExpected;
+extern const char *TaklExpected;
+extern const char *DestroyExpected;
+
+struct NamedProgram {
+  const char *Name;
+  const char *Source;
+  const char *Expected;
+};
+
+/// The four programs in the paper's order.
+extern const NamedProgram All[4];
+
+} // namespace programs
+} // namespace mgc
+
+#endif // MGC_BENCH_PROGRAMS_H

@@ -1,0 +1,101 @@
+//===- bench/fig2_disambiguation.cpp - Fig. 2 / §4: ambiguous derivations --===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper offers two solutions to ambiguous derivations (§4, Fig. 2):
+/// path variables (extra assignments, chosen by the authors) and path
+/// splitting (duplicated loops, more code).  This harness compiles the
+/// canonical ambiguous-derivation program under both strategies and
+/// reports their overheads: path-variable assignments executed vs code
+/// growth, table sizes, and that both run correctly under forced
+/// collections.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace mgc;
+using namespace mgc::bench;
+
+namespace {
+const char *AmbigSource = R"MG(
+MODULE Ambig;
+(* The paper's §4 example shape: a loop-invariant conditional selects
+   which array a loop reads; after hoisting and cross-jumping one derived
+   value has two possible derivations. *)
+TYPE Arr = REF ARRAY [1..64] OF INTEGER;
+VAR a, b: Arr; r: INTEGER;
+
+PROCEDURE Use(x: INTEGER): INTEGER;
+VAR junk: Arr;
+BEGIN
+  junk := NEW(Arr);     (* a real allocation: every call is a gc-point *)
+  RETURN x
+END Use;
+
+PROCEDURE Work(inv: BOOLEAN; p, q: Arr): INTEGER;
+VAR i, s, v: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 1 TO 64 DO
+    IF inv THEN v := p[i] ELSE v := q[i] END;
+    s := s + Use(v)
+  END;
+  RETURN s
+END Work;
+
+BEGIN
+  a := NEW(Arr);
+  b := NEW(Arr);
+  FOR i := 1 TO 64 DO
+    a[i] := i;
+    b[i] := 1000 + i
+  END;
+  r := Work(TRUE, a, b) + Work(FALSE, a, b);
+  PutInt(r); PutLn();
+END Ambig.
+)MG";
+} // namespace
+
+int main() {
+  std::printf("Figure 2 / Section 4: ambiguous derivations — path "
+              "variables vs path splitting\n\n");
+  std::printf("%-18s %10s %12s %12s %10s %10s %8s\n", "strategy",
+              "code B", "pathvars", "pathassign", "tables B", "colls",
+              "output");
+  printRule(88);
+
+  for (int Mode = 0; Mode != 2; ++Mode) {
+    driver::CompilerOptions CO;
+    CO.OptLevel = 2;
+    CO.Mode = Mode ? driver::Disambiguation::PathSplitting
+                   : driver::Disambiguation::PathVariables;
+    auto Prog = compileOrDie("Ambig", AmbigSource, CO);
+
+    vm::VMOptions VO;
+    VO.HeapBytes = 24u << 10; // Forces collections through Use's churn.
+    vm::VM M(*Prog, VO);
+    gc::installPreciseCollector(M);
+    if (!M.run()) {
+      std::fprintf(stderr, "run failed: %s\n", M.Error.c_str());
+      return 1;
+    }
+    std::string Out = M.Out;
+    if (!Out.empty() && Out.back() == '\n')
+      Out.pop_back();
+    std::printf("%-18s %10zu %12u %12u %10zu %10llu %8s\n",
+                Mode ? "path-splitting" : "path-variables",
+                Prog->codeSizeBytes(), Prog->PathVars, Prog->PathAssigns,
+                Prog->Sizes.DeltaPP,
+                static_cast<unsigned long long>(M.Stats.Collections),
+                Out.c_str());
+  }
+  printRule(88);
+  std::printf("\n(The paper chose path variables: ambiguous derivations "
+              "are rare, so the run-time\ncost of the extra assignments is "
+              "insignificant, while splitting duplicates code.)\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+//===- bench/micro_decode.cpp - Table decode microbenchmarks ---------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark harness for the decode-time side of §5.1/§6.3: the
+/// byte-packing codec, gc-point lookup, and full gc-point decoding
+/// (including the identical-to-previous chain walk) on the real tables of
+/// the destroy and typereg benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "Programs.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mgc;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Byte packing codec
+//===----------------------------------------------------------------------===//
+
+void BM_PackWord(benchmark::State &State) {
+  std::vector<uint8_t> Out;
+  int32_t V = static_cast<int32_t>(State.range(0));
+  for (auto _ : State) {
+    Out.clear();
+    appendPacked(Out, V);
+    benchmark::DoNotOptimize(Out.data());
+  }
+}
+BENCHMARK(BM_PackWord)->Arg(5)->Arg(300)->Arg(100000)->Arg(-100000);
+
+void BM_UnpackWord(benchmark::State &State) {
+  std::vector<uint8_t> Bytes;
+  appendPacked(Bytes, static_cast<int32_t>(State.range(0)));
+  for (auto _ : State) {
+    size_t Pos = 0;
+    int32_t V = readPacked(Bytes.data(), Bytes.size(), Pos);
+    benchmark::DoNotOptimize(V);
+  }
+}
+BENCHMARK(BM_UnpackWord)->Arg(5)->Arg(300)->Arg(100000)->Arg(-100000);
+
+//===----------------------------------------------------------------------===//
+// GC-point lookup and decode on real program tables
+//===----------------------------------------------------------------------===//
+
+struct ProgramFixture {
+  std::unique_ptr<vm::Program> Prog;
+  /// Function with the most gc-points, and its busiest ordinals.
+  const gcmaps::EncodedFuncMaps *Busiest = nullptr;
+
+  explicit ProgramFixture(const char *Source) {
+    driver::CompilerOptions CO;
+    CO.OptLevel = 2;
+    Prog = bench::compileOrDie("micro", Source, CO);
+    size_t Best = 0;
+    for (const auto &Maps : Prog->Maps)
+      if (Maps.RetPCs.size() > Best) {
+        Best = Maps.RetPCs.size();
+        Busiest = &Maps;
+      }
+  }
+};
+
+ProgramFixture &destroyFixture() {
+  static ProgramFixture F(programs::DestroySource);
+  return F;
+}
+
+ProgramFixture &typeregFixture() {
+  static ProgramFixture F(programs::TypeRegSource);
+  return F;
+}
+
+void BM_FindGcPoint(benchmark::State &State) {
+  ProgramFixture &F = destroyFixture();
+  const auto &Maps = *F.Busiest;
+  uint32_t Target = Maps.RetPCs[Maps.RetPCs.size() / 2];
+  for (auto _ : State) {
+    int Ord = gcmaps::findGcPoint(Maps, Target);
+    benchmark::DoNotOptimize(Ord);
+  }
+}
+BENCHMARK(BM_FindGcPoint);
+
+/// Decoding the first gc-point (no chain to walk) vs the last (the full
+/// identical-to-previous chain): the cost the paper trades against table
+/// size in §5.1.
+void BM_DecodeGcPoint(benchmark::State &State) {
+  ProgramFixture &F = State.range(1) ? typeregFixture() : destroyFixture();
+  const auto &Maps = *F.Busiest;
+  unsigned Ordinal =
+      State.range(0) == 0
+          ? 0
+          : static_cast<unsigned>(Maps.RetPCs.size()) - 1;
+  for (auto _ : State) {
+    gcmaps::GcPointInfo Info = gcmaps::decodeGcPoint(Maps, Ordinal);
+    benchmark::DoNotOptimize(Info.RegMask);
+  }
+  State.SetLabel(State.range(1) ? "typereg" : "destroy");
+}
+BENCHMARK(BM_DecodeGcPoint)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1});
+
+/// Decoding every gc-point of every function: the per-collection table
+/// work for a whole program, amortized.
+void BM_DecodeAllPoints(benchmark::State &State) {
+  ProgramFixture &F = destroyFixture();
+  for (auto _ : State) {
+    size_t Total = 0;
+    for (const auto &Maps : F.Prog->Maps)
+      for (unsigned K = 0; K != Maps.RetPCs.size(); ++K) {
+        gcmaps::GcPointInfo Info = gcmaps::decodeGcPoint(Maps, K);
+        Total += Info.LiveSlots.size();
+      }
+    benchmark::DoNotOptimize(Total);
+  }
+}
+BENCHMARK(BM_DecodeAllPoints);
+
+//===----------------------------------------------------------------------===//
+// Whole-collection cost (precise, table-driven)
+//===----------------------------------------------------------------------===//
+
+void BM_FullCollection(benchmark::State &State) {
+  ProgramFixture &F = destroyFixture();
+  // Run destroy once to a mid-execution heap, then measure explicit
+  // collections on the final state.
+  vm::VMOptions VO;
+  VO.HeapBytes = 1u << 20;
+  VO.StackWords = 1u << 20;
+  vm::VM M(*F.Prog, VO);
+  gc::installPreciseCollector(M);
+  if (!M.run()) {
+    State.SkipWithError(M.Error.c_str());
+    return;
+  }
+  for (auto _ : State) {
+    M.collectNow();
+    benchmark::DoNotOptimize(M.Stats.Collections);
+  }
+}
+BENCHMARK(BM_FullCollection);
+
+} // namespace
+
+BENCHMARK_MAIN();

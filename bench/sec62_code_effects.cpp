@@ -1,0 +1,85 @@
+//===- bench/sec62_code_effects.cpp - §6.2: effects on generated code ------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §6.2 of the paper measures how the gc restrictions change the generated
+/// code:
+///   - optimized code: *no* changes on any benchmark;
+///   - unoptimized VAX code: indirect references must be preserved in
+///     registers (12 cases in typereg, 32 in FieldList), and the dead-base
+///     rule adds a couple of moves.
+/// This harness reports, per benchmark: whether the optimized instruction
+/// stream is identical with tables on/off, and the CISC addressing-fold
+/// counters (folds applied without gc, folds blocked by the gc
+/// restriction).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "Programs.h"
+
+using namespace mgc;
+using namespace mgc::bench;
+
+int main() {
+  std::printf("Section 6.2: effects of gc support on the generated code\n\n");
+
+  std::printf("%-12s %28s %18s %18s %10s\n", "Program",
+              "optimized code identical?", "folds (no gc)",
+              "folds (gc-safe)", "preserved");
+  printRule(92);
+  for (const auto &P : programs::All) {
+    // (a) Optimized code with and without tables (no CISC folding):
+    driver::CompilerOptions On;
+    On.OptLevel = 2;
+    On.GcTables = true;
+    driver::CompilerOptions Off = On;
+    Off.GcTables = false;
+    auto ProgOn = compileOrDie(P.Name, P.Source, On);
+    auto ProgOff = compileOrDie(P.Name, P.Source, Off);
+    bool Identical = ProgOn->Image.Bytes == ProgOff->Image.Bytes;
+
+    // (b) Unoptimized code with CISC folding: the gc restriction blocks
+    // folds whose folded value is a derivation base (the paper's
+    //   movl (r7),r1 ; addl2 r1,r0   vs   addl2 (r7),r0
+    // effect).
+    driver::CompilerOptions CiscOff;
+    CiscOff.OptLevel = 0;
+    CiscOff.CiscFold = true;
+    CiscOff.GcTables = false;
+    driver::CompilerOptions CiscOn = CiscOff;
+    CiscOn.GcTables = true;
+    auto ProgCiscOff = compileOrDie(P.Name, P.Source, CiscOff);
+    auto ProgCiscOn = compileOrDie(P.Name, P.Source, CiscOn);
+
+    std::printf("%-12s %28s %18u %18u %10u\n", P.Name,
+                Identical ? "yes" : "NO (unexpected!)",
+                ProgCiscOff->CiscFoldsApplied, ProgCiscOn->CiscFoldsApplied,
+                ProgCiscOn->CiscFoldsBlocked);
+  }
+  printRule(92);
+  std::printf(
+      "\n'preserved' = intermediate references kept in a register/slot "
+      "because the loaded\npointer is the base of a derived value (§4's "
+      "indirect references; the paper reports\n12 such cases in typereg and "
+      "32 in FieldList on the VAX).\n");
+
+  // Dead-base moves / path variables on the benchmarks (§6.2 reports 2
+  // dead-base moves in unoptimized FieldList, and zero path variables).
+  std::printf("\n%-12s %12s %14s\n", "Program", "path vars",
+              "path assigns");
+  printRule(44);
+  for (const auto &P : programs::All) {
+    driver::CompilerOptions CO;
+    CO.OptLevel = 2;
+    auto Prog = compileOrDie(P.Name, P.Source, CO);
+    std::printf("%-12s %12u %14u\n", P.Name, Prog->PathVars,
+                Prog->PathAssigns);
+  }
+  printRule(44);
+  std::printf("(paper: none of the benchmarks had ambiguous derivations)\n");
+  return 0;
+}

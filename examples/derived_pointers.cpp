@@ -1,0 +1,118 @@
+//===- examples/derived_pointers.cpp - Figure 1 in action ------------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Demonstrates the derived-value machinery of §2/§3 end to end:
+///
+///  1. A procedure whose optimized loop walks a heap array with a
+///     strength-reduced pointer (`*p++`-style) — plus a WITH alias, an
+///     interior pointer.
+///  2. The compiler's derivations tables for its gc-points, printed in the
+///     spirit of Figure 1 ("a = +b1 +b3 -b2 + E").
+///  3. A stressed run where every one of those derived values is
+///     un-derived and re-derived around real object motion.
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Disasm.h"
+#include "driver/Compiler.h"
+#include "gc/Collector.h"
+#include "vm/VM.h"
+
+#include <cstdio>
+
+using namespace mgc;
+
+namespace {
+const char *Source = R"MG(
+MODULE Derived;
+TYPE A = REF ARRAY [1..24] OF INTEGER;
+     R = REF RECORD x, y, z: INTEGER END;
+VAR arr: A; rec: R; junk: R; total: INTEGER;
+
+PROCEDURE Fill(p: A);
+(* Optimizes to a pointer walk: p's element address is a derived value,
+   self-updated each iteration, whose base must stay live (§4 dead base). *)
+VAR i: INTEGER;
+BEGIN
+  FOR i := 1 TO 24 DO
+    GcCollect();           (* collection with the walking pointer live *)
+    p[i] := i
+  END
+END Fill;
+
+PROCEDURE Bump(VAR cell: INTEGER);
+(* The call-by-reference interior pointer: live at exactly one gc-point,
+   the call (§5.1). *)
+BEGIN
+  junk := NEW(R);
+  cell := cell + 100
+END Bump;
+
+BEGIN
+  arr := NEW(A);
+  rec := NEW(R);
+  Fill(arr);
+  WITH field = rec^.z DO    (* WITH alias: an interior pointer *)
+    field := 5;
+    junk := NEW(R);
+    GcCollect();
+    field := field + 2
+  END;
+  Bump(arr[7]);
+  total := 0;
+  FOR i := 1 TO 24 DO total := total + arr[i] END;
+  PutInt(total); PutChar(32); PutInt(rec^.z); PutLn();
+END Derived.
+)MG";
+} // namespace
+
+int main() {
+  driver::CompilerOptions Options;
+  Options.OptLevel = 2;
+  auto Compiled = driver::compile(Source, Options);
+  if (!Compiled.Prog) {
+    std::fprintf(stderr, "compile errors:\n%s", Compiled.Diags.str().c_str());
+    return 1;
+  }
+  vm::Program &Prog = *Compiled.Prog;
+
+  std::printf("=== Derivations tables (Figure 1 style) ===\n\n");
+  std::printf("Every gc-point annotation below shows the live tidy pointer "
+              "locations and, for\neach live derived value, its derivation "
+              "'target = +base1 -base2 ... + E'.\n\n");
+  for (unsigned F = 0; F != Prog.Funcs.size(); ++F) {
+    // Only show functions that actually have derivations.
+    bool HasDerivs = false;
+    for (unsigned K = 0; K != Prog.Maps[F].RetPCs.size(); ++K)
+      if (!gcmaps::decodeGcPoint(Prog.Maps[F], K).Derivs.empty())
+        HasDerivs = true;
+    if (HasDerivs)
+      std::printf("%s\n",
+                  codegen::disassembleFunction(Prog, F, /*WithTables=*/true)
+                      .c_str());
+  }
+
+  std::printf("=== Stressed run ===\n\n");
+  vm::VMOptions VO;
+  VO.GcStress = true; // Collect before every allocation, too.
+  VO.HeapBytes = 64u << 10;
+  vm::VM Machine(Prog, VO);
+  gc::installPreciseCollector(Machine);
+  if (!Machine.run()) {
+    std::fprintf(stderr, "runtime error: %s\n", Machine.Error.c_str());
+    return 1;
+  }
+  std::printf("output (expected '400 7'): %s", Machine.Out.c_str());
+  std::printf("collections: %llu, derived values adjusted: %llu\n",
+              static_cast<unsigned long long>(Machine.Stats.Collections),
+              static_cast<unsigned long long>(Machine.Stats.DerivedAdjusted));
+  std::printf("\nEvery adjustment subtracted the base values before the "
+              "move and re-added the\nrelocated bases afterwards (§3's "
+              "two-step update), so interior and even\nout-of-object "
+              "pointers survived compaction.\n");
+  return 0;
+}

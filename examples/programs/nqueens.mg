@@ -1,0 +1,50 @@
+MODULE NQueens;
+(* Counts solutions to the N-queens problem; the board is a heap array
+   passed by reference through the recursion, so every level of the search
+   holds live pointers across allocating calls. *)
+CONST N = 7;
+TYPE Board = REF ARRAY OF INTEGER;
+VAR solutions: INTEGER;
+
+PROCEDURE Safe(b: Board; row, col: INTEGER): BOOLEAN;
+VAR r: INTEGER;
+BEGIN
+  FOR r := 0 TO row - 1 DO
+    IF (b[r] = col) OR (ABS(b[r] - col) = row - r) THEN
+      RETURN FALSE
+    END
+  END;
+  RETURN TRUE
+END Safe;
+
+PROCEDURE Copy(b: Board): Board;
+VAR c: Board; i: INTEGER;
+BEGIN
+  c := NEW(Board, NUMBER(b));
+  FOR i := 0 TO NUMBER(b) - 1 DO c[i] := b[i] END;
+  RETURN c
+END Copy;
+
+PROCEDURE Place(b: Board; row: INTEGER);
+VAR col: INTEGER; next: Board;
+BEGIN
+  IF row = N THEN
+    INC(solutions);
+    RETURN
+  END;
+  FOR col := 0 TO N - 1 DO
+    IF Safe(b, row, col) THEN
+      next := Copy(b);        (* fresh board per branch: heavy churn *)
+      next[row] := col;
+      Place(next, row + 1)
+    END
+  END
+END Place;
+
+VAR empty: Board;
+BEGIN
+  solutions := 0;
+  empty := NEW(Board, N);
+  Place(empty, 0);
+  PutInt(solutions); PutLn();
+END NQueens.

@@ -1,0 +1,28 @@
+MODULE Sieve;
+(* Sieve of Eratosthenes on a heap array; prints the number of primes
+   below Limit and the largest one found. *)
+CONST Limit = 2000;
+TYPE Flags = REF ARRAY OF BOOLEAN;
+VAR flags: Flags; count, largest, j: INTEGER;
+BEGIN
+  flags := NEW(Flags, Limit);
+  FOR i := 2 TO Limit - 1 DO flags[i] := TRUE END;
+  FOR i := 2 TO Limit - 1 DO
+    IF flags[i] THEN
+      j := i + i;
+      WHILE j < Limit DO
+        flags[j] := FALSE;
+        j := j + i
+      END
+    END
+  END;
+  count := 0;
+  largest := 0;
+  FOR i := 2 TO Limit - 1 DO
+    IF flags[i] THEN
+      INC(count);
+      largest := i
+    END
+  END;
+  PutInt(count); PutChar(32); PutInt(largest); PutLn();
+END Sieve.

@@ -1,0 +1,64 @@
+MODULE WordCount;
+(* Builds a frequency table (association list) over words of a few command
+   lines; strings are heap arrays, list cells churn constantly. *)
+TYPE Text = REF ARRAY OF INTEGER;
+     Entry = REF EntryRec;
+     EntryRec = RECORD word: Text; count: INTEGER; next: Entry END;
+VAR table: Entry; distinct, total: INTEGER;
+
+PROCEDURE SameText(a, b: Text): BOOLEAN;
+VAR i: INTEGER;
+BEGIN
+  IF NUMBER(a) # NUMBER(b) THEN RETURN FALSE END;
+  FOR i := 0 TO NUMBER(a) - 1 DO
+    IF a[i] # b[i] THEN RETURN FALSE END
+  END;
+  RETURN TRUE
+END SameText;
+
+PROCEDURE Bump(w: Text);
+VAR e: Entry;
+BEGIN
+  e := table;
+  WHILE e # NIL DO
+    IF SameText(e^.word, w) THEN
+      INC(e^.count);
+      INC(total);
+      RETURN
+    END;
+    e := e^.next
+  END;
+  e := NEW(Entry);
+  e^.word := w;
+  e^.count := 1;
+  e^.next := table;
+  table := e;
+  INC(distinct);
+  INC(total)
+END Bump;
+
+PROCEDURE Split(line: Text);
+VAR i, start: INTEGER; w: Text; j: INTEGER;
+BEGIN
+  i := 0;
+  WHILE i < NUMBER(line) DO
+    WHILE (i < NUMBER(line)) AND (line[i] = 32) DO INC(i) END;
+    start := i;
+    WHILE (i < NUMBER(line)) AND (line[i] # 32) DO INC(i) END;
+    IF i > start THEN
+      w := NEW(Text, i - start);
+      FOR j := start TO i - 1 DO w[j - start] := line[j] END;
+      Bump(w)
+    END
+  END
+END Split;
+
+BEGIN
+  table := NIL;
+  distinct := 0;
+  total := 0;
+  Split("the quick brown fox jumps over the lazy dog");
+  Split("the dog barks and the fox runs");
+  Split("quick quick slow");
+  PutInt(distinct); PutChar(32); PutInt(total); PutLn();
+END WordCount.

@@ -1,0 +1,98 @@
+//===- examples/quickstart.cpp - Compile and run an MG program -------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 60-second tour of the public API: compile an MG module, install the
+/// precise collector, run it, and look at the statistics.  The program
+/// builds linked lists in a heap too small to hold all of them, so the
+/// collector must actually reclaim and compact.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "gc/Collector.h"
+#include "vm/VM.h"
+
+#include <cstdio>
+
+using namespace mgc;
+
+namespace {
+const char *Source = R"MG(
+MODULE Quickstart;
+TYPE List = REF ListRec;
+     ListRec = RECORD head: INTEGER; tail: List END;
+
+PROCEDURE Range(lo, hi: INTEGER): List;
+VAR l: List;
+BEGIN
+  IF lo > hi THEN RETURN NIL END;
+  l := NEW(List);
+  l^.head := lo;
+  l^.tail := Range(lo + 1, hi);
+  RETURN l
+END Range;
+
+PROCEDURE Sum(l: List): INTEGER;
+VAR s: INTEGER;
+BEGIN
+  s := 0;
+  WHILE l # NIL DO
+    s := s + l^.head;
+    l := l^.tail
+  END;
+  RETURN s
+END Sum;
+
+VAR total: INTEGER;
+BEGIN
+  total := 0;
+  FOR k := 1 TO 200 DO
+    total := total + Sum(Range(1, k))   (* each list dies immediately *)
+  END;
+  PutInt(total); PutLn();
+END Quickstart.
+)MG";
+} // namespace
+
+int main() {
+  // 1. Compile.  Options select optimization level, gc tables, the
+  //    disambiguation strategy, CISC folding, and threaded-mode polls.
+  driver::CompilerOptions Options;
+  Options.OptLevel = 2;
+  driver::CompileResult Compiled = driver::compile(Source, Options);
+  if (!Compiled.Prog) {
+    std::fprintf(stderr, "compile errors:\n%s", Compiled.Diags.str().c_str());
+    return 1;
+  }
+  vm::Program &Prog = *Compiled.Prog;
+
+  std::printf("compiled %s: %zu code bytes, %u gc-points, "
+              "%zu bytes of gc tables (delta-main, packed)\n",
+              Prog.Name.c_str(), Prog.codeSizeBytes(), Prog.Stats.NGC,
+              Prog.Sizes.DeltaPP);
+
+  // 2. Run on the VM with the table-driven precise collector and a heap
+  //    far too small for the garbage the program produces.
+  vm::VMOptions VO;
+  VO.HeapBytes = 16u << 10;
+  vm::VM Machine(Prog, VO);
+  gc::installPreciseCollector(Machine);
+  if (!Machine.run()) {
+    std::fprintf(stderr, "runtime error: %s\n", Machine.Error.c_str());
+    return 1;
+  }
+
+  // 3. Results.
+  std::printf("program output: %s", Machine.Out.c_str());
+  std::printf("collections: %llu, bytes copied: %llu, frames traced: %llu, "
+              "derived values adjusted: %llu\n",
+              static_cast<unsigned long long>(Machine.Stats.Collections),
+              static_cast<unsigned long long>(Machine.Stats.BytesCopied),
+              static_cast<unsigned long long>(Machine.Stats.FramesTraced),
+              static_cast<unsigned long long>(Machine.Stats.DerivedAdjusted));
+  return 0;
+}

@@ -1,0 +1,235 @@
+//===- analysis/Derivations.cpp -------------------------------------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Derivations.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace mgc;
+using namespace mgc::analysis;
+using namespace mgc::ir;
+
+void Derivation::add(VReg R, int Coeff) {
+  for (size_t I = 0; I != Bases.size(); ++I) {
+    if (Bases[I].first == R) {
+      Bases[I].second += Coeff;
+      if (Bases[I].second == 0)
+        Bases.erase(Bases.begin() + static_cast<long>(I));
+      return;
+    }
+    if (Bases[I].first > R) {
+      Bases.insert(Bases.begin() + static_cast<long>(I), {R, Coeff});
+      return;
+    }
+  }
+  Bases.emplace_back(R, Coeff);
+}
+
+void Derivation::addAll(const Derivation &O, int Sign) {
+  for (const auto &[R, C] : O.Bases)
+    add(R, Sign * C);
+}
+
+std::string Derivation::str() const {
+  std::string S;
+  for (const auto &[R, C] : Bases) {
+    S += C >= 0 ? "+" : "-";
+    int A = C >= 0 ? C : -C;
+    if (A != 1)
+      S += std::to_string(A) + "*";
+    S += "%" + std::to_string(R);
+  }
+  if (S.empty())
+    S = "(E only)";
+  return S;
+}
+
+std::vector<VReg> DerivState::baseVRegs() const {
+  std::set<VReg> Set;
+  if (K == Kind::Single)
+    for (const auto &[R, C] : D.Bases)
+      Set.insert(R);
+  if (K == Kind::Ambiguous)
+    for (const Derivation &Alt : Alts)
+      for (const auto &[R, C] : Alt.Bases)
+        Set.insert(R);
+  return std::vector<VReg>(Set.begin(), Set.end());
+}
+
+namespace {
+/// The derivation(s) an operand contributes: a non-derived pointer-like
+/// vreg is its own (single) base; a derived vreg contributes its current
+/// state; an immediate contributes nothing (part of E).
+DerivState operandState(const Function &F, const Operand &O,
+                        const DerivMap &State) {
+  DerivState S;
+  if (!O.isReg()) {
+    S.K = DerivState::Kind::Single; // Empty derivation: E only.
+    return S;
+  }
+  PtrKind K = F.kindOf(O.R);
+  if (K == PtrKind::Derived) {
+    auto It = State.find(O.R);
+    if (It == State.end())
+      return S; // Unknown: used before defined (dead path).
+    return It->second;
+  }
+  S.K = DerivState::Kind::Single;
+  if (K != PtrKind::NonPtr)
+    S.D.add(O.R, 1);
+  return S;
+}
+
+/// Combines A + Sign*B over all alternatives.
+DerivState combine(const DerivState &A, const DerivState &B, int Sign) {
+  DerivState Out;
+  if (A.K == DerivState::Kind::Unknown || B.K == DerivState::Kind::Unknown)
+    return Out;
+  auto AltsOf = [](const DerivState &S) {
+    return S.K == DerivState::Kind::Single ? std::vector<Derivation>{S.D}
+                                           : S.Alts;
+  };
+  std::set<Derivation> Result;
+  for (const Derivation &DA : AltsOf(A))
+    for (const Derivation &DB : AltsOf(B)) {
+      Derivation D = DA;
+      D.addAll(DB, Sign);
+      Result.insert(std::move(D));
+    }
+  if (Result.size() == 1) {
+    Out.K = DerivState::Kind::Single;
+    Out.D = *Result.begin();
+  } else {
+    Out.K = DerivState::Kind::Ambiguous;
+    Out.Alts.assign(Result.begin(), Result.end());
+  }
+  return Out;
+}
+} // namespace
+
+void DerivationAnalysis::transfer(const Function &F, const Instr &I,
+                                  DerivMap &State) {
+  if (I.Dst == NoVReg || F.kindOf(I.Dst) != PtrKind::Derived)
+    return;
+  switch (I.Op) {
+  case Opcode::Mov:
+    State[I.Dst] = operandState(F, I.A, State);
+    return;
+  case Opcode::DeriveAdd:
+  case Opcode::DeriveSub: {
+    // The integer offset operand is part of E; only the base matters.
+    State[I.Dst] = operandState(F, I.A, State);
+    return;
+  }
+  case Opcode::DeriveDiff: {
+    DerivState A = operandState(F, I.A, State);
+    DerivState B = operandState(F, I.B, State);
+    State[I.Dst] = combine(A, B, /*Sign=*/-1);
+    return;
+  }
+  default:
+    assert(false && "derived vreg defined by a non-derive instruction");
+    return;
+  }
+}
+
+void DerivationAnalysis::join(DerivMap &Into, const DerivMap &From,
+                              bool &Changed) {
+  for (const auto &[R, S] : From) {
+    auto It = Into.find(R);
+    if (It == Into.end()) {
+      Into[R] = S;
+      Changed = true;
+      continue;
+    }
+    DerivState &T = It->second;
+    if (T == S)
+      continue;
+    if (S.K == DerivState::Kind::Unknown)
+      continue;
+    if (T.K == DerivState::Kind::Unknown) {
+      T = S;
+      Changed = true;
+      continue;
+    }
+    // Merge alternative sets.
+    std::set<Derivation> Alts;
+    auto Insert = [&](const DerivState &X) {
+      if (X.K == DerivState::Kind::Single)
+        Alts.insert(X.D);
+      else
+        Alts.insert(X.Alts.begin(), X.Alts.end());
+    };
+    Insert(T);
+    Insert(S);
+    DerivState New;
+    if (Alts.size() == 1) {
+      New.K = DerivState::Kind::Single;
+      New.D = *Alts.begin();
+    } else {
+      New.K = DerivState::Kind::Ambiguous;
+      New.Alts.assign(Alts.begin(), Alts.end());
+    }
+    if (!(New == T)) {
+      T = std::move(New);
+      Changed = true;
+    }
+  }
+}
+
+DerivationAnalysis::DerivationAnalysis(const Function &F) : F(F) {
+  In.assign(F.Blocks.size(), DerivMap());
+  std::vector<unsigned> Order = F.reversePostOrder();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned B : Order) {
+      DerivMap State = In[B];
+      for (const Instr &I : F.Blocks[B]->Instrs)
+        transfer(F, I, State);
+      for (unsigned Succ : F.Blocks[B]->successors())
+        join(In[Succ], State, Changed);
+    }
+  }
+}
+
+DerivMap DerivationAnalysis::stateBefore(unsigned Block,
+                                         unsigned Index) const {
+  DerivMap State = In[Block];
+  const BasicBlock &BB = *F.Blocks[Block];
+  for (unsigned I = 0; I != Index; ++I)
+    transfer(F, BB.Instrs[I], State);
+  return State;
+}
+
+std::map<std::pair<unsigned, unsigned>, std::vector<VReg>>
+DerivationAnalysis::computeExtraUses() const {
+  std::map<std::pair<unsigned, unsigned>, std::vector<VReg>> Extra;
+  for (const auto &BB : F.Blocks) {
+    DerivMap State = In[BB->Id];
+    for (unsigned I = 0; I != BB->Instrs.size(); ++I) {
+      const Instr &Ins = BB->Instrs[I];
+      std::vector<VReg> Uses;
+      Ins.collectUses(Uses);
+      std::set<VReg> Bases;
+      for (VReg R : Uses) {
+        if (F.kindOf(R) != PtrKind::Derived)
+          continue;
+        auto It = State.find(R);
+        if (It == State.end())
+          continue;
+        for (VReg B : It->second.baseVRegs())
+          Bases.insert(B);
+      }
+      if (!Bases.empty())
+        Extra[{BB->Id, I}] = std::vector<VReg>(Bases.begin(), Bases.end());
+      transfer(F, Ins, State);
+    }
+  }
+  return Extra;
+}

@@ -1,0 +1,100 @@
+//===- analysis/Derivations.h - Derived-value dataflow ----------*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forward dataflow computing, at every program point, how each live
+/// derived value was derived: a signed multiset of *non-derived* base vregs
+/// (Tidy heap pointers, IncomingAddr VAR parameters, or FrameAddr values)
+/// plus an implicit pointer-free remainder E, exactly the model of §3:
+///
+///     a  =  Σ pi  −  Σ qj  +  E
+///
+/// Chained derivations collapse onto their ultimate bases (so the strength
+/// reduction self-update `p := p + 4` keeps base A), and DeriveDiff unions
+/// negated bases (double indexing yields {+B, −A}).  When different
+/// derivations of the same vreg merge at a join point the state becomes
+/// Ambiguous, listing every alternative — the trigger for the paper's path
+/// variables or path splitting (§4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_ANALYSIS_DERIVATIONS_H
+#define MGC_ANALYSIS_DERIVATIONS_H
+
+#include "ir/IR.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mgc {
+namespace analysis {
+
+/// A signed multiset of base vregs.  Coefficients are small integers
+/// (almost always ±1); entries are sorted by vreg and never zero.
+struct Derivation {
+  std::vector<std::pair<ir::VReg, int>> Bases;
+
+  void add(ir::VReg R, int Coeff);
+  void addAll(const Derivation &O, int Sign);
+  bool operator==(const Derivation &O) const { return Bases == O.Bases; }
+  bool operator<(const Derivation &O) const { return Bases < O.Bases; }
+  std::string str() const;
+};
+
+/// The abstract state of one derived vreg at a program point.
+struct DerivState {
+  enum class Kind {
+    Unknown,   ///< Not yet defined on this path.
+    Single,    ///< One derivation reaches.
+    Ambiguous, ///< Multiple distinct derivations reach (§4).
+  };
+  Kind K = Kind::Unknown;
+  Derivation D;                 ///< Single.
+  std::vector<Derivation> Alts; ///< Ambiguous (sorted, deduplicated).
+
+  bool operator==(const DerivState &O) const {
+    return K == O.K && D == O.D && Alts == O.Alts;
+  }
+
+  /// All base vregs across all alternatives.
+  std::vector<ir::VReg> baseVRegs() const;
+};
+
+/// Per-vreg derivation states; only Derived-kind vregs appear.
+using DerivMap = std::map<ir::VReg, DerivState>;
+
+class DerivationAnalysis {
+public:
+  explicit DerivationAnalysis(const ir::Function &F);
+
+  const DerivMap &blockIn(unsigned Block) const { return In[Block]; }
+
+  /// The state map immediately before instruction \p Index of \p Block.
+  DerivMap stateBefore(unsigned Block, unsigned Index) const;
+
+  /// Applies one instruction's effect to \p State (public so clients can
+  /// walk a block incrementally).
+  static void transfer(const ir::Function &F, const ir::Instr &I,
+                       DerivMap &State);
+
+  /// The instruction-level extra-uses map for Liveness implementing the
+  /// dead-base rule: any instruction using a derived vreg also uses that
+  /// vreg's bases (as derived at that point).
+  std::map<std::pair<unsigned, unsigned>, std::vector<ir::VReg>>
+  computeExtraUses() const;
+
+private:
+  static void join(DerivMap &Into, const DerivMap &From, bool &Changed);
+
+  const ir::Function &F;
+  std::vector<DerivMap> In;
+};
+
+} // namespace analysis
+} // namespace mgc
+
+#endif // MGC_ANALYSIS_DERIVATIONS_H

@@ -1,0 +1,68 @@
+//===- analysis/Liveness.cpp ----------------------------------------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+using namespace mgc;
+using namespace mgc::analysis;
+using namespace mgc::ir;
+
+Liveness::Liveness(const Function &F, const ExtraUses *Extra)
+    : F(F), Extra(Extra) {
+  size_t NumBlocks = F.Blocks.size();
+  size_t NumVRegs = F.VRegs.size();
+  LiveIn.assign(NumBlocks, DynBitset(NumVRegs));
+  LiveOut.assign(NumBlocks, DynBitset(NumVRegs));
+
+  // Iterate to a fixpoint, processing blocks in reverse order (a decent
+  // approximation of post-order for our forward-generated CFGs).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t B = NumBlocks; B-- > 0;) {
+      DynBitset Out(NumVRegs);
+      for (unsigned Succ : F.Blocks[B]->successors())
+        Out.unionWith(LiveIn[Succ]);
+      DynBitset In = Out;
+      const BasicBlock &BB = *F.Blocks[B];
+      for (size_t I = BB.Instrs.size(); I-- > 0;)
+        applyTransfer(static_cast<unsigned>(B), static_cast<unsigned>(I), In);
+      if (!(Out == LiveOut[B])) {
+        LiveOut[B] = std::move(Out);
+        Changed = true;
+      }
+      if (!(In == LiveIn[B])) {
+        LiveIn[B] = std::move(In);
+        Changed = true;
+      }
+    }
+  }
+}
+
+void Liveness::applyTransfer(unsigned Block, unsigned Index,
+                             DynBitset &Live) const {
+  const Instr &I = F.Blocks[Block]->Instrs[Index];
+  if (I.Dst != NoVReg)
+    Live.reset(static_cast<size_t>(I.Dst));
+  std::vector<VReg> Uses;
+  I.collectUses(Uses);
+  for (VReg R : Uses)
+    Live.set(static_cast<size_t>(R));
+  if (Extra) {
+    auto It = Extra->find({Block, Index});
+    if (It != Extra->end())
+      for (VReg R : It->second)
+        Live.set(static_cast<size_t>(R));
+  }
+}
+
+DynBitset Liveness::liveBefore(unsigned Block, unsigned Index) const {
+  const BasicBlock &BB = *F.Blocks[Block];
+  DynBitset Live = LiveOut[Block];
+  for (size_t I = BB.Instrs.size(); I-- > Index;)
+    applyTransfer(Block, static_cast<unsigned>(I), Live);
+  return Live;
+}

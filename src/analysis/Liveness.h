@@ -1,0 +1,71 @@
+//===- analysis/Liveness.h - Virtual register liveness ----------*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward liveness over virtual registers.  The analysis optionally
+/// applies the paper's *dead base* rule (§4): every use of a derived value
+/// is also treated as a use of each of its base values, which forces base
+/// lifetimes to cover the lifetimes of values derived from them.  The
+/// extra-uses map is supplied by the derivation analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_ANALYSIS_LIVENESS_H
+#define MGC_ANALYSIS_LIVENESS_H
+
+#include "ir/IR.h"
+#include "support/DynBitset.h"
+
+#include <map>
+#include <vector>
+
+namespace mgc {
+namespace analysis {
+
+/// Extra uses attached to specific instructions: when instruction (Block,
+/// Index) executes, the listed vregs are considered used as well.
+using ExtraUses = std::map<std::pair<unsigned, unsigned>, std::vector<ir::VReg>>;
+
+class Liveness {
+public:
+  /// Computes liveness for \p F.  \p Extra may be null.
+  Liveness(const ir::Function &F, const ExtraUses *Extra = nullptr);
+
+  const DynBitset &liveIn(unsigned Block) const { return LiveIn[Block]; }
+  const DynBitset &liveOut(unsigned Block) const { return LiveOut[Block]; }
+
+  /// The set of vregs live immediately *before* instruction \p Index of
+  /// \p Block executes — for a call gc-point this includes the call's own
+  /// arguments, which is exactly the "live at the gc-point" set the tables
+  /// must describe (an active call's argument slots are still read by the
+  /// callee).
+  DynBitset liveBefore(unsigned Block, unsigned Index) const;
+
+  /// Visits instructions of \p Block backwards; \p Visit(Index, LiveAfter,
+  /// LiveBefore) sees the live sets around each instruction.
+  template <typename Fn> void visitBlock(unsigned Block, Fn &&Visit) const {
+    const ir::BasicBlock &BB = *F.Blocks[Block];
+    DynBitset Live = LiveOut[Block];
+    for (size_t I = BB.Instrs.size(); I-- > 0;) {
+      DynBitset After = Live;
+      applyTransfer(Block, static_cast<unsigned>(I), Live);
+      Visit(static_cast<unsigned>(I), After, Live);
+    }
+  }
+
+private:
+  /// Updates \p Live across instruction (Block, Index), backward.
+  void applyTransfer(unsigned Block, unsigned Index, DynBitset &Live) const;
+
+  const ir::Function &F;
+  const ExtraUses *Extra;
+  std::vector<DynBitset> LiveIn, LiveOut;
+};
+
+} // namespace analysis
+} // namespace mgc
+
+#endif // MGC_ANALYSIS_LIVENESS_H

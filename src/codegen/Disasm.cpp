@@ -1,0 +1,194 @@
+//===- codegen/Disasm.cpp -------------------------------------------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Disasm.h"
+
+#include "gcmaps/GcTables.h"
+
+using namespace mgc;
+using namespace mgc::codegen;
+using namespace mgc::vm;
+
+namespace {
+std::string operandStr(const MOperand &O) {
+  switch (O.K) {
+  case MOperand::Kind::None:
+    return "_";
+  case MOperand::Kind::Reg:
+    return "r" + std::to_string(O.Reg);
+  case MOperand::Kind::Slot:
+    return "fp[" + std::to_string(O.Index) + "]";
+  case MOperand::Kind::ASlot:
+    return "ap[" + std::to_string(O.Index) + "]";
+  case MOperand::Kind::Global:
+    return "g[" + std::to_string(O.Index) + "]";
+  case MOperand::Kind::Imm:
+    return "#" + std::to_string(O.Imm);
+  case MOperand::Kind::MemReg:
+    return "[r" + std::to_string(O.Reg) + "+" + std::to_string(O.Disp) + "]";
+  case MOperand::Kind::MemSlot:
+    return "[fp[" + std::to_string(O.Index) + "]+" + std::to_string(O.Disp) +
+           "]";
+  case MOperand::Kind::MemASlot:
+    return "[ap[" + std::to_string(O.Index) + "]+" + std::to_string(O.Disp) +
+           "]";
+  }
+  return "?";
+}
+
+const char *opName(MOp Op) {
+  switch (Op) {
+  case MOp::Mov: return "mov";
+  case MOp::Add: return "add";
+  case MOp::Sub: return "sub";
+  case MOp::Mul: return "mul";
+  case MOp::Div: return "div";
+  case MOp::Mod: return "mod";
+  case MOp::Neg: return "neg";
+  case MOp::Not: return "not";
+  case MOp::CmpEq: return "cmpeq";
+  case MOp::CmpNe: return "cmpne";
+  case MOp::CmpLt: return "cmplt";
+  case MOp::CmpLe: return "cmple";
+  case MOp::CmpGt: return "cmpgt";
+  case MOp::CmpGe: return "cmpge";
+  case MOp::AddrSlot: return "addrslot";
+  case MOp::AddrGlobal: return "addrglobal";
+  case MOp::NewObj: return "newobj";
+  case MOp::NewArr: return "newarr";
+  case MOp::Call: return "call";
+  case MOp::CallRt: return "callrt";
+  case MOp::GcPoll: return "gcpoll";
+  case MOp::Jump: return "jump";
+  case MOp::Branch: return "branch";
+  case MOp::Ret: return "ret";
+  case MOp::Trap: return "trap";
+  }
+  return "?";
+}
+} // namespace
+
+std::string codegen::disassemble(const Program &Prog, const MInstr &I) {
+  std::string S = opName(I.Op);
+  auto Append = [&](const std::string &Part) {
+    S += S.size() == std::string(opName(I.Op)).size() ? " " : ", ";
+    S += Part;
+  };
+  switch (I.Op) {
+  case MOp::Jump:
+    Append("@" + std::to_string(I.Target0));
+    break;
+  case MOp::Branch:
+    Append(operandStr(I.A));
+    Append("@" + std::to_string(I.Target0));
+    Append("@" + std::to_string(I.Target1));
+    break;
+  case MOp::Call:
+    Append(Prog.Funcs[static_cast<size_t>(I.Index)].Name);
+    Append("args@fp[" + std::to_string(I.ArgBase) + "]x" +
+           std::to_string(I.NArgs));
+    break;
+  case MOp::CallRt: {
+    static const char *RtNames[] = {"PutInt", "PutChar", "PutLn",
+                                    "GcCollect", "Halt"};
+    Append(RtNames[I.Index]);
+    if (I.NArgs)
+      Append("args@fp[" + std::to_string(I.ArgBase) + "]x" +
+             std::to_string(I.NArgs));
+    break;
+  }
+  case MOp::NewObj:
+  case MOp::NewArr:
+    Append(operandStr(I.D));
+    Append("desc#" + std::to_string(I.Index) + " (" +
+           Prog.TypeDescs[static_cast<size_t>(I.Index)].Name + ")");
+    if (I.Op == MOp::NewArr)
+      Append("len=" + operandStr(I.A));
+    break;
+  case MOp::AddrSlot:
+  case MOp::AddrGlobal:
+    Append(operandStr(I.D));
+    Append((I.Op == MOp::AddrSlot ? "&fp[" : "&g[") +
+           std::to_string(I.Index) + "]+" + std::to_string(I.A.Imm));
+    break;
+  case MOp::Trap:
+    Append("#" + std::to_string(I.Index));
+    break;
+  default:
+    if (!I.D.isNone())
+      Append(operandStr(I.D));
+    if (!I.A.isNone())
+      Append(operandStr(I.A));
+    if (!I.B.isNone())
+      Append(operandStr(I.B));
+    break;
+  }
+  return S;
+}
+
+std::string codegen::disassembleFunction(const Program &Prog,
+                                         unsigned FuncIdx, bool WithTables) {
+  const CompiledFunction &F = Prog.Funcs[FuncIdx];
+  const gcmaps::EncodedFuncMaps *Maps =
+      FuncIdx < Prog.Maps.size() ? &Prog.Maps[FuncIdx] : nullptr;
+
+  std::string S = F.Name + ":  (frame " + std::to_string(F.FrameWords) +
+                  " words, " + std::to_string(F.SavedRegs.size()) +
+                  " saved regs";
+  if (Maps)
+    S += ", " + std::to_string(Maps->RetPCs.size()) + " gc-points, " +
+         std::to_string(Maps->Blob.size()) + " table bytes";
+  S += ")\n";
+
+  for (uint32_t PC = F.EntryIndex; PC != F.EntryIndex + F.NumInstrs; ++PC) {
+    S += "  " + std::to_string(PC) + ":\t" +
+         disassemble(Prog, Prog.Code[PC]) + "\n";
+    if (!WithTables || !Maps)
+      continue;
+    int Ord = gcmaps::findGcPoint(*Maps, PC + 1);
+    if (Ord < 0)
+      continue;
+    gcmaps::GcPointInfo Info =
+        gcmaps::decodeGcPoint(*Maps, static_cast<unsigned>(Ord));
+    S += "        ; gc-point " + std::to_string(Ord) + ": live ptrs {";
+    bool First = true;
+    for (const auto &L : Info.LiveSlots) {
+      if (!First)
+        S += ", ";
+      S += L.str();
+      First = false;
+    }
+    for (unsigned R = 0; R != NumRegs; ++R)
+      if (Info.RegMask & (1u << R)) {
+        if (!First)
+          S += ", ";
+        S += "r" + std::to_string(R);
+        First = false;
+      }
+    S += "}";
+    for (const auto &D : Info.Derivs) {
+      S += "  " + D.Target.str() + " = ";
+      if (D.Ambiguous) {
+        S += "<path " + D.PathVar.str() + ">{";
+        for (size_t K = 0; K != D.Alts.size(); ++K) {
+          if (K)
+            S += " | ";
+          S += std::to_string(D.Alts[K].PathValue) + ": ";
+          for (const auto &B : D.Alts[K].Bases)
+            S += (B.Coeff >= 0 ? "+" : "-") + B.Loc.str();
+          S += "+E";
+        }
+        S += "}";
+      } else {
+        for (const auto &B : D.Bases)
+          S += (B.Coeff >= 0 ? "+" : "-") + B.Loc.str();
+        S += "+E";
+      }
+    }
+    S += "\n";
+  }
+  return S;
+}

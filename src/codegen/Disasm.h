@@ -1,0 +1,28 @@
+//===- codegen/Disasm.h - Machine code disassembler -------------*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_CODEGEN_DISASM_H
+#define MGC_CODEGEN_DISASM_H
+
+#include "vm/Program.h"
+
+#include <string>
+
+namespace mgc {
+namespace codegen {
+
+/// Renders one instruction ("mov r3, [r1+8]").
+std::string disassemble(const vm::Program &Prog, const vm::MInstr &I);
+
+/// Renders a whole function, annotating gc-points with their decoded
+/// tables when \p WithTables is set.
+std::string disassembleFunction(const vm::Program &Prog, unsigned FuncIdx,
+                                bool WithTables);
+
+} // namespace codegen
+} // namespace mgc
+
+#endif // MGC_CODEGEN_DISASM_H

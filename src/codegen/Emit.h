@@ -1,0 +1,57 @@
+//===- codegen/Emit.h - Machine code and gc-table emission ------*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers an IR function to machine instructions and, at every gc-point,
+/// records the raw table data (live tidy pointer locations, register mask,
+/// derivation records) that the gcmaps encoders turn into the compile-time
+/// tables.  Also implements the optional CISC addressing-mode fold, whose
+/// gc-safety restriction (§4's indirect references / §6.2's measurement)
+/// preserves intermediate pointer references in registers or slots instead
+/// of folding them into memory operands.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_CODEGEN_EMIT_H
+#define MGC_CODEGEN_EMIT_H
+
+#include "codegen/Machine.h"
+#include "gcmaps/GcTables.h"
+#include "gcsafety/GcSafety.h"
+#include "ir/IR.h"
+
+namespace mgc {
+namespace codegen {
+
+struct EmitOptions {
+  /// Emit gc tables and honor gc restrictions.  (Code is identical either
+  /// way except where the CISC fold is blocked — §6.2's result.)
+  bool GcSafe = true;
+  /// Fold single-use loads into memory operands of the consuming
+  /// instruction (VAX-style addressing).
+  bool CiscFold = false;
+};
+
+struct EmitResult {
+  /// Function-local code; Jump/Branch targets are local instruction
+  /// indices, rebased by the linker.
+  std::vector<vm::MInstr> Code;
+  vm::CompiledFunction Meta;
+  /// Raw gc tables; RetPCs are local instruction indices.
+  gcmaps::FuncTableData Tables;
+  unsigned CiscFoldsApplied = 0;
+  unsigned CiscFoldsBlocked = 0;
+};
+
+/// Emits \p F.  May mutate \p F (register allocation adds spill slots).
+EmitResult emitFunction(ir::Function &F,
+                        const gcsafety::GcSafetyInfo &Safety,
+                        const EmitOptions &Opts);
+
+} // namespace codegen
+} // namespace mgc
+
+#endif // MGC_CODEGEN_EMIT_H

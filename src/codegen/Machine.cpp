@@ -1,0 +1,24 @@
+//===- codegen/Machine.cpp ------------------------------------------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Machine.h"
+
+using namespace mgc;
+using namespace mgc::vm;
+
+std::string Location::str() const {
+  switch (K) {
+  case Kind::Reg:
+    return "r" + std::to_string(Index);
+  case Kind::FpSlot:
+    return "FP+" + std::to_string(Index);
+  case Kind::ApSlot:
+    return "AP+" + std::to_string(Index);
+  case Kind::None:
+    break;
+  }
+  return "<none>";
+}

@@ -1,0 +1,84 @@
+//===- codegen/Serialize.cpp ----------------------------------------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Serialize.h"
+
+#include "support/ByteCodec.h"
+
+using namespace mgc;
+using namespace mgc::codegen;
+using namespace mgc::vm;
+
+namespace {
+void serializeOperand(std::vector<uint8_t> &Out, const MOperand &O) {
+  Out.push_back(static_cast<uint8_t>(O.K));
+  switch (O.K) {
+  case MOperand::Kind::None:
+    break;
+  case MOperand::Kind::Reg:
+    Out.push_back(static_cast<uint8_t>(O.Reg));
+    break;
+  case MOperand::Kind::Slot:
+  case MOperand::Kind::ASlot:
+  case MOperand::Kind::Global:
+    appendPacked(Out, O.Index);
+    break;
+  case MOperand::Kind::Imm:
+    appendPacked(Out, static_cast<int32_t>(O.Imm));
+    break;
+  case MOperand::Kind::MemReg:
+    Out.push_back(static_cast<uint8_t>(O.Reg));
+    appendPacked(Out, static_cast<int32_t>(O.Disp));
+    break;
+  case MOperand::Kind::MemSlot:
+  case MOperand::Kind::MemASlot:
+    appendPacked(Out, O.Index);
+    appendPacked(Out, static_cast<int32_t>(O.Disp));
+    break;
+  }
+}
+} // namespace
+
+CodeImage codegen::serializeCode(const std::vector<MInstr> &Code) {
+  CodeImage Img;
+  for (const MInstr &I : Code) {
+    Img.InstrOffsets.push_back(static_cast<uint32_t>(Img.Bytes.size()));
+    Img.Bytes.push_back(static_cast<uint8_t>(I.Op));
+    serializeOperand(Img.Bytes, I.D);
+    serializeOperand(Img.Bytes, I.A);
+    serializeOperand(Img.Bytes, I.B);
+    switch (I.Op) {
+    case MOp::NewObj:
+    case MOp::NewArr:
+    case MOp::Trap:
+      appendPacked(Img.Bytes, I.Index);
+      break;
+    case MOp::Call:
+    case MOp::CallRt:
+      appendPacked(Img.Bytes, I.Index);
+      appendPacked(Img.Bytes, I.ArgBase);
+      appendPacked(Img.Bytes, I.NArgs);
+      break;
+    case MOp::AddrSlot:
+    case MOp::AddrGlobal:
+      appendPacked(Img.Bytes, I.Index);
+      break;
+    case MOp::Jump:
+      for (int S = 0; S != 4; ++S)
+        Img.Bytes.push_back(
+            static_cast<uint8_t>((I.Target0 >> (8 * S)) & 0xff));
+      break;
+    case MOp::Branch:
+      for (uint32_t T : {I.Target0, I.Target1})
+        for (int S = 0; S != 4; ++S)
+          Img.Bytes.push_back(static_cast<uint8_t>((T >> (8 * S)) & 0xff));
+      break;
+    default:
+      break;
+    }
+  }
+  return Img;
+}

@@ -1,0 +1,38 @@
+//===- codegen/Serialize.h - Code image serialization -----------*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes machine instructions into a byte image.  The interpreter
+/// executes the in-memory MInstr form; the byte image defines "code size"
+/// for Table 1/2 (table sizes are reported as a percentage of it) and the
+/// per-instruction byte offsets give gc-points their code addresses for the
+/// pc-map's 2-byte-distance accounting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_CODEGEN_SERIALIZE_H
+#define MGC_CODEGEN_SERIALIZE_H
+
+#include "codegen/Machine.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace mgc {
+namespace codegen {
+
+struct CodeImage {
+  std::vector<uint8_t> Bytes;
+  /// Byte offset of each instruction.
+  std::vector<uint32_t> InstrOffsets;
+};
+
+CodeImage serializeCode(const std::vector<vm::MInstr> &Code);
+
+} // namespace codegen
+} // namespace mgc
+
+#endif // MGC_CODEGEN_SERIALIZE_H

@@ -1,0 +1,169 @@
+//===- driver/Compiler.cpp ------------------------------------------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include "codegen/Emit.h"
+#include "frontend/Lower.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "gcsafety/GcSafety.h"
+#include "gcsafety/Interproc.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "opt/Passes.h"
+
+#include <cassert>
+
+using namespace mgc;
+using namespace mgc::driver;
+using namespace mgc::ir;
+
+namespace {
+
+void runCleanupRound(Function &F) {
+  bool Changed = true;
+  unsigned Rounds = 0;
+  while (Changed && Rounds++ < 8) {
+    Changed = false;
+    Changed |= opt::simplifyCFG(F);
+    Changed |= opt::foldConstants(F);
+    Changed |= opt::propagateCopiesLocal(F);
+    Changed |= opt::cseLocal(F);
+    Changed |= opt::eliminateDeadCode(F);
+  }
+}
+
+void optimizeFunction(Function &F, const CompilerOptions &Options) {
+  runCleanupRound(F);
+
+  // The derived-value factories (§2's optimizations).
+  bool Changed = true;
+  unsigned Rounds = 0;
+  while (Changed && Rounds++ < 8) {
+    Changed = false;
+    Changed |= opt::rewriteVirtualOrigins(F);
+    Changed |= opt::hoistLoopInvariants(F);
+    if (Options.Mode == Disambiguation::PathSplitting) {
+      Changed |= opt::unswitchLoops(F);
+    } else {
+      Changed |= opt::mergeDiamondTails(F);
+      Changed |= opt::hoistInvariantDiamonds(F);
+    }
+    Changed |= opt::reduceStrength(F);
+    if (Changed)
+      runCleanupRound(F);
+  }
+  runCleanupRound(F);
+}
+
+} // namespace
+
+CompileResult driver::compile(const std::string &Source,
+                              const CompilerOptions &Options) {
+  CompileResult Result;
+
+  auto AST = parseModule(Source, Result.Diags);
+  if (!AST)
+    return Result;
+  if (!checkModule(*AST, Result.Diags))
+    return Result;
+
+  std::unique_ptr<IRModule> M = lowerModule(*AST);
+
+  if (Options.OptLevel >= 2)
+    for (auto &F : M->Functions)
+      optimizeFunction(*F, Options);
+
+  unsigned GcPointsElided = 0;
+  if (Options.InterprocGcPoints)
+    GcPointsElided = gcsafety::elideNonTriggeringGcPoints(*M);
+
+  unsigned LoopPolls = 0;
+  if (Options.ThreadedPolls)
+    for (auto &F : M->Functions)
+      LoopPolls += gcsafety::insertLoopPolls(*F);
+
+  if (Options.InterprocGcPoints && Options.ThreadedPolls) {
+    // Loop polls are gc-points: functions that gained one may now trigger
+    // a collection, so calls to them must be gc-points after all.
+    std::vector<bool> Triggers = gcsafety::computeMayTriggerGc(*M);
+    for (auto &F : M->Functions)
+      for (auto &BB : F->Blocks)
+        for (ir::Instr &I : BB->Instrs)
+          if (I.Op == ir::Opcode::Call && I.NoGcCallee &&
+              Triggers[static_cast<size_t>(I.Index)]) {
+            I.NoGcCallee = false;
+            --GcPointsElided;
+          }
+  }
+
+  std::vector<gcsafety::GcSafetyInfo> Safety(M->Functions.size());
+  unsigned PathVars = 0, PathAssigns = 0;
+  if (Options.GcTables)
+    for (size_t I = 0; I != M->Functions.size(); ++I) {
+      Safety[I] = gcsafety::assignPathVariables(*M->Functions[I]);
+      PathVars += static_cast<unsigned>(Safety[I].PathVars.size());
+      PathAssigns += Safety[I].PathAssignsInserted;
+    }
+
+  {
+    std::vector<std::string> Issues = verifyModule(*M);
+    for (const std::string &Issue : Issues)
+      Result.Diags.error(SourceLoc(), "internal: IR verification: " + Issue);
+    if (!Issues.empty())
+      return Result;
+  }
+
+  Result.IRDump = toString(*M);
+
+  // Emit every function and link.
+  auto Prog = std::make_unique<vm::Program>();
+  Prog->Name = M->Name;
+  Prog->MainFunc = M->MainIndex;
+  Prog->TypeDescs = M->TypeDescs;
+  Prog->GlobalAreaWords = M->GlobalAreaWords;
+  Prog->GlobalPtrWords = M->globalPointerWords();
+  Prog->LoopPolls = LoopPolls;
+  Prog->GcPointsElided = GcPointsElided;
+  Prog->PathVars = PathVars;
+  Prog->PathAssigns = PathAssigns;
+
+  codegen::EmitOptions EO;
+  EO.GcSafe = Options.GcTables;
+  EO.CiscFold = Options.CiscFold;
+
+  std::vector<gcmaps::FuncTableData> RawTables;
+  for (size_t I = 0; I != M->Functions.size(); ++I) {
+    codegen::EmitResult ER =
+        codegen::emitFunction(*M->Functions[I], Safety[I], EO);
+    uint32_t Entry = static_cast<uint32_t>(Prog->Code.size());
+    ER.Meta.EntryIndex = Entry;
+    // Rebase control-flow targets and gc-point return addresses.
+    for (vm::MInstr &MI : ER.Code) {
+      if (MI.Op == vm::MOp::Jump || MI.Op == vm::MOp::Branch) {
+        MI.Target0 += Entry;
+        if (MI.Op == vm::MOp::Branch)
+          MI.Target1 += Entry;
+      }
+      Prog->Code.push_back(MI);
+    }
+    for (gcmaps::GcPointData &P : ER.Tables.Points)
+      P.RetPC += Entry;
+    Prog->Funcs.push_back(ER.Meta);
+    RawTables.push_back(std::move(ER.Tables));
+    Prog->CiscFoldsApplied += ER.CiscFoldsApplied;
+    Prog->CiscFoldsBlocked += ER.CiscFoldsBlocked;
+  }
+
+  for (const gcmaps::FuncTableData &T : RawTables)
+    Prog->Maps.push_back(
+        gcmaps::encodeFunction(T, Prog->Sizes, Prog->Stats));
+
+  Prog->Image = codegen::serializeCode(Prog->Code);
+  Result.Prog = std::move(Prog);
+  return Result;
+}

@@ -1,0 +1,58 @@
+//===- driver/Compiler.h - Compilation pipeline -----------------*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point of the compiler: MG source in, linked Program
+/// out.  Options select the optimization level, whether gc tables are
+/// emitted, the ambiguous-derivation strategy (path variables vs path
+/// splitting, §4/Fig. 2), threaded-mode loop polls (§5.3), and the CISC
+/// addressing fold (§6.2's indirect references).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_DRIVER_COMPILER_H
+#define MGC_DRIVER_COMPILER_H
+
+#include "support/Diagnostics.h"
+#include "vm/Program.h"
+
+#include <memory>
+#include <string>
+
+namespace mgc {
+namespace driver {
+
+enum class Disambiguation {
+  PathVariables, ///< §4's chosen scheme: a runtime path variable.
+  PathSplitting, ///< Figure 2: duplicate the loop per derivation path.
+};
+
+struct CompilerOptions {
+  int OptLevel = 2; ///< 0 or 2.
+  bool GcTables = true;
+  bool CiscFold = false;
+  bool ThreadedPolls = false;
+  /// §5.3's interprocedural refinement: calls to procedures that can never
+  /// trigger a collection are not gc-points (fewer, smaller tables).
+  bool InterprocGcPoints = false;
+  Disambiguation Mode = Disambiguation::PathVariables;
+};
+
+struct CompileResult {
+  std::unique_ptr<vm::Program> Prog; ///< Null on error.
+  Diagnostics Diags;
+  /// IR dump after optimization (before emission), for tests and tools.
+  std::string IRDump;
+};
+
+/// Compiles one MG module.
+CompileResult compile(const std::string &Source,
+                      const CompilerOptions &Options = CompilerOptions());
+
+} // namespace driver
+} // namespace mgc
+
+#endif // MGC_DRIVER_COMPILER_H

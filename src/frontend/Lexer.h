@@ -1,0 +1,82 @@
+//===- frontend/Lexer.h - MG lexer ------------------------------*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens and the hand-written lexer for MG.  Comments are Modula-style
+/// `(* ... *)` and nest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_FRONTEND_LEXER_H
+#define MGC_FRONTEND_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+
+namespace mgc {
+
+enum class TokKind {
+  Eof,
+  Ident,
+  IntLit,
+  StrLit,
+  // Keywords.
+  KwModule, KwBegin, KwEnd, KwVar, KwType, KwConst, KwProcedure,
+  KwIf, KwThen, KwElsif, KwElse, KwWhile, KwDo, KwRepeat, KwUntil,
+  KwFor, KwTo, KwBy, KwReturn, KwWith, KwNil, KwTrue, KwFalse,
+  KwDiv, KwMod, KwAnd, KwOr, KwNot, KwArray, KwOf, KwRecord, KwRef,
+  KwInteger, KwBoolean, KwExit, KwLoop,
+  // Punctuation and operators.
+  Assign,     // :=
+  Equal,      // =
+  NotEqual,   // #
+  Less, LessEq, Greater, GreaterEq,
+  Plus, Minus, Star,
+  LParen, RParen, LBracket, RBracket,
+  Semi, Colon, Comma, Dot, DotDot, Caret,
+};
+
+/// Renders a token kind for diagnostics ("':='", "identifier", ...).
+const char *tokKindName(TokKind K);
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  std::string Text;  ///< Identifier spelling.
+  int64_t IntValue = 0;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+/// A one-token-lookahead lexer over an in-memory source buffer.
+class Lexer {
+public:
+  Lexer(const std::string &Source, Diagnostics &Diags);
+
+  /// Lexes and returns the next token.
+  Token next();
+
+private:
+  char peek() const { return Pos < Src.size() ? Src[Pos] : '\0'; }
+  char peekAt(size_t Off) const {
+    return Pos + Off < Src.size() ? Src[Pos + Off] : '\0';
+  }
+  void advance();
+  void skipTrivia();
+  SourceLoc here() const { return {Line, Col}; }
+
+  const std::string &Src;
+  Diagnostics &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+};
+
+} // namespace mgc
+
+#endif // MGC_FRONTEND_LEXER_H

@@ -1,0 +1,31 @@
+//===- frontend/Lower.h - AST to IR lowering --------------------*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a checked ModuleAST to the three-address IR.  All heap address
+/// arithmetic is emitted through the Derive* opcodes so derived values are
+/// identifiable from birth; VAR parameters become IncomingAddr vregs pinned
+/// by later phases to their argument slots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_FRONTEND_LOWER_H
+#define MGC_FRONTEND_LOWER_H
+
+#include "frontend/AST.h"
+#include "ir/IR.h"
+
+#include <memory>
+
+namespace mgc {
+
+/// Lowers \p Module (which must have passed checkModule).  Never fails for
+/// checked input.
+std::unique_ptr<ir::IRModule> lowerModule(const ModuleAST &Module);
+
+} // namespace mgc
+
+#endif // MGC_FRONTEND_LOWER_H

@@ -1,0 +1,32 @@
+//===- frontend/Parser.h - MG recursive-descent parser ----------*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses an MG module.  Types and named constants are resolved during
+/// parsing (with shell pre-registration so REF/RECORD cycles work);
+/// expression and statement name resolution is left to Sema.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_FRONTEND_PARSER_H
+#define MGC_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+#include "frontend/Lexer.h"
+
+#include <map>
+#include <memory>
+
+namespace mgc {
+
+/// Parses \p Source into a ModuleAST.  Returns null when parsing fails;
+/// details are in \p Diags.
+std::unique_ptr<ModuleAST> parseModule(const std::string &Source,
+                                       Diagnostics &Diags);
+
+} // namespace mgc
+
+#endif // MGC_FRONTEND_PARSER_H

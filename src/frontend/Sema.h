@@ -1,0 +1,29 @@
+//===- frontend/Sema.h - MG type checker ------------------------*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resolves names, types every expression, checks assignability and call
+/// signatures, and computes the storage annotations the lowerer relies on
+/// (NeedsMemory / AddressTaken).  Because MG is statically typed, after this
+/// pass the compiler knows exactly which locations hold pointers — the
+/// property the paper's gc tables are built from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_FRONTEND_SEMA_H
+#define MGC_FRONTEND_SEMA_H
+
+#include "frontend/AST.h"
+#include "support/Diagnostics.h"
+
+namespace mgc {
+
+/// Checks \p Module in place.  Returns false (with diagnostics) on error.
+bool checkModule(ModuleAST &Module, Diagnostics &Diags);
+
+} // namespace mgc
+
+#endif // MGC_FRONTEND_SEMA_H

@@ -1,0 +1,296 @@
+//===- gc/Collector.cpp ---------------------------------------------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Collector.h"
+
+#include "gcmaps/GcTables.h"
+
+#include <cassert>
+#include <chrono>
+#include <set>
+#include <vector>
+
+using namespace mgc;
+using namespace mgc::gc;
+using namespace mgc::vm;
+
+namespace {
+
+constexpr uint32_t SentinelPC = 0xFFFFFFFFu;
+
+/// One resolved derived-value entry: the target word and its base words
+/// with signs (bases were required live, so they have resolved homes too).
+struct DerivedEntry {
+  Word *Target;
+  std::vector<std::pair<Word *, int>> Bases;
+};
+
+class PreciseCollector {
+public:
+  explicit PreciseCollector(VM &M) : M(M) {}
+
+  void collect();
+
+private:
+  void walkThread(ThreadContext &T, uint32_t TablePC);
+  Word *resolve(const vm::Location &L, uint32_t FP, uint32_t AP,
+                ThreadContext &T, Word **RegHome);
+
+  VM &M;
+  std::vector<Word *> TidyRoots;
+  std::vector<DerivedEntry> Derived;
+};
+
+Word *PreciseCollector::resolve(const vm::Location &L, uint32_t FP,
+                                uint32_t AP, ThreadContext &T,
+                                Word **RegHome) {
+  switch (L.K) {
+  case vm::Location::Kind::FpSlot:
+    return &T.Stack[FP + static_cast<unsigned>(L.Index)];
+  case vm::Location::Kind::ApSlot:
+    return &T.Stack[AP + static_cast<unsigned>(L.Index)];
+  case vm::Location::Kind::Reg:
+    return RegHome[L.Index];
+  case vm::Location::Kind::None:
+    break;
+  }
+  assert(false && "unresolvable location");
+  return nullptr;
+}
+
+void PreciseCollector::walkThread(ThreadContext &T, uint32_t TablePC) {
+  // Register reconstruction state: where each register's value *as of the
+  // frame being processed* lives.  Innermost frame: the live register file;
+  // moving outward, registers saved by a frame are found in its save area.
+  Word *RegHome[NumRegs];
+  for (unsigned R = 0; R != NumRegs; ++R)
+    RegHome[R] = &T.R[R];
+
+  uint32_t PC = TablePC;
+  uint32_t FP = T.FP;
+  uint32_t AP = T.AP;
+
+  while (true) {
+    ++M.Stats.FramesTraced;
+    unsigned FuncIdx = M.Prog.funcOfPC(PC - 1);
+    const CompiledFunction &F = M.Prog.Funcs[FuncIdx];
+    const gcmaps::EncodedFuncMaps &Maps = M.Prog.Maps[FuncIdx];
+
+    int Ordinal = gcmaps::findGcPoint(Maps, PC);
+    assert(Ordinal >= 0 && "suspension point is not a known gc-point");
+    gcmaps::GcPointInfo Info =
+        gcmaps::decodeGcPoint(Maps, static_cast<unsigned>(Ordinal));
+
+    for (const vm::Location &L : Info.LiveSlots)
+      TidyRoots.push_back(resolve(L, FP, AP, T, RegHome));
+    for (unsigned R = 0; R != NumRegs; ++R)
+      if (Info.RegMask & (1u << R))
+        TidyRoots.push_back(RegHome[R]);
+
+    for (const gcmaps::DerivationRecord &Rec : Info.Derivs) {
+      DerivedEntry E;
+      E.Target = resolve(Rec.Target, FP, AP, T, RegHome);
+      const std::vector<gcmaps::BaseRef> *Bases = &Rec.Bases;
+      if (Rec.Ambiguous) {
+        // Consult the path variable to select the derivation that actually
+        // happened (§4).
+        Word PathValue = *resolve(Rec.PathVar, FP, AP, T, RegHome);
+        const gcmaps::DerivationAlt *Chosen = nullptr;
+        for (const gcmaps::DerivationAlt &Alt : Rec.Alts)
+          if (static_cast<Word>(Alt.PathValue) == PathValue) {
+            Chosen = &Alt;
+            break;
+          }
+        assert(Chosen && "path variable selects no known derivation");
+        Bases = &Chosen->Bases;
+      }
+      for (const gcmaps::BaseRef &B : *Bases)
+        E.Bases.emplace_back(resolve(B.Loc, FP, AP, T, RegHome), B.Coeff);
+      Derived.push_back(std::move(E));
+    }
+
+    // Step to the caller: registers this frame saved now live in its save
+    // area as far as outer frames are concerned.
+    for (size_t K = 0; K != F.SavedRegs.size(); ++K)
+      RegHome[F.SavedRegs[K]] = &T.Stack[FP + K];
+
+    uint32_t RetPC = static_cast<uint32_t>(T.Stack[FP - 1]);
+    if (RetPC == SentinelPC)
+      break;
+    uint32_t CallerFP = static_cast<uint32_t>(T.Stack[FP - 2]);
+    uint32_t CallerAP = static_cast<uint32_t>(T.Stack[FP - 3]);
+    PC = RetPC;
+    FP = CallerFP;
+    AP = CallerAP;
+  }
+}
+
+void PreciseCollector::collect() {
+  using Clock = std::chrono::steady_clock;
+  auto T0 = Clock::now();
+
+  TidyRoots.clear();
+  Derived.clear();
+
+  // --- Stack tracing: locate tables, decode, gather roots (timed
+  // separately; this is §6.3's measured quantity).
+  for (size_t TI = 0; TI != M.Threads.size(); ++TI) {
+    ThreadContext &T = *M.Threads[TI];
+    if (!T.Live)
+      continue; // Finished threads have no frames to scan.
+    uint32_t TablePC = M.SuspendPCs.empty() ? 0 : M.SuspendPCs[TI];
+    if (TablePC == SentinelPC || TablePC == 0)
+      continue;
+    walkThread(T, TablePC);
+  }
+  for (unsigned W : M.Prog.GlobalPtrWords)
+    TidyRoots.push_back(&M.Globals[W]);
+
+  auto T1 = Clock::now();
+
+  Heap &H = M.TheHeap;
+  H.beginCollection();
+
+  // --- Phase 1 (§3): un-derive, innermost frames first, leaving E in each
+  // derived location.
+  for (const DerivedEntry &E : Derived) {
+    Word V = *E.Target;
+    for (const auto &[BaseLoc, Coeff] : E.Bases)
+      V -= static_cast<Word>(static_cast<int64_t>(Coeff)) * *BaseLoc;
+    *E.Target = V;
+    ++M.Stats.DerivedAdjusted;
+  }
+
+  // --- Trace: forward every tidy root, then Cheney-scan the copied
+  // objects using the heap type descriptors.
+  for (Word *Root : TidyRoots) {
+    ++M.Stats.RootsTraced;
+    if (*Root == 0)
+      continue;
+    // The same word can be described twice (e.g. an outgoing argument slot
+    // by the caller's FP entry and the callee's AP entry); a second visit
+    // sees the already-updated pointer.
+    if (H.inToSpace(*Root))
+      continue;
+    assert(H.inFromSpace(*Root) && "tidy root does not point into the heap "
+                                   "(stale table or liveness bug)");
+    *Root = H.forward(*Root);
+  }
+
+  Word Scan = H.scanStart();
+  while (Scan < H.toAlloc()) {
+    Word *Obj = reinterpret_cast<Word *>(Scan);
+    const ir::TypeDesc &D = M.Prog.TypeDescs[static_cast<size_t>(Obj[0] >> 1)];
+    for (unsigned Off : D.PtrOffsets) {
+      Word &Field = Obj[1 + Off];
+      if (Field != 0)
+        Field = H.forward(Field);
+    }
+    size_t Words = 1 + D.SizeWords;
+    if (D.IsOpenArray) {
+      int64_t Len = static_cast<int64_t>(Obj[1]);
+      for (int64_t E = 0; E != Len; ++E)
+        for (unsigned Off : D.ElemPtrOffsets) {
+          Word &Field = Obj[2 + static_cast<size_t>(E) * D.ElemSizeWords + Off];
+          if (Field != 0)
+            Field = H.forward(Field);
+        }
+      Words += static_cast<size_t>(Len) * D.ElemSizeWords;
+    }
+    Scan += Words * sizeof(Word);
+  }
+
+  M.Stats.BytesCopied += H.toAlloc() - H.scanStart();
+  H.endCollection();
+
+  // --- Phase 2 of the update (§3): re-derive from the new base values, in
+  // exactly the reverse order.
+  for (size_t K = Derived.size(); K-- > 0;) {
+    const DerivedEntry &E = Derived[K];
+    Word V = *E.Target;
+    for (const auto &[BaseLoc, Coeff] : E.Bases)
+      V += static_cast<Word>(static_cast<int64_t>(Coeff)) * *BaseLoc;
+    *E.Target = V;
+  }
+
+  auto T2 = Clock::now();
+  M.Stats.StackTraceNanos += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0).count());
+  M.Stats.GcNanos += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(T2 - T0).count());
+}
+
+} // namespace
+
+void gc::installPreciseCollector(VM &M) {
+  M.Collector = [](VM &Inner) { PreciseCollector(Inner).collect(); };
+}
+
+//===----------------------------------------------------------------------===//
+// Conservative (ambiguous roots) baseline
+//===----------------------------------------------------------------------===//
+
+ConservativeStats gc::conservativeTrace(VM &M) {
+  using Clock = std::chrono::steady_clock;
+  auto T0 = Clock::now();
+  ConservativeStats S;
+
+  Heap &H = M.TheHeap;
+  std::set<Word> Marked;
+  std::vector<Word> Work;
+
+  auto Consider = [&](Word V) {
+    ++S.WordsScanned;
+    if (!H.plausibleObject(V))
+      return;
+    ++S.CandidatePointers;
+    if (Marked.insert(V).second)
+      Work.push_back(V);
+  };
+
+  for (const auto &T : M.Threads) {
+    if (!T->Live)
+      continue;
+    // The whole used portion of the stack is ambiguous root material; the
+    // conservative collector has no liveness information.
+    uint32_t Top = T->FP;
+    const CompiledFunction &F = M.Prog.Funcs[M.Prog.funcOfPC(T->PC)];
+    Top += F.FrameWords;
+    for (uint32_t W = 0; W < Top && W < T->StackWords; ++W)
+      Consider(T->Stack[W]);
+    for (unsigned R = 0; R != NumRegs; ++R)
+      Consider(T->R[R]);
+  }
+  for (Word G : M.Globals)
+    Consider(G);
+
+  while (!Work.empty()) {
+    Word Obj = Work.back();
+    Work.pop_back();
+    ++S.ObjectsReached;
+    const ir::TypeDesc &D = H.descOf(Obj);
+    const Word *P = reinterpret_cast<const Word *>(Obj);
+    for (unsigned Off : D.PtrOffsets) {
+      Word V = P[1 + Off];
+      if (H.plausibleObject(V) && Marked.insert(V).second)
+        Work.push_back(V);
+    }
+    if (D.IsOpenArray) {
+      int64_t Len = static_cast<int64_t>(P[1]);
+      for (int64_t E = 0; E != Len; ++E)
+        for (unsigned Off : D.ElemPtrOffsets) {
+          Word V = P[2 + static_cast<size_t>(E) * D.ElemSizeWords + Off];
+          if (H.plausibleObject(V) && Marked.insert(V).second)
+            Work.push_back(V);
+        }
+    }
+  }
+
+  auto T1 = Clock::now();
+  S.Nanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0).count());
+  return S;
+}

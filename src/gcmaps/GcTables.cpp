@@ -1,0 +1,417 @@
+//===- gcmaps/GcTables.cpp ------------------------------------------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcmaps/GcTables.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mgc;
+using namespace mgc::gcmaps;
+using namespace mgc::vm;
+
+//===----------------------------------------------------------------------===//
+// Location encoding (Fig. 4)
+//===----------------------------------------------------------------------===//
+
+int32_t gcmaps::encodeLocation(const Location &Loc) {
+  switch (Loc.K) {
+  case Location::Kind::FpSlot:
+    return (Loc.Index << 2) | static_cast<int>(BaseReg::FP);
+  case Location::Kind::ApSlot:
+    return (Loc.Index << 2) | static_cast<int>(BaseReg::AP);
+  case Location::Kind::Reg:
+    return (Loc.Index << 2) | static_cast<int>(BaseReg::Register);
+  case Location::Kind::None:
+    break;
+  }
+  assert(false && "encoding an invalid location");
+  return 0;
+}
+
+Location gcmaps::decodeLocation(int32_t Word) {
+  int Offset = Word >> 2;
+  switch (static_cast<BaseReg>(Word & 3)) {
+  case BaseReg::FP:
+    return Location::fpSlot(Offset);
+  case BaseReg::AP:
+    return Location::apSlot(Offset);
+  case BaseReg::Register:
+    return Location::reg(Offset);
+  case BaseReg::SP:
+    break;
+  }
+  assert(false && "SP-based locations are never emitted");
+  return Location();
+}
+
+//===----------------------------------------------------------------------===//
+// Encoding helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The per-point byte encodings of each table, used both for the
+/// operational blob and for same-as-previous comparison.
+struct PointEncoding {
+  std::vector<uint8_t> DeltaBits; ///< Raw bitmap, ceil(ground/8) bytes.
+  uint16_t RegMask = 0;
+  std::vector<uint8_t> DerivBytes; ///< Packed derivations table.
+  bool DeltaEmptyFlag = false;
+  bool RegEmptyFlag = false;
+  bool DerivEmptyFlag = false;
+};
+
+void packBaseRefs(std::vector<uint8_t> &Out,
+                  const std::vector<BaseRef> &Bases) {
+  unsigned N = 0;
+  for (const BaseRef &B : Bases)
+    N += static_cast<unsigned>(B.Coeff < 0 ? -B.Coeff : B.Coeff);
+  appendPacked(Out, static_cast<int32_t>(N));
+  for (const BaseRef &B : Bases) {
+    int Mag = B.Coeff < 0 ? -B.Coeff : B.Coeff;
+    int32_t Entry = (encodeLocation(B.Loc) << 1) | (B.Coeff < 0 ? 1 : 0);
+    for (int K = 0; K != Mag; ++K)
+      appendPacked(Out, Entry);
+  }
+}
+
+std::vector<uint8_t> packDerivs(const std::vector<DerivationRecord> &Recs) {
+  std::vector<uint8_t> Out;
+  if (Recs.empty())
+    return Out;
+  appendPacked(Out, static_cast<int32_t>(Recs.size()));
+  for (const DerivationRecord &R : Recs) {
+    appendPacked(Out, encodeLocation(R.Target));
+    appendPacked(Out, R.Ambiguous ? 1 : 0);
+    if (!R.Ambiguous) {
+      packBaseRefs(Out, R.Bases);
+    } else {
+      appendPacked(Out, encodeLocation(R.PathVar));
+      appendPacked(Out, static_cast<int32_t>(R.Alts.size()));
+      for (const DerivationAlt &Alt : R.Alts) {
+        appendPacked(Out, Alt.PathValue);
+        packBaseRefs(Out, Alt.Bases);
+      }
+    }
+  }
+  return Out;
+}
+
+/// Word-count of the plain (32-bit word) encoding of a derivations table.
+size_t derivPlainWords(const std::vector<DerivationRecord> &Recs) {
+  size_t Words = 1; // Count word.
+  for (const DerivationRecord &R : Recs) {
+    Words += 2; // Target + ambiguous flag.
+    auto BaseWords = [](const std::vector<BaseRef> &Bases) {
+      size_t W = 1;
+      for (const BaseRef &B : Bases)
+        W += static_cast<size_t>(B.Coeff < 0 ? -B.Coeff : B.Coeff);
+      return W;
+    };
+    if (!R.Ambiguous) {
+      Words += BaseWords(R.Bases);
+    } else {
+      Words += 2; // Path var + alt count.
+      for (const DerivationAlt &Alt : R.Alts)
+        Words += 1 + BaseWords(Alt.Bases);
+    }
+  }
+  return Words;
+}
+
+PointEncoding encodePoint(const GcPointData &P,
+                          const std::vector<int32_t> &Ground) {
+  PointEncoding E;
+  E.DeltaBits.assign((Ground.size() + 7) / 8, 0);
+  for (const Location &L : P.LiveSlots) {
+    int32_t Enc = encodeLocation(L);
+    auto It = std::find(Ground.begin(), Ground.end(), Enc);
+    assert(It != Ground.end() && "live slot missing from ground table");
+    size_t Bit = static_cast<size_t>(It - Ground.begin());
+    E.DeltaBits[Bit / 8] |= static_cast<uint8_t>(1u << (Bit % 8));
+  }
+  E.RegMask = P.RegMask;
+  E.DerivBytes = packDerivs(P.Derivs);
+  E.DeltaEmptyFlag = P.LiveSlots.empty();
+  E.RegEmptyFlag = P.RegMask == 0;
+  E.DerivEmptyFlag = P.Derivs.empty();
+  return E;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Encoding
+//===----------------------------------------------------------------------===//
+
+EncodedFuncMaps gcmaps::encodeFunction(const FuncTableData &Data,
+                                       SchemeSizes &Sizes,
+                                       TableStats &Stats) {
+  EncodedFuncMaps Out;
+
+  // Ground table: every frame location live at some gc-point.  Entries are
+  // sorted so that runs of consecutive slots (frame arrays of pointers —
+  // §5.2's "starting from address a, the next 200 stack locations are
+  // pointers") can be run-length encoded.
+  std::vector<int32_t> Ground;
+  for (const GcPointData &P : Data.Points)
+    for (const Location &L : P.LiveSlots) {
+      int32_t Enc = encodeLocation(L);
+      if (std::find(Ground.begin(), Ground.end(), Enc) == Ground.end())
+        Ground.push_back(Enc);
+    }
+  std::sort(Ground.begin(), Ground.end());
+  Out.GroundCount = static_cast<uint32_t>(Ground.size());
+
+  // Group into runs: an entry is either (loc<<1) or (loc<<1|1, count) for
+  // `count` consecutive same-base slots starting at loc.
+  struct GroundGroup {
+    int32_t Start;
+    int32_t Count;
+  };
+  std::vector<GroundGroup> Groups;
+  for (size_t I = 0; I != Ground.size();) {
+    size_t J = I + 1;
+    // Consecutive word offsets with the same base register differ by 1<<2.
+    while (J != Ground.size() && Ground[J] == Ground[J - 1] + 4)
+      ++J;
+    Groups.push_back({Ground[I], static_cast<int32_t>(J - I)});
+    I = J;
+  }
+
+  PackedWriter W;
+  W.writePacked(static_cast<int32_t>(Groups.size()));
+  for (const GroundGroup &G : Groups) {
+    if (G.Count == 1) {
+      W.writePacked(G.Start << 1);
+    } else {
+      W.writePacked((G.Start << 1) | 1);
+      W.writePacked(G.Count);
+    }
+  }
+
+  uint16_t RegUnion = 0;
+  const PointEncoding *Prev = nullptr;
+  PointEncoding PrevStorage;
+
+  // Scheme accounting accumulators.
+  size_t FullPlain = 0, FullPack = 0;
+  size_t DeltaPlainBody = 0, DeltaPrevBody = 0, DeltaPackBody = 0;
+  std::vector<uint8_t> Scratch;
+
+  for (const GcPointData &P : Data.Points) {
+    Out.RetPCs.push_back(P.RetPC);
+    PointEncoding E = encodePoint(P, Ground);
+    RegUnion |= E.RegMask;
+
+    uint8_t Desc = 0;
+    bool DeltaSameFlag = false, RegSameFlag = false, DerivSameFlag = false;
+    if (E.DeltaEmptyFlag)
+      Desc |= DeltaEmpty;
+    else if (Prev && Prev->DeltaBits == E.DeltaBits &&
+             !Prev->DeltaEmptyFlag) {
+      Desc |= DeltaSame;
+      DeltaSameFlag = true;
+    }
+    if (E.RegEmptyFlag)
+      Desc |= RegEmpty;
+    else if (Prev && Prev->RegMask == E.RegMask && !Prev->RegEmptyFlag) {
+      Desc |= RegSame;
+      RegSameFlag = true;
+    }
+    if (E.DerivEmptyFlag)
+      Desc |= DerivEmpty;
+    else if (Prev && Prev->DerivBytes == E.DerivBytes &&
+             !Prev->DerivEmptyFlag) {
+      Desc |= DerivSame;
+      DerivSameFlag = true;
+    }
+
+    // Operational blob: δ-main + packing + previous.
+    W.writeByte(Desc);
+    if (!E.DeltaEmptyFlag && !DeltaSameFlag)
+      for (uint8_t B : E.DeltaBits)
+        W.writeByte(B);
+    if (!E.RegEmptyFlag && !RegSameFlag)
+      W.writePacked(static_cast<int32_t>(E.RegMask));
+    if (!E.DerivEmptyFlag && !DerivSameFlag)
+      for (uint8_t B : E.DerivBytes)
+        W.writeByte(B);
+
+    // Statistics (counts reflect the operational encoding).
+    if (!E.DeltaEmptyFlag || !E.RegEmptyFlag || !E.DerivEmptyFlag)
+      ++Stats.NGC;
+    if (!E.DeltaEmptyFlag && !DeltaSameFlag)
+      ++Stats.NDEL;
+    if (!E.RegEmptyFlag && !RegSameFlag)
+      ++Stats.NREG;
+    if (!E.DerivEmptyFlag && !DerivSameFlag)
+      ++Stats.NDER;
+
+    // Scheme size accounting -------------------------------------------------
+    size_t DerivPlain = P.Derivs.empty() ? 4 : derivPlainWords(P.Derivs) * 4;
+    size_t DerivPack = E.DerivBytes.size();
+
+    // Full information: complete live-pointer list at every point.
+    FullPlain += 4 * (1 + P.LiveSlots.size()) + 4 + DerivPlain;
+    Scratch.clear();
+    appendPacked(Scratch, static_cast<int32_t>(P.LiveSlots.size()));
+    for (const Location &L : P.LiveSlots)
+      appendPacked(Scratch, encodeLocation(L));
+    appendPacked(Scratch, static_cast<int32_t>(E.RegMask));
+    FullPack += Scratch.size() + DerivPack + (P.Derivs.empty() ? 1 : 0);
+
+    // δ-main variants.
+    size_t DeltaWordBytes =
+        Ground.empty() ? 0 : ((Ground.size() + 31) / 32) * 4;
+    size_t RegPack = static_cast<size_t>(
+        packedSize(static_cast<int32_t>(E.RegMask)));
+    size_t DeltaBitBytes = E.DeltaBits.size();
+
+    DeltaPlainBody += DeltaWordBytes + 4 + DerivPlain;
+    DeltaPrevBody += 1 +
+                     ((DeltaSameFlag || E.DeltaEmptyFlag) ? 0 : DeltaWordBytes) +
+                     ((RegSameFlag || E.RegEmptyFlag) ? 0 : 4) +
+                     ((DerivSameFlag || E.DerivEmptyFlag) ? 0 : DerivPlain);
+    DeltaPackBody += 1 + (E.DeltaEmptyFlag ? 0 : DeltaBitBytes) +
+                     (E.RegEmptyFlag ? 0 : RegPack) +
+                     (E.DerivEmptyFlag ? 0 : DerivPack);
+
+    PrevStorage = std::move(E);
+    Prev = &PrevStorage;
+  }
+
+  // Ground table cost for the δ-main schemes.  The plain scheme stores one
+  // word per entry; the packed scheme benefits from the run-length groups.
+  size_t GroundPlain = 4 * (1 + Ground.size());
+  size_t GroundPack = static_cast<size_t>(packedSize(
+      static_cast<int32_t>(Groups.size())));
+  for (const GroundGroup &G : Groups) {
+    GroundPack += static_cast<size_t>(packedSize(G.Start << 1));
+    if (G.Count != 1)
+      GroundPack += static_cast<size_t>(packedSize(G.Count));
+  }
+
+  if (!Data.Points.empty()) {
+    Sizes.FullPlain += FullPlain;
+    Sizes.FullPack += FullPack;
+    Sizes.DeltaPlain += GroundPlain + DeltaPlainBody;
+    Sizes.DeltaPrev += GroundPlain + DeltaPrevBody;
+    Sizes.DeltaPack += GroundPack + DeltaPackBody;
+    Sizes.DeltaPP += W.size();
+    // PC map: a 4-byte module anchor amortized per function plus 2-byte
+    // distances between consecutive gc-points (§5.2).
+    Sizes.PcMapBytes += 4 + 2 * Data.Points.size();
+  }
+
+  Stats.NPTRS += static_cast<unsigned>(Ground.size()) +
+                 static_cast<unsigned>(__builtin_popcount(RegUnion));
+
+  Out.Blob = W.takeBytes();
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Decoding
+//===----------------------------------------------------------------------===//
+
+int gcmaps::findGcPoint(const EncodedFuncMaps &Maps, uint32_t RetPC) {
+  auto It = std::lower_bound(Maps.RetPCs.begin(), Maps.RetPCs.end(), RetPC);
+  if (It == Maps.RetPCs.end() || *It != RetPC)
+    return -1;
+  return static_cast<int>(It - Maps.RetPCs.begin());
+}
+
+namespace {
+std::vector<BaseRef> readBaseRefs(PackedReader &R) {
+  std::vector<BaseRef> Bases;
+  int32_t N = R.readPackedWord();
+  for (int32_t I = 0; I != N; ++I) {
+    int32_t Entry = R.readPackedWord();
+    BaseRef B;
+    B.Loc = decodeLocation(Entry >> 1);
+    B.Coeff = (Entry & 1) ? -1 : 1;
+    Bases.push_back(B);
+  }
+  return Bases;
+}
+
+std::vector<DerivationRecord> readDerivs(PackedReader &R) {
+  std::vector<DerivationRecord> Recs;
+  int32_t N = R.readPackedWord();
+  for (int32_t I = 0; I != N; ++I) {
+    DerivationRecord Rec;
+    Rec.Target = decodeLocation(R.readPackedWord());
+    Rec.Ambiguous = R.readPackedWord() != 0;
+    if (!Rec.Ambiguous) {
+      Rec.Bases = readBaseRefs(R);
+    } else {
+      Rec.PathVar = decodeLocation(R.readPackedWord());
+      int32_t NAlts = R.readPackedWord();
+      for (int32_t K = 0; K != NAlts; ++K) {
+        DerivationAlt Alt;
+        Alt.PathValue = R.readPackedWord();
+        Alt.Bases = readBaseRefs(R);
+        Rec.Alts.push_back(std::move(Alt));
+      }
+    }
+    Recs.push_back(std::move(Rec));
+  }
+  return Recs;
+}
+} // namespace
+
+GcPointInfo gcmaps::decodeGcPoint(const EncodedFuncMaps &Maps,
+                                  unsigned Ordinal) {
+  assert(Ordinal < Maps.RetPCs.size() && "gc-point ordinal out of range");
+  PackedReader R(Maps.Blob);
+
+  // Ground table: expand run-length groups back into individual entries.
+  int32_t GroupCount = R.readPackedWord();
+  std::vector<int32_t> Ground;
+  for (int32_t G = 0; G != GroupCount; ++G) {
+    int32_t Entry = R.readPackedWord();
+    int32_t Start = Entry >> 1;
+    int32_t Count = (Entry & 1) ? R.readPackedWord() : 1;
+    for (int32_t K = 0; K != Count; ++K)
+      Ground.push_back(Start + 4 * K);
+  }
+  size_t DeltaBytes = (Ground.size() + 7) / 8;
+
+  // Walk gc-points, maintaining the current (possibly inherited) tables.
+  std::vector<uint8_t> CurDelta(DeltaBytes, 0);
+  uint16_t CurReg = 0;
+  std::vector<DerivationRecord> CurDerivs;
+
+  for (unsigned P = 0;; ++P) {
+    uint8_t Desc = R.readByte();
+    if (Desc & DeltaEmpty)
+      std::fill(CurDelta.begin(), CurDelta.end(), 0);
+    else if (!(Desc & DeltaSame))
+      for (uint8_t &B : CurDelta)
+        B = R.readByte();
+    if (Desc & RegEmpty)
+      CurReg = 0;
+    else if (!(Desc & RegSame))
+      CurReg = static_cast<uint16_t>(R.readPackedWord());
+    if (Desc & DerivEmpty)
+      CurDerivs.clear();
+    else if (!(Desc & DerivSame))
+      CurDerivs = readDerivs(R);
+
+    if (P == Ordinal)
+      break;
+  }
+
+  GcPointInfo Info;
+  for (size_t I = 0; I != Ground.size(); ++I)
+    if (CurDelta[I / 8] & (1u << (I % 8)))
+      Info.LiveSlots.push_back(decodeLocation(Ground[I]));
+  Info.RegMask = CurReg;
+  Info.Derivs = CurDerivs;
+  return Info;
+}

@@ -1,0 +1,158 @@
+//===- gcmaps/GcTables.h - GC table model, encoding, decoding ---*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile-time gc tables of §3/§5, their encodings, and the decoder
+/// the collector uses.
+///
+/// Per procedure (δ-main scheme, §5.1):
+///   - a *ground table* of every frame location holding a tidy pointer at
+///     some gc-point, each entry a 2-bit base register (FP/SP/AP, plus a
+///     Register escape) and a word offset (Fig. 4);
+///   - per gc-point: a descriptor byte (empty / identical-to-previous flags
+///     per table), a *delta* liveness bitmap over the ground table, a
+///     *register pointers* bitmask (one bit per hard register), and a
+///     *derivations* table describing every live derived value as
+///     Σ pi − Σ qj + E, possibly ambiguous with a path variable (§4).
+///
+/// Four encodings are measured (Table 2): full-information vs δ-main,
+/// each plain (32-bit words) or byte-packed (Fig. 3), with and without the
+/// identical-to-previous descriptor compression.  The operational format —
+/// what the collector actually decodes — is δ-main with both compressions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_GCMAPS_GCTABLES_H
+#define MGC_GCMAPS_GCTABLES_H
+
+#include "codegen/Machine.h"
+#include "support/ByteCodec.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace mgc {
+namespace gcmaps {
+
+//===----------------------------------------------------------------------===//
+// Location encoding (Fig. 4)
+//===----------------------------------------------------------------------===//
+
+enum class BaseReg : uint8_t { FP = 0, SP = 1, AP = 2, Register = 3 };
+
+/// Encodes a location as (offset << 2) | base.  SP is defined for
+/// faithfulness but unused: our outgoing arguments are FP-relative.
+int32_t encodeLocation(const vm::Location &Loc);
+vm::Location decodeLocation(int32_t Word);
+
+//===----------------------------------------------------------------------===//
+// Raw (pre-encoding) table data, produced by the code generator
+//===----------------------------------------------------------------------===//
+
+struct BaseRef {
+  vm::Location Loc;
+  int Coeff = 1; ///< Signed; ±1 in practice.
+};
+
+struct DerivationAlt {
+  int32_t PathValue = 0;
+  std::vector<BaseRef> Bases;
+};
+
+struct DerivationRecord {
+  vm::Location Target;
+  bool Ambiguous = false;
+  std::vector<BaseRef> Bases;       ///< When unambiguous.
+  vm::Location PathVar;             ///< When ambiguous: selects the alt.
+  std::vector<DerivationAlt> Alts;
+};
+
+struct GcPointData {
+  /// The return address identifying this gc-point (global instruction
+  /// index of the instruction after the call/poll).
+  uint32_t RetPC = 0;
+  /// Frame locations (FP/AP slots) holding live tidy pointers.
+  std::vector<vm::Location> LiveSlots;
+  /// Registers holding live tidy pointers.
+  uint16_t RegMask = 0;
+  /// Live derived values, ordered derived-before-base (§3).
+  std::vector<DerivationRecord> Derivs;
+};
+
+struct FuncTableData {
+  std::vector<GcPointData> Points;
+};
+
+//===----------------------------------------------------------------------===//
+// Encoded tables
+//===----------------------------------------------------------------------===//
+
+/// Descriptor byte bits (§5.1: "a descriptor at each gc-point which
+/// indicates if any of the tables at that gc-point are empty, or if they
+/// are identical to the table at the preceding gc-point").
+enum DescriptorBits : uint8_t {
+  DeltaEmpty = 1 << 0,
+  DeltaSame = 1 << 1,
+  RegEmpty = 1 << 2,
+  RegSame = 1 << 3,
+  DerivEmpty = 1 << 4,
+  DerivSame = 1 << 5,
+};
+
+/// The operational encoding of one function's tables.
+struct EncodedFuncMaps {
+  std::vector<uint8_t> Blob;     ///< δ-main, packed, previous-compressed.
+  std::vector<uint32_t> RetPCs;  ///< Sorted gc-point return addresses.
+  uint32_t GroundCount = 0;
+};
+
+/// Byte sizes of every scheme variant, for Table 2.
+struct SchemeSizes {
+  size_t FullPlain = 0;
+  size_t FullPack = 0;
+  size_t DeltaPlain = 0;
+  size_t DeltaPrev = 0;  ///< Plain words + previous compression.
+  size_t DeltaPack = 0;  ///< Packed, no previous compression.
+  size_t DeltaPP = 0;    ///< Packed + previous (the operational format).
+  size_t PcMapBytes = 0; ///< 2-byte gc-point distances + module anchor.
+};
+
+/// Table 1 statistics.
+struct TableStats {
+  unsigned NGC = 0;   ///< Gc-points with at least one non-empty table.
+  unsigned NPTRS = 0; ///< Distinct pointer homes (ground entries + regs).
+  unsigned NDEL = 0;  ///< Delta tables emitted (non-empty, not same-as-prev).
+  unsigned NREG = 0;  ///< Register tables emitted.
+  unsigned NDER = 0;  ///< Derivations tables emitted.
+};
+
+/// Encodes \p Data in the operational format and accumulates sizes/stats.
+EncodedFuncMaps encodeFunction(const FuncTableData &Data, SchemeSizes &Sizes,
+                               TableStats &Stats);
+
+//===----------------------------------------------------------------------===//
+// Decoding (used by the collector during stack tracing)
+//===----------------------------------------------------------------------===//
+
+/// A fully decoded gc-point.
+struct GcPointInfo {
+  std::vector<vm::Location> LiveSlots;
+  uint16_t RegMask = 0;
+  std::vector<DerivationRecord> Derivs;
+};
+
+/// The gc-point ordinal for \p RetPC, or -1 when \p RetPC is not a
+/// gc-point of this function.
+int findGcPoint(const EncodedFuncMaps &Maps, uint32_t RetPC);
+
+/// Decodes gc-point \p Ordinal.  Walks the blob from the start resolving
+/// identical-to-previous chains, as the runtime does (§6.3's decode cost).
+GcPointInfo decodeGcPoint(const EncodedFuncMaps &Maps, unsigned Ordinal);
+
+} // namespace gcmaps
+} // namespace mgc
+
+#endif // MGC_GCMAPS_GCTABLES_H

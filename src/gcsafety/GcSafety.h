@@ -1,0 +1,57 @@
+//===- gcsafety/GcSafety.h - GC-point selection and safety ------*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The gc-safety phase of the compiler (§4, §5.3):
+///
+///  - insertLoopPolls: in threaded mode, a loop without a *guaranteed*
+///    gc-point (one executed on every iteration regardless of path) gets a
+///    GcPoll in its header, so a pre-empted thread reaches a gc-point in
+///    bounded time.
+///  - assignPathVariables: every derived value with multiple reaching
+///    derivations live at a gc-point receives a path variable — a frame
+///    slot assigned a distinct constant after each contributing definition;
+///    the collector consults it to select the right derivations table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_GCSAFETY_GCSAFETY_H
+#define MGC_GCSAFETY_GCSAFETY_H
+
+#include "analysis/Derivations.h"
+#include "ir/IR.h"
+
+#include <map>
+#include <vector>
+
+namespace mgc {
+namespace gcsafety {
+
+/// Inserts GcPoll instructions per §5.3.  Returns the number inserted.
+unsigned insertLoopPolls(ir::Function &F);
+
+/// Path-variable assignment results for one function.
+struct PathVarInfo {
+  int Slot = -1; ///< Frame slot holding the path constant.
+  /// Derivation reached after each contributing definition, with the
+  /// constant stored on that path.
+  std::vector<std::pair<analysis::Derivation, int32_t>> Values;
+};
+
+struct GcSafetyInfo {
+  std::map<ir::VReg, PathVarInfo> PathVars;
+  unsigned PathAssignsInserted = 0;
+};
+
+/// Detects ambiguously derived values live at gc-points and materializes
+/// path variables for them (§4).  Mutates \p F (new slots, StoreSlot
+/// instructions after each contributing definition).
+GcSafetyInfo assignPathVariables(ir::Function &F);
+
+} // namespace gcsafety
+} // namespace mgc
+
+#endif // MGC_GCSAFETY_GCSAFETY_H

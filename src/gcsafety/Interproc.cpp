@@ -1,0 +1,63 @@
+//===- gcsafety/Interproc.cpp ---------------------------------------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcsafety/Interproc.h"
+
+using namespace mgc;
+using namespace mgc::gcsafety;
+using namespace mgc::ir;
+
+std::vector<bool> gcsafety::computeMayTriggerGc(const IRModule &M) {
+  size_t N = M.Functions.size();
+  std::vector<bool> Triggers(N, false);
+
+  // Seed with local triggers: allocations, explicit collections, and loop
+  // polls (a pre-empted thread blocks there during a collection, so the
+  // caller's frame must be walkable).
+  for (size_t F = 0; F != N; ++F)
+    for (const auto &BB : M.Functions[F]->Blocks)
+      for (const Instr &I : BB->Instrs) {
+        bool Local = I.Op == Opcode::New || I.Op == Opcode::NewArray ||
+                     I.Op == Opcode::GcPoll ||
+                     (I.Op == Opcode::CallRt && I.Rt == RtFn::GcCollect);
+        if (Local)
+          Triggers[F] = true;
+      }
+
+  // Propagate over the call graph to a fixpoint (cycles simply keep their
+  // seeded values: a recursive function with no allocation anywhere in the
+  // cycle never triggers).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t F = 0; F != N; ++F) {
+      if (Triggers[F])
+        continue;
+      for (const auto &BB : M.Functions[F]->Blocks)
+        for (const Instr &I : BB->Instrs)
+          if (I.Op == Opcode::Call &&
+              Triggers[static_cast<size_t>(I.Index)]) {
+            Triggers[F] = true;
+            Changed = true;
+          }
+    }
+  }
+  return Triggers;
+}
+
+unsigned gcsafety::elideNonTriggeringGcPoints(IRModule &M) {
+  std::vector<bool> Triggers = computeMayTriggerGc(M);
+  unsigned Demoted = 0;
+  for (auto &F : M.Functions)
+    for (auto &BB : F->Blocks)
+      for (Instr &I : BB->Instrs)
+        if (I.Op == Opcode::Call &&
+            !Triggers[static_cast<size_t>(I.Index)] && !I.NoGcCallee) {
+          I.NoGcCallee = true;
+          ++Demoted;
+        }
+  return Demoted;
+}

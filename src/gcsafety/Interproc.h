@@ -1,0 +1,43 @@
+//===- gcsafety/Interproc.h - Interprocedural gc-point elision --*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §5.3's future-work refinement: "If the compiler performs
+/// inter-procedural analysis then it can determine that some procedures
+/// never allocate any heap storage and thus calls to them need not be
+/// gc-points."
+///
+/// A function *may trigger* a collection if it contains an allocation, an
+/// explicit GcCollect, or a loop poll — or calls a function that may.
+/// Calls to non-triggering functions are demoted from gc-points: no tables
+/// are emitted for them and the collector will never see their return
+/// addresses on the stack (a collection cannot start while such a callee
+/// is active).  Run after loop-poll insertion, before path variables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_GCSAFETY_INTERPROC_H
+#define MGC_GCSAFETY_INTERPROC_H
+
+#include "ir/IR.h"
+
+#include <vector>
+
+namespace mgc {
+namespace gcsafety {
+
+/// Per-function may-trigger-collection bits, computed to a fixpoint over
+/// the call graph (recursion-safe: the analysis only ever *sets* bits).
+std::vector<bool> computeMayTriggerGc(const ir::IRModule &M);
+
+/// Demotes calls to non-triggering callees (sets Instr::NoGcCallee).
+/// Returns the number of calls demoted.
+unsigned elideNonTriggeringGcPoints(ir::IRModule &M);
+
+} // namespace gcsafety
+} // namespace mgc
+
+#endif // MGC_GCSAFETY_INTERPROC_H

@@ -1,0 +1,133 @@
+//===- ir/Printer.cpp -----------------------------------------------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+using namespace mgc;
+using namespace mgc::ir;
+
+namespace {
+std::string regStr(const Function &F, VReg R) {
+  std::string S = "%" + std::to_string(R);
+  S += ":";
+  S += ptrKindName(F.kindOf(R));
+  if (!F.VRegs[R].Name.empty())
+    S += "(" + F.VRegs[R].Name + ")";
+  return S;
+}
+
+std::string operandStr(const Function &F, const Operand &O) {
+  if (O.isReg())
+    return regStr(F, O.R);
+  if (O.isImm())
+    return std::to_string(O.Imm);
+  return "_";
+}
+} // namespace
+
+std::string ir::toString(const Function &F, const Instr &I) {
+  std::string S;
+  if (I.Dst != NoVReg)
+    S += regStr(F, I.Dst) + " = ";
+  S += opcodeName(I.Op);
+
+  switch (I.Op) {
+  case Opcode::Load:
+    S += " [" + operandStr(F, I.A) + " + " + std::to_string(I.Disp) + "]";
+    break;
+  case Opcode::Store:
+    S += " [" + operandStr(F, I.A) + " + " + std::to_string(I.Disp) +
+         "], " + operandStr(F, I.B);
+    break;
+  case Opcode::LoadSlot:
+  case Opcode::LoadGlobal:
+    S += " #" + std::to_string(I.Index);
+    break;
+  case Opcode::StoreSlot:
+  case Opcode::StoreGlobal:
+    S += " #" + std::to_string(I.Index) + ", " + operandStr(F, I.B);
+    break;
+  case Opcode::AddrSlot:
+  case Opcode::AddrGlobal:
+    S += " #" + std::to_string(I.Index) + " + " + std::to_string(I.Disp);
+    break;
+  case Opcode::New:
+    S += " desc#" + std::to_string(I.Index);
+    break;
+  case Opcode::NewArray:
+    S += " desc#" + std::to_string(I.Index) + ", len=" + operandStr(F, I.A);
+    break;
+  case Opcode::Call: {
+    S += " fn#" + std::to_string(I.Index) + "(";
+    for (size_t K = 0; K != I.Args.size(); ++K) {
+      if (K)
+        S += ", ";
+      S += operandStr(F, I.Args[K]);
+    }
+    S += ")";
+    break;
+  }
+  case Opcode::CallRt: {
+    S += " rt#" + std::to_string(static_cast<int>(I.Rt)) + "(";
+    for (size_t K = 0; K != I.Args.size(); ++K) {
+      if (K)
+        S += ", ";
+      S += operandStr(F, I.Args[K]);
+    }
+    S += ")";
+    break;
+  }
+  case Opcode::Jump:
+    S += " bb" + std::to_string(I.Target0);
+    break;
+  case Opcode::Branch:
+    S += " " + operandStr(F, I.A) + ", bb" + std::to_string(I.Target0) +
+         ", bb" + std::to_string(I.Target1);
+    break;
+  case Opcode::Ret:
+    if (!I.A.isNone())
+      S += " " + operandStr(F, I.A);
+    break;
+  case Opcode::Trap:
+    S += " #" + std::to_string(I.Index);
+    break;
+  default: {
+    bool First = true;
+    for (const Operand *O : {&I.A, &I.B}) {
+      if (O->isNone())
+        continue;
+      S += First ? " " : ", ";
+      S += operandStr(F, *O);
+      First = false;
+    }
+    break;
+  }
+  }
+  return S;
+}
+
+std::string ir::toString(const Function &F) {
+  std::string S = "func " + F.Name + "(" + std::to_string(F.numParams()) +
+                  ")" + (F.HasRet ? ": ret" : "") + " {\n";
+  for (const auto &BB : F.Blocks) {
+    S += "bb" + std::to_string(BB->Id) + ":\n";
+    for (const Instr &I : BB->Instrs) {
+      S += "  " + toString(F, I);
+      if (I.isGcPoint())
+        S += "   ; gc-point";
+      S += "\n";
+    }
+  }
+  S += "}\n";
+  return S;
+}
+
+std::string ir::toString(const IRModule &M) {
+  std::string S = "module " + M.Name + "\n";
+  for (const auto &F : M.Functions)
+    S += toString(*F);
+  return S;
+}

@@ -1,0 +1,27 @@
+//===- ir/Printer.h - IR text rendering -------------------------*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_IR_PRINTER_H
+#define MGC_IR_PRINTER_H
+
+#include "ir/IR.h"
+
+#include <string>
+
+namespace mgc {
+namespace ir {
+
+/// Renders one instruction ("%5:t = deriveadd %3, 8").
+std::string toString(const Function &F, const Instr &I);
+/// Renders a whole function with block labels.
+std::string toString(const Function &F);
+/// Renders the whole module.
+std::string toString(const IRModule &M);
+
+} // namespace ir
+} // namespace mgc
+
+#endif // MGC_IR_PRINTER_H

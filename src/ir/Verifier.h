@@ -1,0 +1,30 @@
+//===- ir/Verifier.h - IR structural checks ---------------------*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_IR_VERIFIER_H
+#define MGC_IR_VERIFIER_H
+
+#include "ir/IR.h"
+
+#include <string>
+#include <vector>
+
+namespace mgc {
+namespace ir {
+
+/// Checks structural invariants of \p M: every block terminated, targets in
+/// range, operand vregs in range, pointer-kind discipline (Derive* only on
+/// pointer-like operands, integer arithmetic never on Tidy/Derived values).
+/// Returns a list of violations; empty means valid.
+std::vector<std::string> verifyModule(const IRModule &M);
+
+/// Convenience for asserts in tests and the driver.
+bool isValid(const IRModule &M);
+
+} // namespace ir
+} // namespace mgc
+
+#endif // MGC_IR_VERIFIER_H

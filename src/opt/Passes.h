@@ -1,0 +1,83 @@
+//===- opt/Passes.h - Optimization passes -----------------------*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimization passes.  Each returns true when it changed the
+/// function.  Together they reproduce the derived-value-creating
+/// optimizations §2 of the paper lists:
+///
+///   - reduceStrength: array-walk loops become pointer increments
+///     (`*p++ = 13`), leaving the original base possibly dead (§4's dead
+///     base problem).
+///   - rewriteVirtualOrigins: `base + (i-lo)*s` becomes
+///     `(base - lo*s) + i*s`, a derived pointer that can point *outside*
+///     its object.
+///   - cseLocal: shares address subexpressions (`&A[i]` reused for
+///     `A[i,j]` and `A[i,k]`).
+///   - hoistLoopInvariants: speculatively hoists pure invariant
+///     computations (including Derive*) to preheaders.
+///   - mergeDiamondTails + hoistInvariantDiamonds: cross-jumping of
+///     diamond arms and hoisting of invariant diamonds, which together
+///     manufacture §4's *ambiguous derivations* (resolved later with path
+///     variables).
+///   - unswitchLoops: the alternative *path splitting* transformation of
+///     Figure 2 — duplicates the loop so each copy sees one derivation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_OPT_PASSES_H
+#define MGC_OPT_PASSES_H
+
+#include "ir/IR.h"
+
+namespace mgc {
+namespace opt {
+
+/// Constant folding and trivial algebraic simplification.
+bool foldConstants(ir::Function &F);
+
+/// Block-local copy and constant propagation.
+bool propagateCopiesLocal(ir::Function &F);
+
+/// Block-local common subexpression elimination over pure instructions.
+bool cseLocal(ir::Function &F);
+
+/// Jump threading, merging of straight-line block pairs, unreachable-block
+/// removal.
+bool simplifyCFG(ir::Function &F);
+
+/// Removes pure instructions whose results are dead.  Liveness includes the
+/// dead-base extension so derivation bases are never dropped while a value
+/// derived from them lives.
+bool eliminateDeadCode(ir::Function &F);
+
+/// Loop-invariant code motion of single-def pure instructions.
+bool hoistLoopInvariants(ir::Function &F);
+
+/// Classic strength reduction of `base + (i*s)` address computations on
+/// basic induction variables.
+bool reduceStrength(ir::Function &F);
+
+/// The virtual array origin rewrite for non-zero lower bounds.
+bool rewriteVirtualOrigins(ir::Function &F);
+
+/// Cross-jumping: merges structurally identical diamond arms, introducing
+/// merged vregs (and, for pointer operands, merged derived values).
+bool mergeDiamondTails(ir::Function &F);
+
+/// Hoists a fully invariant diamond (invariant condition, invariant pure
+/// arms) out of its loop.  After mergeDiamondTails this leaves an
+/// ambiguously derived value live across the loop.
+bool hoistInvariantDiamonds(ir::Function &F);
+
+/// Loop unswitching on an invariant branch: duplicates the loop per arm
+/// (the paper's path-splitting alternative, Figure 2).
+bool unswitchLoops(ir::Function &F);
+
+} // namespace opt
+} // namespace mgc
+
+#endif // MGC_OPT_PASSES_H

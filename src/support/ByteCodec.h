@@ -1,0 +1,97 @@
+//===- support/ByteCodec.h - Byte-packed word encoding ----------*- C++ -*-===//
+//
+// Part of the mgc project: a reproduction of Diwan, Moss & Hudson,
+// "Compiler Support for Garbage Collection in a Statically Typed Language"
+// (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-packing scheme of Figure 3 of the paper.  GC tables are first
+/// produced as tables of 32-bit words; a second phase packs each word into a
+/// minimal sequence of bytes.  Every byte carries 7 payload bits; the high
+/// bit of a byte is set when another byte of the same word follows (a
+/// "continuation" bit).  Bytes are stored most-significant first and the
+/// first byte is sign-extended, since many frame offsets are negative.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_SUPPORT_BYTECODEC_H
+#define MGC_SUPPORT_BYTECODEC_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mgc {
+
+/// Returns the number of bytes the packed encoding of \p Word occupies
+/// (between 1 and 5 for 32-bit words).
+unsigned packedSize(int32_t Word);
+
+/// Appends the packed encoding of \p Word to \p Out.
+void appendPacked(std::vector<uint8_t> &Out, int32_t Word);
+
+/// Reads one packed word starting at \p Pos in \p Data, advancing \p Pos
+/// past it.  The caller must guarantee a complete encoding is present.
+int32_t readPacked(const uint8_t *Data, size_t Size, size_t &Pos);
+
+/// A convenience writer that accumulates byte-packed words.  Used by the gc
+/// table emitters; the "plain" (unpacked) emitters write raw 32-bit words
+/// through appendWord32 instead.
+class PackedWriter {
+public:
+  void writePacked(int32_t Word) { appendPacked(Bytes, Word); }
+
+  /// Writes a raw little-endian 32-bit word (the phase-one "table of words"
+  /// representation).
+  void writeWord32(int32_t Word) {
+    uint32_t U = static_cast<uint32_t>(Word);
+    Bytes.push_back(static_cast<uint8_t>(U & 0xff));
+    Bytes.push_back(static_cast<uint8_t>((U >> 8) & 0xff));
+    Bytes.push_back(static_cast<uint8_t>((U >> 16) & 0xff));
+    Bytes.push_back(static_cast<uint8_t>((U >> 24) & 0xff));
+  }
+
+  void writeByte(uint8_t B) { Bytes.push_back(B); }
+
+  size_t size() const { return Bytes.size(); }
+  const std::vector<uint8_t> &bytes() const { return Bytes; }
+  std::vector<uint8_t> takeBytes() { return std::move(Bytes); }
+
+private:
+  std::vector<uint8_t> Bytes;
+};
+
+/// Sequential reader over a byte-packed table blob.
+class PackedReader {
+public:
+  PackedReader(const uint8_t *Data, size_t Size)
+      : Data(Data), Size(Size), Pos(0) {}
+  explicit PackedReader(const std::vector<uint8_t> &Blob)
+      : Data(Blob.data()), Size(Blob.size()), Pos(0) {}
+
+  int32_t readPackedWord() { return readPacked(Data, Size, Pos); }
+
+  int32_t readWord32() {
+    uint32_t U = 0;
+    for (unsigned I = 0; I != 4; ++I)
+      U |= static_cast<uint32_t>(Data[Pos++]) << (8 * I);
+    return static_cast<int32_t>(U);
+  }
+
+  uint8_t readByte() { return Data[Pos++]; }
+
+  bool atEnd() const { return Pos >= Size; }
+  size_t position() const { return Pos; }
+  void seek(size_t NewPos) { Pos = NewPos; }
+
+private:
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos;
+};
+
+} // namespace mgc
+
+#endif // MGC_SUPPORT_BYTECODEC_H

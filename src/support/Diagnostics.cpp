@@ -1,0 +1,26 @@
+//===- support/Diagnostics.cpp --------------------------------------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace mgc;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<no-loc>";
+  return std::to_string(Line) + ":" + std::to_string(Col);
+}
+
+std::string Diagnostics::str() const {
+  std::string Out;
+  for (const Entry &E : Errors) {
+    Out += E.Loc.str();
+    Out += ": error: ";
+    Out += E.Message;
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,59 @@
+//===- support/Diagnostics.h - Source locations and diagnostics -*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal source-location and diagnostic machinery shared by the front end
+/// and the later phases.  The project does not use exceptions; phases report
+/// through a Diagnostics sink and callers check hasErrors().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_SUPPORT_DIAGNOSTICS_H
+#define MGC_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace mgc {
+
+/// A 1-based line/column position in the single source buffer being
+/// compiled.  Line 0 denotes "no location" (used by synthesized constructs).
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool isValid() const { return Line != 0; }
+  std::string str() const;
+};
+
+/// Accumulates error messages with locations.  A phase that encounters an
+/// error reports it and returns a best-effort result; the driver stops the
+/// pipeline when hasErrors() becomes true.
+class Diagnostics {
+public:
+  struct Entry {
+    SourceLoc Loc;
+    std::string Message;
+  };
+
+  void error(SourceLoc Loc, const std::string &Message) {
+    Errors.push_back({Loc, Message});
+  }
+
+  bool hasErrors() const { return !Errors.empty(); }
+  const std::vector<Entry> &errors() const { return Errors; }
+
+  /// Renders all diagnostics, one per line, for test assertions and the
+  /// command-line tools.
+  std::string str() const;
+
+private:
+  std::vector<Entry> Errors;
+};
+
+} // namespace mgc
+
+#endif // MGC_SUPPORT_DIAGNOSTICS_H

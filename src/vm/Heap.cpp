@@ -1,0 +1,104 @@
+//===- vm/Heap.cpp --------------------------------------------------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Heap.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace mgc;
+using namespace mgc::vm;
+
+namespace {
+constexpr Word ForwardBit = 1;
+
+Word headerOf(Word Obj) { return *reinterpret_cast<Word *>(Obj); }
+void setHeader(Word Obj, Word H) { *reinterpret_cast<Word *>(Obj) = H; }
+} // namespace
+
+Heap::Heap(size_t SemispaceBytes, const std::vector<ir::TypeDesc> &Descs)
+    : SpaceBytes((SemispaceBytes + 7) & ~size_t(7)), Descs(Descs) {
+  Space0.reset(new uint8_t[SpaceBytes]);
+  Space1.reset(new uint8_t[SpaceBytes]);
+  FromBase = reinterpret_cast<Word>(Space0.get());
+  ToBase = reinterpret_cast<Word>(Space1.get());
+  AllocPtr = FromBase;
+  ToAlloc = ToBase;
+}
+
+size_t Heap::objectWords(Word Obj) const {
+  const ir::TypeDesc &D = descOf(Obj);
+  size_t Words = 1 + D.SizeWords;
+  if (D.IsOpenArray) {
+    int64_t Len = static_cast<int64_t>(
+        reinterpret_cast<Word *>(Obj)[1]);
+    Words += static_cast<size_t>(Len) * D.ElemSizeWords;
+  }
+  return Words;
+}
+
+const ir::TypeDesc &Heap::descOf(Word Obj) const {
+  Word H = headerOf(Obj);
+  assert(!(H & ForwardBit) && "descOf on a forwarded object");
+  size_t Idx = static_cast<size_t>(H >> 1);
+  assert(Idx < Descs.size() && "corrupt object header");
+  return Descs[Idx];
+}
+
+Word Heap::allocate(unsigned DescIdx, int64_t Length) {
+  assert(DescIdx < Descs.size());
+  const ir::TypeDesc &D = Descs[DescIdx];
+  size_t Words = 1 + D.SizeWords;
+  if (D.IsOpenArray) {
+    assert(Length >= 0 && "negative open array length");
+    Words += static_cast<size_t>(Length) * D.ElemSizeWords;
+  }
+  size_t Bytes = Words * sizeof(Word);
+  if (AllocPtr + Bytes > FromBase + SpaceBytes)
+    return 0;
+  Word Obj = AllocPtr;
+  AllocPtr += Bytes;
+  std::memset(reinterpret_cast<void *>(Obj), 0, Bytes);
+  setHeader(Obj, static_cast<Word>(DescIdx) << 1);
+  if (D.IsOpenArray)
+    reinterpret_cast<Word *>(Obj)[1] = static_cast<Word>(Length);
+  BytesAllocated += Bytes;
+  ++ObjectsAllocated;
+  return Obj;
+}
+
+Word Heap::forward(Word Obj) {
+  assert(inFromSpace(Obj) && "forwarding a non-heap pointer");
+  Word H = headerOf(Obj);
+  if (H & ForwardBit)
+    return H & ~ForwardBit;
+  size_t Words = objectWords(Obj);
+  Word New = ToAlloc;
+  assert(New + Words * sizeof(Word) <= ToBase + SpaceBytes &&
+         "to-space overflow during collection");
+  ToAlloc += Words * sizeof(Word);
+  std::memcpy(reinterpret_cast<void *>(New),
+              reinterpret_cast<const void *>(Obj), Words * sizeof(Word));
+  setHeader(Obj, New | ForwardBit);
+  return New;
+}
+
+void Heap::endCollection() {
+  std::swap(FromBase, ToBase);
+  AllocPtr = ToAlloc;
+  ToAlloc = ToBase;
+}
+
+bool Heap::plausibleObject(Word P) const {
+  if (P < FromBase || P >= AllocPtr)
+    return false;
+  if ((P - FromBase) % sizeof(Word) != 0)
+    return false;
+  Word H = headerOf(P);
+  if (H & ForwardBit)
+    return false;
+  return (H >> 1) < Descs.size();
+}

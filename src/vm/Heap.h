@@ -1,0 +1,88 @@
+//===- vm/Heap.h - Two-space heap with type descriptors ---------*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heap the collector compacts.  Objects carry a one-word header
+/// holding their type descriptor index (Modula-3 requires descriptors in
+/// heap objects — §2's requirement (i)/(ii)); during collection the header
+/// is overlaid with a low-bit-tagged forwarding pointer.  Tidy pointers
+/// point at the header.  Layout:
+///
+///     [header][payload words...]                 fixed-shape objects
+///     [header][length][elements...]              open arrays
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_VM_HEAP_H
+#define MGC_VM_HEAP_H
+
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mgc {
+namespace vm {
+
+using Word = uint64_t;
+
+class Heap {
+public:
+  Heap(size_t SemispaceBytes, const std::vector<ir::TypeDesc> &Descs);
+
+  /// Bump-allocates an object of descriptor \p DescIdx (\p Length elements
+  /// for open arrays).  Returns 0 when the from-space is exhausted — the
+  /// caller must collect and retry.  Payload words are zeroed (all-NIL).
+  Word allocate(unsigned DescIdx, int64_t Length);
+
+  /// Total words of an object, header included.
+  size_t objectWords(Word Obj) const;
+
+  const ir::TypeDesc &descOf(Word Obj) const;
+
+  bool inFromSpace(Word P) const {
+    return P >= FromBase && P < FromBase + SpaceBytes;
+  }
+  bool inToSpace(Word P) const {
+    return P >= ToBase && P < ToBase + SpaceBytes;
+  }
+
+  size_t usedBytes() const { return AllocPtr - FromBase; }
+  size_t capacityBytes() const { return SpaceBytes; }
+
+  //===--- Collector interface ---------------------------------------------===
+
+  /// Begins a collection: resets the to-space allocation pointer.
+  void beginCollection() { ToAlloc = ToBase; }
+  /// Copies \p Obj to to-space (or returns its forwarding pointer).
+  Word forward(Word Obj);
+  /// Cheney scan pointer management.
+  Word scanStart() const { return ToBase; }
+  Word toAlloc() const { return ToAlloc; }
+  /// Ends a collection: swaps the spaces.
+  void endCollection();
+
+  /// Whether \p P looks like a valid object pointer (used by assertions
+  /// and the conservative baseline collector).
+  bool plausibleObject(Word P) const;
+
+  uint64_t BytesAllocated = 0;
+  uint64_t ObjectsAllocated = 0;
+
+private:
+  size_t SpaceBytes;
+  std::unique_ptr<uint8_t[]> Space0, Space1;
+  Word FromBase, ToBase;
+  Word AllocPtr; ///< Bump pointer in from-space.
+  Word ToAlloc;  ///< Bump pointer in to-space during collection.
+  const std::vector<ir::TypeDesc> &Descs;
+};
+
+} // namespace vm
+} // namespace mgc
+
+#endif // MGC_VM_HEAP_H

@@ -1,0 +1,74 @@
+//===- vm/Program.h - Linked executable program -----------------*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The linked output of the compiler: flat code, function metadata, heap
+/// type descriptors, the global area layout, and the per-function gc maps
+/// (plus the statistics the benchmarks report).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_VM_PROGRAM_H
+#define MGC_VM_PROGRAM_H
+
+#include "codegen/Machine.h"
+#include "codegen/Serialize.h"
+#include "gcmaps/GcTables.h"
+#include "ir/IR.h"
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+namespace mgc {
+namespace vm {
+
+struct Program {
+  std::string Name;
+  std::vector<MInstr> Code; ///< Flat; targets are global indices.
+  std::vector<CompiledFunction> Funcs; ///< Sorted by EntryIndex.
+  unsigned MainFunc = 0;
+  std::vector<ir::TypeDesc> TypeDescs;
+  unsigned GlobalAreaWords = 0;
+  std::vector<unsigned> GlobalPtrWords;
+
+  /// Per-function gc maps (RetPCs are global instruction indices); empty
+  /// blobs when compiled without gc tables.
+  std::vector<gcmaps::EncodedFuncMaps> Maps;
+  gcmaps::SchemeSizes Sizes;
+  gcmaps::TableStats Stats;
+
+  codegen::CodeImage Image;
+
+  // Compilation statistics for the §6.2 experiment.
+  unsigned CiscFoldsApplied = 0;
+  unsigned CiscFoldsBlocked = 0;
+  unsigned LoopPolls = 0;
+  unsigned GcPointsElided = 0;
+  unsigned PathVars = 0;
+  unsigned PathAssigns = 0;
+
+  /// The function containing global instruction index \p PC.
+  unsigned funcOfPC(uint32_t PC) const {
+    assert(!Funcs.empty());
+    unsigned Lo = 0, Hi = static_cast<unsigned>(Funcs.size());
+    while (Hi - Lo > 1) {
+      unsigned Mid = (Lo + Hi) / 2;
+      if (Funcs[Mid].EntryIndex <= PC)
+        Lo = Mid;
+      else
+        Hi = Mid;
+    }
+    return Lo;
+  }
+
+  size_t codeSizeBytes() const { return Image.Bytes.size(); }
+};
+
+} // namespace vm
+} // namespace mgc
+
+#endif // MGC_VM_PROGRAM_H

@@ -1,0 +1,416 @@
+//===- vm/VM.cpp ----------------------------------------------------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/VM.h"
+
+#include <cassert>
+#include <cinttypes>
+
+using namespace mgc;
+using namespace mgc::vm;
+
+namespace {
+constexpr Word Poison = 0xDEADBEEFDEADBEEFull;
+constexpr uint32_t SentinelPC = 0xFFFFFFFFu;
+/// Addresses below this are treated as NIL dereferences.
+constexpr Word NilGuard = 4096;
+} // namespace
+
+VM::VM(const Program &Prog, VMOptions Opts)
+    : Prog(Prog), Opts(Opts), TheHeap(Opts.HeapBytes, Prog.TypeDescs),
+      Globals(Prog.GlobalAreaWords, 0) {
+  spawnThread(Prog.MainFunc);
+}
+
+void VM::spawnThread(unsigned FuncIdx) {
+  assert(FuncIdx < Prog.Funcs.size());
+  const CompiledFunction &F = Prog.Funcs[FuncIdx];
+  assert(F.NumParams == 0 && "threads run parameterless procedures");
+  auto T = std::make_unique<ThreadContext>();
+  T->StackWords = Opts.StackWords;
+  T->Stack.reset(new Word[T->StackWords]);
+  for (size_t I = 0; I != T->StackWords; ++I)
+    T->Stack[I] = Poison;
+  // Pseudo control area for the root frame.
+  T->Stack[0] = 0;          // saved AP
+  T->Stack[1] = 0;          // saved FP
+  T->Stack[2] = SentinelPC; // return address
+  T->FP = CtlWords;
+  T->AP = 0;
+  T->PC = F.EntryIndex;
+  // The root frame has no caller-provided save area; registers start dead.
+  for (unsigned I = 0; I != NumRegs; ++I)
+    T->R[I] = Poison;
+  T->Live = true;
+  Threads.push_back(std::move(T));
+}
+
+bool VM::fail(const std::string &Msg) {
+  if (Error.empty())
+    Error = Msg;
+  return false;
+}
+
+Word *VM::memAddr(ThreadContext &T, Word Addr) {
+  (void)T;
+  if (Addr < NilGuard) {
+    fail("NIL dereference (address " + std::to_string(Addr) + ")");
+    return nullptr;
+  }
+  return reinterpret_cast<Word *>(Addr);
+}
+
+Word VM::readOperand(ThreadContext &T, const MOperand &O) {
+  switch (O.K) {
+  case MOperand::Kind::Reg:
+    return T.R[O.Reg];
+  case MOperand::Kind::Slot:
+    return T.Stack[T.FP + O.Index];
+  case MOperand::Kind::ASlot:
+    return T.Stack[T.AP + O.Index];
+  case MOperand::Kind::Global:
+    return Globals[static_cast<size_t>(O.Index)];
+  case MOperand::Kind::Imm:
+    return static_cast<Word>(O.Imm);
+  case MOperand::Kind::MemReg: {
+    Word *P = memAddr(T, T.R[O.Reg] + static_cast<Word>(O.Disp));
+    return P ? *P : 0;
+  }
+  case MOperand::Kind::MemSlot: {
+    Word *P = memAddr(T, T.Stack[T.FP + O.Index] + static_cast<Word>(O.Disp));
+    return P ? *P : 0;
+  }
+  case MOperand::Kind::MemASlot: {
+    Word *P = memAddr(T, T.Stack[T.AP + O.Index] + static_cast<Word>(O.Disp));
+    return P ? *P : 0;
+  }
+  case MOperand::Kind::None:
+    break;
+  }
+  assert(false && "reading a None operand");
+  return 0;
+}
+
+void VM::writeOperand(ThreadContext &T, const MOperand &O, Word V) {
+  switch (O.K) {
+  case MOperand::Kind::Reg:
+    T.R[O.Reg] = V;
+    return;
+  case MOperand::Kind::Slot:
+    T.Stack[T.FP + O.Index] = V;
+    return;
+  case MOperand::Kind::ASlot:
+    T.Stack[T.AP + O.Index] = V;
+    return;
+  case MOperand::Kind::Global:
+    Globals[static_cast<size_t>(O.Index)] = V;
+    return;
+  case MOperand::Kind::MemReg: {
+    Word *P = memAddr(T, T.R[O.Reg] + static_cast<Word>(O.Disp));
+    if (P)
+      *P = V;
+    return;
+  }
+  case MOperand::Kind::MemSlot: {
+    Word *P = memAddr(T, T.Stack[T.FP + O.Index] + static_cast<Word>(O.Disp));
+    if (P)
+      *P = V;
+    return;
+  }
+  case MOperand::Kind::MemASlot: {
+    Word *P = memAddr(T, T.Stack[T.AP + O.Index] + static_cast<Word>(O.Disp));
+    if (P)
+      *P = V;
+    return;
+  }
+  case MOperand::Kind::Imm:
+  case MOperand::Kind::None:
+    break;
+  }
+  assert(false && "writing a non-location operand");
+}
+
+Word VM::allocate(unsigned DescIdx, int64_t Length, uint32_t RetPC) {
+  if (Opts.GcStress) {
+    if (!collect(RetPC))
+      return 0;
+  }
+  Word Obj = TheHeap.allocate(DescIdx, Length);
+  if (Obj != 0)
+    return Obj;
+  if (!collect(RetPC))
+    return 0;
+  Obj = TheHeap.allocate(DescIdx, Length);
+  if (Obj == 0)
+    fail("heap exhausted: " + std::to_string(TheHeap.usedBytes()) +
+         " bytes live of " + std::to_string(TheHeap.capacityBytes()));
+  return Obj;
+}
+
+bool VM::collect(uint32_t TriggerRetPC) {
+  if (!Collector)
+    return fail("allocation failed and no collector is installed");
+  assert(!InCollect && "recursive collection");
+  InCollect = true;
+
+  // Rendezvous (§5.3): every other live thread runs until it is about to
+  // execute a gc-point instruction; its table pc is that instruction's
+  // return address.  Loop polls bound this wait.
+  SuspendPCs.assign(Threads.size(), 0);
+  SuspendPCs[CurThread] = TriggerRetPC;
+  for (size_t TI = 0; TI != Threads.size(); ++TI) {
+    if (TI == CurThread || !Threads[TI]->Live)
+      continue;
+    ThreadContext &T = *Threads[TI];
+    uint64_t Budget = Opts.RendezvousBudget;
+    while (!Prog.Code[T.PC].isGcPoint()) {
+      if (Budget-- == 0) {
+        InCollect = false;
+        return fail("thread failed to reach a gc-point within the "
+                    "rendezvous budget (compile with loop polls)");
+      }
+      ++Stats.RendezvousSteps;
+      if (!step(T)) {
+        if (!Error.empty()) {
+          InCollect = false;
+          return false;
+        }
+        break; // Thread finished; no frames to scan.
+      }
+      if (T.Finished)
+        break;
+    }
+    SuspendPCs[TI] = T.Finished ? SentinelPC : T.PC + 1;
+  }
+
+  ++Stats.Collections;
+  Collector(*this);
+  InCollect = false;
+  return Error.empty();
+}
+
+void VM::collectNow() {
+  ThreadContext &T = ctx();
+  // The current instruction must be a gc-point (GcCollect runtime call).
+  collect(T.PC + 1);
+}
+
+bool VM::step(ThreadContext &T) {
+  const MInstr &I = Prog.Code[T.PC];
+  ++Stats.Instrs;
+  switch (I.Op) {
+  case MOp::Mov:
+    writeOperand(T, I.D, readOperand(T, I.A));
+    break;
+  case MOp::Add:
+    writeOperand(T, I.D, readOperand(T, I.A) + readOperand(T, I.B));
+    break;
+  case MOp::Sub:
+    writeOperand(T, I.D, readOperand(T, I.A) - readOperand(T, I.B));
+    break;
+  case MOp::Mul:
+    writeOperand(T, I.D,
+                 static_cast<Word>(static_cast<int64_t>(readOperand(T, I.A)) *
+                                   static_cast<int64_t>(readOperand(T, I.B))));
+    break;
+  case MOp::Div: {
+    int64_t B = static_cast<int64_t>(readOperand(T, I.B));
+    if (B == 0)
+      return fail("integer division by zero");
+    writeOperand(T, I.D,
+                 static_cast<Word>(static_cast<int64_t>(readOperand(T, I.A)) / B));
+    break;
+  }
+  case MOp::Mod: {
+    int64_t B = static_cast<int64_t>(readOperand(T, I.B));
+    if (B == 0)
+      return fail("integer modulus by zero");
+    writeOperand(T, I.D,
+                 static_cast<Word>(static_cast<int64_t>(readOperand(T, I.A)) % B));
+    break;
+  }
+  case MOp::Neg:
+    writeOperand(T, I.D,
+                 static_cast<Word>(-static_cast<int64_t>(readOperand(T, I.A))));
+    break;
+  case MOp::Not:
+    writeOperand(T, I.D, readOperand(T, I.A) == 0 ? 1 : 0);
+    break;
+  case MOp::CmpEq:
+    writeOperand(T, I.D, readOperand(T, I.A) == readOperand(T, I.B) ? 1 : 0);
+    break;
+  case MOp::CmpNe:
+    writeOperand(T, I.D, readOperand(T, I.A) != readOperand(T, I.B) ? 1 : 0);
+    break;
+  case MOp::CmpLt:
+    writeOperand(T, I.D,
+                 static_cast<int64_t>(readOperand(T, I.A)) <
+                         static_cast<int64_t>(readOperand(T, I.B))
+                     ? 1
+                     : 0);
+    break;
+  case MOp::CmpLe:
+    writeOperand(T, I.D,
+                 static_cast<int64_t>(readOperand(T, I.A)) <=
+                         static_cast<int64_t>(readOperand(T, I.B))
+                     ? 1
+                     : 0);
+    break;
+  case MOp::CmpGt:
+    writeOperand(T, I.D,
+                 static_cast<int64_t>(readOperand(T, I.A)) >
+                         static_cast<int64_t>(readOperand(T, I.B))
+                     ? 1
+                     : 0);
+    break;
+  case MOp::CmpGe:
+    writeOperand(T, I.D,
+                 static_cast<int64_t>(readOperand(T, I.A)) >=
+                         static_cast<int64_t>(readOperand(T, I.B))
+                     ? 1
+                     : 0);
+    break;
+  case MOp::AddrSlot:
+    writeOperand(T, I.D,
+                 reinterpret_cast<Word>(&T.Stack[T.FP + I.Index]) +
+                     static_cast<Word>(I.A.Imm));
+    break;
+  case MOp::AddrGlobal:
+    writeOperand(T, I.D,
+                 reinterpret_cast<Word>(&Globals[static_cast<size_t>(I.Index)]) +
+                     static_cast<Word>(I.A.Imm));
+    break;
+  case MOp::NewObj:
+  case MOp::NewArr: {
+    int64_t Len = I.Op == MOp::NewArr
+                      ? static_cast<int64_t>(readOperand(T, I.A))
+                      : 0;
+    if (I.Op == MOp::NewArr && Len < 0)
+      return fail("negative open array length");
+    Word Obj = allocate(static_cast<unsigned>(I.Index), Len, T.PC + 1);
+    if (Obj == 0)
+      return false;
+    writeOperand(T, I.D, Obj);
+    break;
+  }
+  case MOp::Call: {
+    const CompiledFunction &Caller = Prog.Funcs[Prog.funcOfPC(T.PC)];
+    const CompiledFunction &Callee =
+        Prog.Funcs[static_cast<size_t>(I.Index)];
+    uint32_t CtlBase = T.FP + Caller.FrameWords;
+    uint32_t NewFP = CtlBase + CtlWords;
+    if (NewFP + Callee.FrameWords >= T.StackWords)
+      return fail("stack overflow calling " + Callee.Name);
+    T.Stack[CtlBase] = T.AP;
+    T.Stack[CtlBase + 1] = T.FP;
+    T.Stack[CtlBase + 2] = T.PC + 1;
+    // Prologue: save the callee-saved registers this function uses.
+    for (size_t K = 0; K != Callee.SavedRegs.size(); ++K)
+      T.Stack[NewFP + K] = T.R[Callee.SavedRegs[K]];
+    // Poison the rest of the frame: only table-described state may be
+    // touched by the collector.
+    for (uint32_t W = NewFP + Callee.SavedRegs.size();
+         W != NewFP + Callee.FrameWords; ++W)
+      T.Stack[W] = Poison;
+    T.AP = T.FP + I.ArgBase;
+    T.FP = NewFP;
+    T.PC = Callee.EntryIndex;
+    return true;
+  }
+  case MOp::CallRt: {
+    switch (static_cast<ir::RtFn>(I.Index)) {
+    case ir::RtFn::PutInt:
+      Out += std::to_string(
+          static_cast<int64_t>(T.Stack[T.FP + I.ArgBase]));
+      break;
+    case ir::RtFn::PutChar:
+      Out += static_cast<char>(T.Stack[T.FP + I.ArgBase] & 0xff);
+      break;
+    case ir::RtFn::PutLn:
+      Out += '\n';
+      break;
+    case ir::RtFn::GcCollect:
+      if (!collect(T.PC + 1))
+        return false;
+      break;
+    case ir::RtFn::Halt:
+      T.Finished = true;
+      T.Live = false;
+      return false;
+    }
+    break;
+  }
+  case MOp::GcPoll:
+    // A voluntary gc-point; nothing happens unless a collection is in
+    // progress, in which case the rendezvous loop stops *before* executing
+    // this instruction.
+    break;
+  case MOp::Jump:
+    T.PC = I.Target0;
+    return true;
+  case MOp::Branch:
+    T.PC = readOperand(T, I.A) != 0 ? I.Target0 : I.Target1;
+    return true;
+  case MOp::Ret: {
+    const CompiledFunction &F = Prog.Funcs[Prog.funcOfPC(T.PC)];
+    // Epilogue: restore saved registers.
+    for (size_t K = 0; K != F.SavedRegs.size(); ++K)
+      T.R[F.SavedRegs[K]] = T.Stack[T.FP + K];
+    uint32_t RetPC = static_cast<uint32_t>(T.Stack[T.FP - 1]);
+    uint32_t OldFP = static_cast<uint32_t>(T.Stack[T.FP - 2]);
+    uint32_t OldAP = static_cast<uint32_t>(T.Stack[T.FP - 3]);
+    if (RetPC == SentinelPC) {
+      T.Finished = true;
+      T.Live = false;
+      return false;
+    }
+    T.PC = RetPC;
+    T.FP = OldFP;
+    T.AP = OldAP;
+    return true;
+  }
+  case MOp::Trap: {
+    static const char *Reasons[] = {
+        "function ended without RETURN", "array index out of bounds",
+        "NIL dereference"};
+    int R = I.Index;
+    return fail(std::string("trap: ") +
+                (R >= 0 && R < 3 ? Reasons[R] : "unknown"));
+  }
+  }
+  if (!Error.empty())
+    return false;
+  T.PC += 1;
+  return true;
+}
+
+bool VM::run() {
+  // Round-robin with instruction-level pre-emption.
+  while (true) {
+    bool AnyLive = false;
+    for (size_t K = 0; K != Threads.size(); ++K) {
+      CurThread = static_cast<unsigned>((CurThread + (K != 0 ? 1 : 0)) %
+                                        Threads.size());
+      if (Threads[CurThread]->Live) {
+        AnyLive = true;
+        break;
+      }
+    }
+    if (!AnyLive)
+      break;
+
+    ThreadContext &T = *Threads[CurThread];
+    for (uint64_t Q = 0; Q != Opts.Quantum && T.Live; ++Q) {
+      if (!step(T)) {
+        if (!Error.empty())
+          return false;
+        break;
+      }
+    }
+    CurThread = static_cast<unsigned>((CurThread + 1) % Threads.size());
+  }
+  return Error.empty();
+}

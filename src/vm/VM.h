@@ -1,0 +1,140 @@
+//===- vm/VM.h - The abstract machine interpreter ---------------*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes compiled programs.  The machine is deliberately VAX-like (see
+/// codegen/Machine.h).  Several properties matter to the reproduction:
+///
+///  - Values are raw 64-bit words; nothing is tagged.  Heap pointers are
+///    real host addresses into the semispaces, so a collection genuinely
+///    moves objects and stale pointers genuinely break — only the
+///    compile-time tables make precise collection possible.
+///  - New frames are poisoned with a recognizable non-pointer pattern, so
+///    a table that over-approximates liveness crashes the collector
+///    instead of silently working.
+///  - Threads are pre-emptible at any instruction (a round-robin quantum),
+///    reproducing §5.3: when one thread triggers a collection the others
+///    are resumed until each reaches a gc-point; loop polls bound that
+///    wait.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_VM_VM_H
+#define MGC_VM_VM_H
+
+#include "vm/Heap.h"
+#include "vm/Program.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mgc {
+namespace vm {
+
+struct VMOptions {
+  size_t HeapBytes = 4u << 20;
+  size_t StackWords = 1u << 16;
+  /// Collect before every allocation (stress testing).
+  bool GcStress = false;
+  /// Thread scheduler quantum in instructions (multi-threaded runs).
+  uint64_t Quantum = 61;
+  /// Upper bound on instructions a thread may run while the collector
+  /// waits for it to reach a gc-point; exceeding it is a runtime error
+  /// (demonstrating why §5.3 requires loop polls).
+  uint64_t RendezvousBudget = 2'000'000;
+};
+
+struct VMStats {
+  uint64_t Instrs = 0;
+  uint64_t Collections = 0;
+  uint64_t FramesTraced = 0;
+  uint64_t BytesCopied = 0;
+  uint64_t StackTraceNanos = 0; ///< Table decode + root enumeration time.
+  uint64_t GcNanos = 0;         ///< Total collection time.
+  uint64_t DerivedAdjusted = 0; ///< Derived-value un/re-derivations.
+  uint64_t RootsTraced = 0;
+  /// Instruction count at the start of the current collection's stack
+  /// trace, for the §6.3 "instructions per frame" figure.
+  uint64_t RendezvousSteps = 0;
+};
+
+/// One thread of execution.
+struct ThreadContext {
+  std::unique_ptr<Word[]> Stack;
+  size_t StackWords = 0;
+  Word R[NumRegs] = {};
+  uint32_t PC = 0;
+  uint32_t FP = 0;
+  uint32_t AP = 0;
+  bool Live = false;
+  bool Finished = false;
+};
+
+class VM {
+public:
+  VM(const Program &Prog, VMOptions Opts = VMOptions());
+
+  /// Runs main to completion (plus any spawned threads).  Returns true on
+  /// success; on a trap or runtime error, Error is set.
+  bool run();
+
+  /// Spawns a thread executing parameterless function \p FuncIdx; threads
+  /// are scheduled round-robin with instruction-level pre-emption once run()
+  /// starts.  Call before run().
+  void spawnThread(unsigned FuncIdx);
+
+  /// Forces a collection (testing hook; must not be called mid-run).
+  void collectNow();
+
+  //===--- State exposed to the collector ----------------------------------===
+
+  const Program &Prog;
+  VMOptions Opts;
+  Heap TheHeap;
+  std::vector<Word> Globals;
+  std::vector<std::unique_ptr<ThreadContext>> Threads;
+  unsigned CurThread = 0;
+
+  /// Per-thread table pc: the gc-point return address at which each live
+  /// thread is suspended during a collection.
+  std::vector<uint32_t> SuspendPCs;
+
+  std::string Out;   ///< PutInt/PutChar/PutLn output.
+  std::string Error; ///< Set on trap/runtime error.
+  VMStats Stats;
+
+  /// The installed collector: invoked with the VM; every live thread is
+  /// suspended at a gc-point (SuspendPCs).  Installed by the gc library.
+  std::function<void(VM &)> Collector;
+
+private:
+  ThreadContext &ctx() { return *Threads[CurThread]; }
+
+  Word readOperand(ThreadContext &T, const MOperand &O);
+  void writeOperand(ThreadContext &T, const MOperand &O, Word V);
+  Word *memAddr(ThreadContext &T, Word Addr);
+
+  /// Executes one instruction of thread \p T.  Returns false when the
+  /// thread finished or an error occurred.
+  bool step(ThreadContext &T);
+
+  /// Runs the rendezvous protocol and the collector; \p TriggerRetPC is the
+  /// gc-point of the triggering thread.
+  bool collect(uint32_t TriggerRetPC);
+
+  Word allocate(unsigned DescIdx, int64_t Length, uint32_t RetPC);
+
+  bool fail(const std::string &Msg);
+
+  bool InCollect = false;
+};
+
+} // namespace vm
+} // namespace mgc
+
+#endif // MGC_VM_VM_H

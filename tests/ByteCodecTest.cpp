@@ -1,0 +1,136 @@
+//===- tests/ByteCodecTest.cpp - Figure 3 byte packing ---------------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ByteCodec.h"
+
+#include <gtest/gtest.h>
+
+using namespace mgc;
+
+namespace {
+
+int32_t roundTrip(int32_t V) {
+  std::vector<uint8_t> Bytes;
+  appendPacked(Bytes, V);
+  size_t Pos = 0;
+  int32_t Back = readPacked(Bytes.data(), Bytes.size(), Pos);
+  EXPECT_EQ(Pos, Bytes.size()) << "decoder consumed wrong byte count";
+  return Back;
+}
+
+TEST(ByteCodec, SmallNonNegativeValuesFitOneByte) {
+  for (int32_t V = 0; V <= 63; ++V)
+    EXPECT_EQ(packedSize(V), 1u) << V;
+  EXPECT_EQ(packedSize(64), 2u);
+}
+
+TEST(ByteCodec, SmallNegativeValuesFitOneByte) {
+  // The first byte is sign-extended (Fig. 3): 7 payload bits cover -64..63.
+  for (int32_t V = -64; V < 0; ++V)
+    EXPECT_EQ(packedSize(V), 1u) << V;
+  EXPECT_EQ(packedSize(-65), 2u);
+}
+
+TEST(ByteCodec, SizeBoundaries) {
+  EXPECT_EQ(packedSize(8191), 2u);    // 2^13 - 1
+  EXPECT_EQ(packedSize(8192), 3u);
+  EXPECT_EQ(packedSize(-8192), 2u);
+  EXPECT_EQ(packedSize(-8193), 3u);
+  EXPECT_EQ(packedSize(1048575), 3u); // 2^20 - 1
+  EXPECT_EQ(packedSize(1048576), 4u);
+  EXPECT_EQ(packedSize(INT32_MAX), 5u);
+  EXPECT_EQ(packedSize(INT32_MIN), 5u);
+}
+
+TEST(ByteCodec, ContinuationBitMarksAllButLastByte) {
+  std::vector<uint8_t> Bytes;
+  appendPacked(Bytes, 300); // Needs two bytes.
+  ASSERT_EQ(Bytes.size(), 2u);
+  EXPECT_NE(Bytes[0] & 0x80, 0) << "first byte must set the continuation bit";
+  EXPECT_EQ(Bytes[1] & 0x80, 0) << "last byte must clear it";
+}
+
+TEST(ByteCodec, BytesAreMostSignificantFirst) {
+  // 300 = 0b100101100: groups (msb first) 0000010, 0101100.
+  std::vector<uint8_t> Bytes;
+  appendPacked(Bytes, 300);
+  ASSERT_EQ(Bytes.size(), 2u);
+  EXPECT_EQ(Bytes[0] & 0x7f, 0b0000010);
+  EXPECT_EQ(Bytes[1] & 0x7f, 0b0101100);
+}
+
+TEST(ByteCodec, NegativeOneIsSingleAllOnesPayload) {
+  std::vector<uint8_t> Bytes;
+  appendPacked(Bytes, -1);
+  ASSERT_EQ(Bytes.size(), 1u);
+  EXPECT_EQ(Bytes[0], 0x7f);
+  EXPECT_EQ(roundTrip(-1), -1);
+}
+
+TEST(ByteCodec, RoundTripExtremes) {
+  for (int32_t V : {0, 1, -1, 63, 64, -64, -65, 127, 128, 8191, 8192, -8192,
+                    -8193, 1 << 20, -(1 << 20), INT32_MAX, INT32_MIN,
+                    INT32_MAX - 1, INT32_MIN + 1})
+    EXPECT_EQ(roundTrip(V), V) << V;
+}
+
+TEST(ByteCodec, RoundTripExhaustive16Bit) {
+  for (int32_t V = -32768; V <= 32767; ++V)
+    ASSERT_EQ(roundTrip(V), V) << V;
+}
+
+TEST(ByteCodec, SequentialWordsDecodeInOrder) {
+  std::vector<uint8_t> Bytes;
+  std::vector<int32_t> Values = {0, -1, 42, 100000, -99999, 7, INT32_MIN};
+  for (int32_t V : Values)
+    appendPacked(Bytes, V);
+  size_t Pos = 0;
+  for (int32_t V : Values)
+    EXPECT_EQ(readPacked(Bytes.data(), Bytes.size(), Pos), V);
+  EXPECT_EQ(Pos, Bytes.size());
+}
+
+TEST(ByteCodec, WriterMixesPackedAndRawWords) {
+  PackedWriter W;
+  W.writePacked(-5);
+  W.writeWord32(123456789);
+  W.writeByte(0xab);
+  PackedReader R(W.bytes());
+  EXPECT_EQ(R.readPackedWord(), -5);
+  EXPECT_EQ(R.readWord32(), 123456789);
+  EXPECT_EQ(R.readByte(), 0xab);
+  EXPECT_TRUE(R.atEnd());
+}
+
+/// Property sweep: round-trip across a dense sample of the 32-bit range.
+class PackingSweep : public ::testing::TestWithParam<int32_t> {};
+
+TEST_P(PackingSweep, RoundTripsAndMinimal) {
+  int32_t Base = GetParam();
+  for (int32_t Delta = -3; Delta <= 3; ++Delta) {
+    int64_t V64 = static_cast<int64_t>(Base) + Delta;
+    if (V64 < INT32_MIN || V64 > INT32_MAX)
+      continue;
+    int32_t V = static_cast<int32_t>(V64);
+    EXPECT_EQ(roundTrip(V), V);
+    // Minimality: one fewer byte must not be able to represent the value.
+    unsigned N = packedSize(V);
+    if (N > 1) {
+      unsigned Bits = 7 * (N - 1);
+      int64_t Lo = -(int64_t(1) << (Bits - 1));
+      int64_t Hi = (int64_t(1) << (Bits - 1)) - 1;
+      EXPECT_TRUE(V < Lo || V > Hi) << V << " should not fit " << N - 1;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, PackingSweep,
+    ::testing::Values(0, 63, 64, -64, -65, 8191, 8192, -8192, -8193,
+                      1 << 20, -(1 << 20), (1 << 27) - 1, 1 << 27,
+                      -(1 << 27), INT32_MAX, INT32_MIN, 1234567, -7654321));
+
+} // namespace

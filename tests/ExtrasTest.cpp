@@ -1,0 +1,348 @@
+//===- tests/ExtrasTest.cpp - Spills, element scans, verifier, disasm ------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "codegen/Disasm.h"
+#include "frontend/Lower.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "ir/Verifier.h"
+
+using namespace mgc;
+using namespace mgc::test;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Register pressure: spilled tidy pointers must appear in the stack tables
+//===----------------------------------------------------------------------===//
+
+TEST(RegAlloc, SpilledPointersSurviveCollection) {
+  // Twenty simultaneously live REFs exceed the 12 allocatable registers;
+  // the spilled ones live in liveness-tracked frame slots.  All must be
+  // traced and updated across stressed collections.
+  std::string Src = R"(
+MODULE M;
+TYPE R = REF RECORD v: INTEGER END;
+PROCEDURE Mk(v: INTEGER): R;
+VAR r: R;
+BEGIN
+  r := NEW(R);
+  r^.v := v;
+  RETURN r
+END Mk;
+PROCEDURE Sum20(): INTEGER;
+VAR a, b, c, d, e, f, g, h, i, j, k, l, m, n, o, p, q, r, s, t: R;
+BEGIN
+  a := Mk(1); b := Mk(2); c := Mk(3); d := Mk(4); e := Mk(5);
+  f := Mk(6); g := Mk(7); h := Mk(8); i := Mk(9); j := Mk(10);
+  k := Mk(11); l := Mk(12); m := Mk(13); n := Mk(14); o := Mk(15);
+  p := Mk(16); q := Mk(17); r := Mk(18); s := Mk(19); t := Mk(20);
+  RETURN a^.v + b^.v + c^.v + d^.v + e^.v + f^.v + g^.v + h^.v + i^.v +
+         j^.v + k^.v + l^.v + m^.v + n^.v + o^.v + p^.v + q^.v + r^.v +
+         s^.v + t^.v
+END Sum20;
+BEGIN
+  PutInt(Sum20()); PutLn();
+END M.)";
+  for (int Opt : {0, 2}) {
+    driver::CompilerOptions CO;
+    CO.OptLevel = Opt;
+    vm::VMOptions VO;
+    VO.GcStress = true;
+    RunResult R = compileAndRun(Src, CO, VO);
+    ASSERT_TRUE(R.Ok) << "opt=" << Opt << ": " << R.Error;
+    EXPECT_EQ(R.Out, "210\n") << "opt=" << Opt;
+    EXPECT_GT(R.Stats.Collections, 15u);
+  }
+}
+
+TEST(RegAlloc, ManyLiveIntegersSpillCorrectly) {
+  // Non-pointer spills: values must be preserved but never traced.
+  std::string Src = R"(
+MODULE M;
+PROCEDURE Mix(base: INTEGER): INTEGER;
+VAR a, b, c, d, e, f, g, h, i, j, k, l, m, n, o, p: INTEGER;
+BEGIN
+  a := base + 1; b := a * 2; c := b + 3; d := c * 2; e := d + 5;
+  f := e * 2; g := f + 7; h := g * 2; i := h + 9; j := i * 2;
+  k := j + 11; l := k * 2; m := l + 13; n := m * 2; o := n + 15;
+  p := o * 2;
+  RETURN a + b + c + d + e + f + g + h + i + j + k + l + m + n + o + p
+END Mix;
+BEGIN
+  PutInt(Mix(1)); PutLn();
+END M.)";
+  RunResult R0 = compileAndRun(Src, [] {
+    driver::CompilerOptions CO;
+    CO.OptLevel = 0;
+    return CO;
+  }());
+  ASSERT_TRUE(R0.Ok) << R0.Error;
+  driver::CompilerOptions C2;
+  RunResult R2 = compileAndRun(Src, C2);
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  EXPECT_EQ(R0.Out, R2.Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Open arrays of records containing pointers (element pointer offsets)
+//===----------------------------------------------------------------------===//
+
+TEST(GC, OpenArrayOfRecordsWithPointersScanned) {
+  // Elements are multi-word records with an interior REF: the type
+  // descriptor's element stride and element pointer offsets drive the
+  // scan.
+  RunResult R = [] {
+    driver::CompilerOptions CO;
+    vm::VMOptions VO;
+    VO.GcStress = true;
+    VO.HeapBytes = 1u << 16;
+    return compileAndRun(R"(
+MODULE M;
+TYPE Leaf = REF RECORD v: INTEGER END;
+     Entry = RECORD tag: INTEGER; leaf: Leaf; weight: INTEGER END;
+     Table = REF ARRAY OF Entry;
+VAR t: Table; s: INTEGER;
+BEGIN
+  t := NEW(Table, 12);
+  FOR i := 0 TO 11 DO
+    t[i].tag := i;
+    t[i].leaf := NEW(Leaf);
+    t[i].leaf^.v := 100 + i;
+    t[i].weight := i * 2
+  END;
+  s := 0;
+  FOR i := 0 TO 11 DO
+    s := s + t[i].leaf^.v + t[i].weight
+  END;
+  PutInt(s); PutLn();
+END M.)",
+                         CO, VO);
+  }();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // sum(100..111) + sum(0,2,..,22) = 1266 + 132.
+  EXPECT_EQ(R.Out, "1398\n");
+  EXPECT_GT(R.Stats.Collections, 10u);
+}
+
+TEST(GC, FixedArrayInsideHeapRecordScanned) {
+  RunResult R = [] {
+    driver::CompilerOptions CO;
+    vm::VMOptions VO;
+    VO.GcStress = true;
+    return compileAndRun(R"(
+MODULE M;
+TYPE Leaf = REF RECORD v: INTEGER END;
+     Node = REF RECORD kids: ARRAY [0..3] OF Leaf; n: INTEGER END;
+VAR node: Node; s: INTEGER;
+BEGIN
+  node := NEW(Node);
+  FOR i := 0 TO 3 DO
+    node^.kids[i] := NEW(Leaf);
+    node^.kids[i]^.v := 10 * (i + 1)
+  END;
+  s := 0;
+  FOR i := 0 TO 3 DO s := s + node^.kids[i]^.v END;
+  PutInt(s); PutLn();
+END M.)",
+                         CO, VO);
+  }();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Out, "100\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier negatives
+//===----------------------------------------------------------------------===//
+
+TEST(Verifier, RejectsArithmeticOnHeapPointers) {
+  ir::IRModule M;
+  ir::Function *F = M.newFunction("bad");
+  ir::VReg P = F->newVReg(ir::PtrKind::Tidy, "p");
+  ir::VReg X = F->newVReg(ir::PtrKind::NonPtr, "x");
+  ir::BasicBlock *BB = F->newBlock();
+  BB->Instrs.push_back(ir::Instr::bin(ir::Opcode::Add, X,
+                                      ir::Operand::reg(P),
+                                      ir::Operand::imm(8)));
+  BB->Instrs.push_back(ir::Instr::ret(ir::Operand()));
+  auto Issues = ir::verifyModule(M);
+  ASSERT_FALSE(Issues.empty());
+  EXPECT_NE(Issues[0].find("Derive"), std::string::npos) << Issues[0];
+}
+
+TEST(Verifier, RejectsDeriveWithNonDerivedResult) {
+  ir::IRModule M;
+  ir::Function *F = M.newFunction("bad");
+  ir::VReg P = F->newVReg(ir::PtrKind::Tidy, "p");
+  ir::VReg T = F->newVReg(ir::PtrKind::Tidy, "t"); // Should be Derived.
+  ir::BasicBlock *BB = F->newBlock();
+  BB->Instrs.push_back(ir::Instr::bin(ir::Opcode::DeriveAdd, T,
+                                      ir::Operand::reg(P),
+                                      ir::Operand::imm(8)));
+  BB->Instrs.push_back(ir::Instr::ret(ir::Operand()));
+  EXPECT_FALSE(ir::isValid(M));
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  ir::IRModule M;
+  ir::Function *F = M.newFunction("bad");
+  F->newBlock(); // Empty block: no terminator.
+  EXPECT_FALSE(ir::isValid(M));
+}
+
+TEST(Verifier, RejectsBranchTargetOutOfRange) {
+  ir::IRModule M;
+  ir::Function *F = M.newFunction("bad");
+  ir::BasicBlock *BB = F->newBlock();
+  BB->Instrs.push_back(ir::Instr::jump(7));
+  EXPECT_FALSE(ir::isValid(M));
+}
+
+TEST(Verifier, AcceptsBenchmarkModules) {
+  Diagnostics D;
+  auto AST = parseModule(R"(
+MODULE M;
+TYPE R = REF RECORD v: INTEGER END;
+VAR g: R;
+BEGIN
+  g := NEW(R);
+  g^.v := 1
+END M.)",
+                         D);
+  ASSERT_TRUE(AST && checkModule(*AST, D)) << D.str();
+  auto M = lowerModule(*AST);
+  EXPECT_TRUE(ir::isValid(*M)) << ir::verifyModule(*M).front();
+}
+
+//===----------------------------------------------------------------------===//
+// Disassembler
+//===----------------------------------------------------------------------===//
+
+TEST(Disasm, ListsCodeAndTables) {
+  driver::CompilerOptions CO;
+  auto C = driver::compile(R"(
+MODULE M;
+TYPE R = REF RECORD v: INTEGER END;
+PROCEDURE Get(r: R): INTEGER;
+BEGIN
+  RETURN r^.v
+END Get;
+VAR g: R;
+BEGIN
+  g := NEW(R);
+  g^.v := 9;
+  PutInt(Get(g)); PutLn();
+END M.)",
+                          CO);
+  ASSERT_TRUE(C.Prog != nullptr) << C.Diags.str();
+  std::string Main = codegen::disassembleFunction(
+      *C.Prog, C.Prog->MainFunc, /*WithTables=*/true);
+  EXPECT_NE(Main.find("newobj"), std::string::npos) << Main;
+  EXPECT_NE(Main.find("call Get"), std::string::npos) << Main;
+  EXPECT_NE(Main.find("gc-point"), std::string::npos) << Main;
+  EXPECT_NE(Main.find("PutInt"), std::string::npos) << Main;
+  std::string Get;
+  for (unsigned F = 0; F != C.Prog->Funcs.size(); ++F)
+    if (C.Prog->Funcs[F].Name == "Get")
+      Get = codegen::disassembleFunction(*C.Prog, F, true);
+  EXPECT_NE(Get.find("ap[0]"), std::string::npos)
+      << "parameters live in AP slots:\n"
+      << Get;
+}
+
+//===----------------------------------------------------------------------===//
+// Negative FOR steps and deep WITH nesting (language corners under GC)
+//===----------------------------------------------------------------------===//
+
+TEST(GC, NestedWithAliasesBothAdjusted) {
+  RunResult R = [] {
+    driver::CompilerOptions CO;
+    vm::VMOptions VO;
+    VO.GcStress = true;
+    return compileAndRun(R"(
+MODULE M;
+TYPE R = REF RECORD a, b: INTEGER END;
+VAR r1, r2, junk: R;
+BEGIN
+  r1 := NEW(R);
+  r2 := NEW(R);
+  WITH x = r1^.b DO
+    WITH y = r2^.a DO
+      x := 1;
+      junk := NEW(R);
+      y := 2;
+      junk := NEW(R);
+      x := x + 10;
+      y := y + 20
+    END
+  END;
+  PutInt(r1^.b * 100 + r2^.a); PutLn();
+END M.)",
+                         CO, VO);
+  }();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Out, "1122\n");
+  EXPECT_GE(R.Stats.DerivedAdjusted, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Regression: strength reduction and nested loop indices
+//===----------------------------------------------------------------------===//
+
+TEST(Opt, InnerLoopIndexNotAnOuterIV) {
+  // Regression test: an inner FOR index has both its definitions (init and
+  // increment) inside the enclosing loop; treating it as an induction
+  // variable of the *outer* loop hoisted a reduced pointer's
+  // initialization to a point where the index was uninitialized.  Found
+  // via examples/programs/wordcount.mg.
+  const char *Src = R"(
+MODULE M;
+TYPE Text = REF ARRAY OF INTEGER;
+VAR total: INTEGER;
+
+PROCEDURE CopyTails(line: Text): INTEGER;
+VAR i, j, s: INTEGER; w: Text;
+BEGIN
+  s := 0;
+  i := 0;
+  WHILE i < NUMBER(line) DO
+    IF line[i] > 0 THEN
+      w := NEW(Text, NUMBER(line) - i);
+      FOR j := i TO NUMBER(line) - 1 DO
+        w[j - i] := line[j]        (* line[j]: inner index, outer-invariant base *)
+      END;
+      s := s + w[0]
+    END;
+    INC(i)
+  END;
+  RETURN s
+END CopyTails;
+
+VAR t: Text;
+BEGIN
+  t := NEW(Text, 6);
+  FOR k := 0 TO 5 DO t[k] := 10 * (k + 1) END;
+  total := CopyTails(t);
+  PutInt(total); PutLn();
+END M.)";
+  // Expected: sum of t[i] for all i = 10+20+...+60 = 210.
+  for (int Opt : {0, 2}) {
+    for (int Stress : {0, 1}) {
+      driver::CompilerOptions CO;
+      CO.OptLevel = Opt;
+      vm::VMOptions VO;
+      VO.GcStress = Stress != 0;
+      RunResult R = compileAndRun(Src, CO, VO);
+      ASSERT_TRUE(R.Ok) << "opt=" << Opt << " stress=" << Stress << ": "
+                        << R.Error;
+      EXPECT_EQ(R.Out, "210\n") << "opt=" << Opt << " stress=" << Stress;
+    }
+  }
+}
+
+} // namespace

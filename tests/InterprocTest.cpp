@@ -1,0 +1,181 @@
+//===- tests/InterprocTest.cpp - §5.3 interprocedural gc-points ------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's future-work refinement: "If the compiler performs
+/// inter-procedural analysis then it can determine that some procedures
+/// never allocate any heap storage and thus calls to them need not be
+/// gc-points."
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "Programs.h"
+#include "frontend/Lower.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "gcsafety/Interproc.h"
+
+using namespace mgc;
+using namespace mgc::test;
+
+namespace {
+
+const char *MixedSource = R"(
+MODULE M;
+TYPE R = REF RECORD v: INTEGER END;
+VAR g: R;
+
+PROCEDURE PureMath(x: INTEGER): INTEGER;    (* never triggers *)
+BEGIN
+  RETURN x * x + 1
+END PureMath;
+
+PROCEDURE AlsoPure(x: INTEGER): INTEGER;    (* calls only PureMath *)
+BEGIN
+  RETURN PureMath(x) + PureMath(x + 1)
+END AlsoPure;
+
+PROCEDURE Allocates(): R;                   (* triggers *)
+BEGIN
+  RETURN NEW(R)
+END Allocates;
+
+PROCEDURE Indirect(): R;                    (* triggers via Allocates *)
+BEGIN
+  RETURN Allocates()
+END Indirect;
+
+PROCEDURE Recursive(n: INTEGER): INTEGER;   (* recursion, no allocation *)
+BEGIN
+  IF n = 0 THEN RETURN 0 END;
+  RETURN Recursive(n - 1) + 1
+END Recursive;
+
+VAR s: INTEGER;
+BEGIN
+  g := Indirect();
+  g^.v := AlsoPure(3);
+  s := Recursive(10) + PureMath(2);
+  PutInt(g^.v + s); PutLn();
+END M.)";
+
+TEST(Interproc, TriggerAnalysisClassifiesFunctions) {
+  Diagnostics D;
+  auto AST = parseModule(MixedSource, D);
+  ASSERT_TRUE(AST != nullptr) << D.str();
+  ASSERT_TRUE(checkModule(*AST, D)) << D.str();
+  auto M = lowerModule(*AST);
+
+  std::vector<bool> Triggers = gcsafety::computeMayTriggerGc(*M);
+  auto TriggersOf = [&](const std::string &Name) {
+    for (const auto &F : M->Functions)
+      if (F->Name == Name)
+        return static_cast<bool>(Triggers[F->Index]);
+    ADD_FAILURE() << "no function " << Name;
+    return false;
+  };
+  EXPECT_FALSE(TriggersOf("PureMath"));
+  EXPECT_FALSE(TriggersOf("AlsoPure"));
+  EXPECT_FALSE(TriggersOf("Recursive"));
+  EXPECT_TRUE(TriggersOf("Allocates"));
+  EXPECT_TRUE(TriggersOf("Indirect"));
+  EXPECT_TRUE(TriggersOf("@main")); // Calls Indirect.
+}
+
+TEST(Interproc, ElisionShrinksTables) {
+  driver::CompilerOptions Base;
+  Base.OptLevel = 2;
+  driver::CompilerOptions WithIp = Base;
+  WithIp.InterprocGcPoints = true;
+
+  auto CBase = driver::compile(MixedSource, Base);
+  auto CIp = driver::compile(MixedSource, WithIp);
+  ASSERT_TRUE(CBase.Prog && CIp.Prog);
+  EXPECT_EQ(CBase.Prog->GcPointsElided, 0u);
+  EXPECT_GT(CIp.Prog->GcPointsElided, 0u);
+  EXPECT_LE(CIp.Prog->Stats.NGC, CBase.Prog->Stats.NGC);
+  EXPECT_LE(CIp.Prog->Sizes.DeltaPP, CBase.Prog->Sizes.DeltaPP)
+      << "fewer gc-points means smaller tables";
+  // The code itself is unchanged: only tables differ.
+  EXPECT_EQ(CIp.Prog->Image.Bytes.size(), CBase.Prog->Image.Bytes.size());
+}
+
+TEST(Interproc, SemanticsPreservedUnderStress) {
+  for (int Opt : {0, 2}) {
+    driver::CompilerOptions CO;
+    CO.OptLevel = Opt;
+    CO.InterprocGcPoints = true;
+    vm::VMOptions VO;
+    VO.GcStress = true;
+    RunResult R = compileAndRun(MixedSource, CO, VO);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    // AlsoPure(3)=10+17=27; Recursive(10)+PureMath(2)=10+5=15.
+    EXPECT_EQ(R.Out, "42\n");
+  }
+}
+
+TEST(Interproc, BenchmarksRunCorrectlyWithElision) {
+  for (const auto &P : programs::All) {
+    driver::CompilerOptions CO;
+    CO.OptLevel = 2;
+    CO.InterprocGcPoints = true;
+    vm::VMOptions VO;
+    VO.GcStress = true;
+    VO.HeapBytes = 1u << 20;
+    VO.StackWords = 1u << 20;
+    RunResult R = compileAndRun(P.Source, CO, VO);
+    ASSERT_TRUE(R.Ok) << P.Name << ": " << R.Error;
+    EXPECT_EQ(R.Out, P.Expected) << P.Name;
+  }
+}
+
+TEST(Interproc, PollsRestoreDemotedCalls) {
+  // A non-allocating procedure containing a loop gains a poll in threaded
+  // mode; calls to it must then be gc-points again, or the collector could
+  // not walk the caller's frame while the callee blocks at the poll.
+  const char *Src = R"(
+MODULE M;
+TYPE R = REF RECORD v: INTEGER END;
+VAR g: R;
+
+PROCEDURE SpinSum(n: INTEGER): INTEGER;
+VAR i, s: INTEGER;
+BEGIN
+  s := 0;
+  i := 0;
+  WHILE i < n DO
+    s := s + i;
+    INC(i)
+  END;
+  RETURN s
+END SpinSum;
+
+BEGIN
+  g := NEW(R);
+  g^.v := SpinSum(100);
+  PutInt(g^.v); PutLn();
+END M.)";
+
+  driver::CompilerOptions CO;
+  CO.InterprocGcPoints = true;
+  CO.ThreadedPolls = true;
+  auto C = driver::compile(Src, CO);
+  ASSERT_TRUE(C.Prog != nullptr) << C.Diags.str();
+  EXPECT_GT(C.Prog->LoopPolls, 0u);
+  // The call to SpinSum was provisionally demoted, then restored because
+  // of the poll: nothing may remain elided in this module.
+  EXPECT_EQ(C.Prog->GcPointsElided, 0u);
+
+  vm::VMOptions VO;
+  VO.GcStress = true;
+  RunResult R = compileAndRun(Src, CO, VO);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Out, "4950\n");
+}
+
+} // namespace

@@ -1,0 +1,195 @@
+//===- tests/PropertyTest.cpp - Parameterized invariant sweeps -------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-style sweeps: generated tree/list workloads run across many
+/// (shape × heap size × optimization) combinations; the invariant is that
+/// the checksum never depends on when or how often the collector ran.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace mgc;
+using namespace mgc::test;
+
+namespace {
+
+std::string treeProgram(int Branch, int Depth, int Iters) {
+  std::string S = R"(
+MODULE Sweep;
+CONST Branch = )" + std::to_string(Branch) +
+                  "; Depth = " + std::to_string(Depth) +
+                  "; Iters = " + std::to_string(Iters) + R"(;
+TYPE Node = REF NodeRec;
+     Kids = REF ARRAY OF Node;
+     NodeRec = RECORD value: INTEGER; kids: Kids END;
+VAR seed: INTEGER; root: Node;
+
+PROCEDURE Rand(m: INTEGER): INTEGER;
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 2147483648;
+  RETURN seed MOD m
+END Rand;
+
+PROCEDURE MakeTree(d: INTEGER): Node;
+VAR n: Node; i: INTEGER;
+BEGIN
+  n := NEW(Node);
+  n^.value := d + 1;
+  IF d > 0 THEN
+    n^.kids := NEW(Kids, Branch);
+    FOR i := 0 TO Branch - 1 DO
+      n^.kids[i] := MakeTree(d - 1)
+    END
+  END;
+  RETURN n
+END MakeTree;
+
+PROCEDURE Checksum(n: Node): INTEGER;
+VAR i, s: INTEGER;
+BEGIN
+  IF n = NIL THEN RETURN 7 END;
+  s := n^.value;
+  IF n^.kids # NIL THEN
+    FOR i := 0 TO NUMBER(n^.kids) - 1 DO
+      s := s * 31 + Checksum(n^.kids[i])
+    END
+  END;
+  RETURN s MOD 1000000007
+END Checksum;
+
+BEGIN
+  seed := 42;
+  root := MakeTree(Depth);
+  FOR i := 1 TO Iters DO
+    IF Depth > 1 THEN
+      root^.kids[Rand(Branch)] := MakeTree(Depth - 1)
+    END
+  END;
+  PutInt(Checksum(root)); PutLn();
+END Sweep.
+)";
+  return S;
+}
+
+struct Shape {
+  int Branch, Depth, Iters;
+};
+
+class TreeSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(TreeSweep, ChecksumIndependentOfCollector) {
+  Shape S = GetParam();
+  std::string Src = treeProgram(S.Branch, S.Depth, S.Iters);
+
+  // Reference: roomy heap, no stress, -O0.
+  driver::CompilerOptions Ref;
+  Ref.OptLevel = 0;
+  vm::VMOptions RefVO;
+  RefVO.HeapBytes = 8u << 20;
+  RefVO.StackWords = 1u << 20;
+  RunResult Reference = compileAndRun(Src, Ref, RefVO);
+  ASSERT_TRUE(Reference.Ok) << Reference.Error;
+  ASSERT_FALSE(Reference.Out.empty());
+
+  for (int Opt : {0, 2}) {
+    for (size_t Heap : {128u << 10, 512u << 10}) {
+      driver::CompilerOptions CO;
+      CO.OptLevel = Opt;
+      vm::VMOptions VO;
+      VO.HeapBytes = Heap;
+      VO.StackWords = 1u << 20;
+      RunResult R = compileAndRun(Src, CO, VO);
+      ASSERT_TRUE(R.Ok) << "opt=" << Opt << " heap=" << Heap << ": "
+                        << R.Error;
+      EXPECT_EQ(R.Out, Reference.Out) << "opt=" << Opt << " heap=" << Heap;
+    }
+    // Stress mode: a collection before every allocation.
+    driver::CompilerOptions CO;
+    CO.OptLevel = Opt;
+    vm::VMOptions VO;
+    VO.GcStress = true;
+    VO.HeapBytes = 1u << 20;
+    VO.StackWords = 1u << 20;
+    RunResult R = compileAndRun(Src, CO, VO);
+    ASSERT_TRUE(R.Ok) << "stress opt=" << Opt << ": " << R.Error;
+    EXPECT_EQ(R.Out, Reference.Out) << "stress opt=" << Opt;
+    EXPECT_GT(R.Stats.Collections, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TreeSweep,
+    ::testing::Values(Shape{2, 2, 4}, Shape{2, 5, 12}, Shape{3, 4, 8},
+                      Shape{4, 3, 10}, Shape{2, 8, 6}, Shape{5, 2, 20},
+                      Shape{1, 10, 5}, Shape{3, 6, 3}),
+    [](const ::testing::TestParamInfo<Shape> &Info) {
+      return "b" + std::to_string(Info.param.Branch) + "d" +
+             std::to_string(Info.param.Depth) + "i" +
+             std::to_string(Info.param.Iters);
+    });
+
+//===----------------------------------------------------------------------===//
+// List churn with interior pointers
+//===----------------------------------------------------------------------===//
+
+class ChurnSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChurnSweep, InteriorPointersSurviveChurn) {
+  int N = GetParam();
+  std::string Src = R"(
+MODULE Churn;
+CONST N = )" + std::to_string(N) + R"(;
+TYPE Cell = REF RECORD a, b: INTEGER END;
+     Arr = REF ARRAY [1..10] OF INTEGER;
+VAR junk: Cell; total: INTEGER;
+
+PROCEDURE Work(v: Arr): INTEGER;
+VAR s, i: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 1 TO 10 DO
+    junk := NEW(Cell);      (* churn at every step *)
+    WITH e = v[i] DO
+      junk := NEW(Cell);
+      e := e + i
+    END;
+    s := s + v[i]
+  END;
+  RETURN s
+END Work;
+
+VAR v: Arr; k: INTEGER;
+BEGIN
+  v := NEW(Arr);
+  FOR i := 1 TO 10 DO v[i] := 0 END;
+  total := 0;
+  FOR k := 1 TO N DO
+    total := total + Work(v)
+  END;
+  PutInt(total); PutLn();
+END Churn.
+)";
+  // Closed form: after k rounds v[i] = k*i, so Work returns 55*k and the
+  // total is 55 * N(N+1)/2.
+  long long Expect = 55LL * N * (N + 1) / 2;
+  driver::CompilerOptions CO;
+  CO.OptLevel = 2;
+  vm::VMOptions VO;
+  VO.GcStress = true; // Collect at every allocation.
+  VO.HeapBytes = 1u << 20;
+  RunResult R = compileAndRun(Src, CO, VO);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Out, std::to_string(Expect) + "\n");
+  EXPECT_GT(R.Stats.Collections, 0u);
+  EXPECT_GT(R.Stats.DerivedAdjusted, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, ChurnSweep,
+                         ::testing::Values(1, 2, 5, 10, 25, 50));
+
+} // namespace

@@ -1,0 +1,159 @@
+//===- tools/mgc.cpp - The mgc command-line driver -------------------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compile and run MG programs from the command line.
+///
+///   mgc [options] file.mg
+///
+///   --noopt          compile at -O0
+///   --no-gc-tables   omit gc tables (the program cannot collect)
+///   --cisc           enable the VAX-style addressing fold
+///   --threads        insert loop polls for threaded collection (§5.3)
+///   --interproc      elide gc-points at calls to non-allocating procs
+///   --split          path-splitting instead of path variables (§4)
+///   --dump-ir        print the optimized IR and exit
+///   --dump-asm       print machine code with decoded tables and exit
+///   --stats          print compilation and collection statistics
+///   --stress         collect before every allocation
+///   --heap BYTES     semispace size (default 4 MiB)
+///   --no-run         compile only
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Disasm.h"
+#include "driver/Compiler.h"
+#include "gc/Collector.h"
+#include "vm/VM.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace mgc;
+
+namespace {
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--noopt] [--no-gc-tables] [--cisc] [--threads] "
+               "[--interproc]\n           [--split] [--dump-ir] [--dump-asm] "
+               "[--stats] [--stress]\n           [--heap BYTES] [--no-run] "
+               "file.mg\n",
+               Argv0);
+  return 2;
+}
+} // namespace
+
+int main(int argc, char **argv) {
+  driver::CompilerOptions Options;
+  vm::VMOptions VO;
+  bool DumpIR = false, DumpAsm = false, Stats = false, Run = true;
+  const char *Path = nullptr;
+
+  for (int A = 1; A < argc; ++A) {
+    const char *Arg = argv[A];
+    if (!std::strcmp(Arg, "--noopt")) {
+      Options.OptLevel = 0;
+    } else if (!std::strcmp(Arg, "--no-gc-tables")) {
+      Options.GcTables = false;
+    } else if (!std::strcmp(Arg, "--cisc")) {
+      Options.CiscFold = true;
+    } else if (!std::strcmp(Arg, "--threads")) {
+      Options.ThreadedPolls = true;
+    } else if (!std::strcmp(Arg, "--interproc")) {
+      Options.InterprocGcPoints = true;
+    } else if (!std::strcmp(Arg, "--split")) {
+      Options.Mode = driver::Disambiguation::PathSplitting;
+    } else if (!std::strcmp(Arg, "--dump-ir")) {
+      DumpIR = true;
+    } else if (!std::strcmp(Arg, "--dump-asm")) {
+      DumpAsm = true;
+    } else if (!std::strcmp(Arg, "--stats")) {
+      Stats = true;
+    } else if (!std::strcmp(Arg, "--stress")) {
+      VO.GcStress = true;
+    } else if (!std::strcmp(Arg, "--no-run")) {
+      Run = false;
+    } else if (!std::strcmp(Arg, "--heap")) {
+      if (++A == argc)
+        return usage(argv[0]);
+      VO.HeapBytes = static_cast<size_t>(std::atoll(argv[A]));
+    } else if (Arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      Path = Arg;
+    }
+  }
+  if (!Path)
+    return usage(argv[0]);
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "mgc: cannot open %s\n", Path);
+    return 1;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  driver::CompileResult Compiled = driver::compile(Buf.str(), Options);
+  if (!Compiled.Prog) {
+    std::fprintf(stderr, "%s", Compiled.Diags.str().c_str());
+    return 1;
+  }
+  vm::Program &Prog = *Compiled.Prog;
+
+  if (DumpIR) {
+    std::fputs(Compiled.IRDump.c_str(), stdout);
+    return 0;
+  }
+  if (DumpAsm) {
+    for (unsigned F = 0; F != Prog.Funcs.size(); ++F)
+      std::fputs(
+          codegen::disassembleFunction(Prog, F, Options.GcTables).c_str(),
+          stdout);
+    return 0;
+  }
+
+  if (Stats) {
+    std::printf("code: %zu bytes, %zu functions, %u gc-points (%u elided), "
+                "%u loop polls\n",
+                Prog.codeSizeBytes(), Prog.Funcs.size(), Prog.Stats.NGC,
+                Prog.GcPointsElided, Prog.LoopPolls);
+    std::printf("tables: delta-main pp %zuB (plain %zuB), full-info packed "
+                "%zuB, pc-map %zuB\n",
+                Prog.Sizes.DeltaPP, Prog.Sizes.DeltaPlain,
+                Prog.Sizes.FullPack, Prog.Sizes.PcMapBytes);
+    if (Prog.PathVars)
+      std::printf("path variables: %u (%u assignments)\n", Prog.PathVars,
+                  Prog.PathAssigns);
+    if (Options.CiscFold)
+      std::printf("addressing folds: %u applied, %u preserved for gc\n",
+                  Prog.CiscFoldsApplied, Prog.CiscFoldsBlocked);
+  }
+  if (!Run)
+    return 0;
+
+  vm::VM Machine(Prog, VO);
+  gc::installPreciseCollector(Machine);
+  bool Ok = Machine.run();
+  std::fputs(Machine.Out.c_str(), stdout);
+  if (!Ok) {
+    std::fprintf(stderr, "mgc: runtime error: %s\n", Machine.Error.c_str());
+    return 1;
+  }
+  if (Stats) {
+    const vm::VMStats &S = Machine.Stats;
+    std::printf("run: %llu instrs, %llu collections, %llu bytes copied, "
+                "%llu frames traced, %llu derived adjusted\n",
+                static_cast<unsigned long long>(S.Instrs),
+                static_cast<unsigned long long>(S.Collections),
+                static_cast<unsigned long long>(S.BytesCopied),
+                static_cast<unsigned long long>(S.FramesTraced),
+                static_cast<unsigned long long>(S.DerivedAdjusted));
+  }
+  return 0;
+}
