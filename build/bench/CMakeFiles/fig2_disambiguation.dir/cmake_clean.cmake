@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_disambiguation.dir/fig2_disambiguation.cpp.o"
+  "CMakeFiles/fig2_disambiguation.dir/fig2_disambiguation.cpp.o.d"
+  "fig2_disambiguation"
+  "fig2_disambiguation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_disambiguation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+bench/CMakeFiles/mgc_programs.dir/Programs.cpp.o: \
+ /root/repo/bench/Programs.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/Programs.h

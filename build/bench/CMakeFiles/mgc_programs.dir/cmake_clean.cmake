@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgc_programs.dir/Programs.cpp.o"
+  "CMakeFiles/mgc_programs.dir/Programs.cpp.o.d"
+  "libmgc_programs.a"
+  "libmgc_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgc_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_decode.dir/micro_decode.cpp.o"
+  "CMakeFiles/micro_decode.dir/micro_decode.cpp.o.d"
+  "micro_decode"
+  "micro_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

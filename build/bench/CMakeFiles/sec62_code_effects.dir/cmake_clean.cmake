@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec62_code_effects.dir/sec62_code_effects.cpp.o"
+  "CMakeFiles/sec62_code_effects.dir/sec62_code_effects.cpp.o.d"
+  "sec62_code_effects"
+  "sec62_code_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec62_code_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec63_tracing.dir/sec63_tracing.cpp.o"
+  "CMakeFiles/sec63_tracing.dir/sec63_tracing.cpp.o.d"
+  "sec63_tracing"
+  "sec63_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec63_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

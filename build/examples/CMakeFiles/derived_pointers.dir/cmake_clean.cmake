@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derived_pointers.dir/derived_pointers.cpp.o"
+  "CMakeFiles/derived_pointers.dir/derived_pointers.cpp.o.d"
+  "derived_pointers"
+  "derived_pointers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derived_pointers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

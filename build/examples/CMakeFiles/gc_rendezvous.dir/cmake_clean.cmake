@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_rendezvous.dir/gc_rendezvous.cpp.o"
+  "CMakeFiles/gc_rendezvous.dir/gc_rendezvous.cpp.o.d"
+  "gc_rendezvous"
+  "gc_rendezvous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_rendezvous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_dump.dir/table_dump.cpp.o"
+  "CMakeFiles/table_dump.dir/table_dump.cpp.o.d"
+  "table_dump"
+  "table_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

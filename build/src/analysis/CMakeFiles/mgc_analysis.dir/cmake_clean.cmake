@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgc_analysis.dir/Derivations.cpp.o"
+  "CMakeFiles/mgc_analysis.dir/Derivations.cpp.o.d"
+  "CMakeFiles/mgc_analysis.dir/Liveness.cpp.o"
+  "CMakeFiles/mgc_analysis.dir/Liveness.cpp.o.d"
+  "CMakeFiles/mgc_analysis.dir/Loops.cpp.o"
+  "CMakeFiles/mgc_analysis.dir/Loops.cpp.o.d"
+  "libmgc_analysis.a"
+  "libmgc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

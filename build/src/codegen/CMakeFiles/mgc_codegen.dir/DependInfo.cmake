@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/Disasm.cpp" "src/codegen/CMakeFiles/mgc_codegen.dir/Disasm.cpp.o" "gcc" "src/codegen/CMakeFiles/mgc_codegen.dir/Disasm.cpp.o.d"
+  "/root/repo/src/codegen/Emit.cpp" "src/codegen/CMakeFiles/mgc_codegen.dir/Emit.cpp.o" "gcc" "src/codegen/CMakeFiles/mgc_codegen.dir/Emit.cpp.o.d"
+  "/root/repo/src/codegen/Machine.cpp" "src/codegen/CMakeFiles/mgc_codegen.dir/Machine.cpp.o" "gcc" "src/codegen/CMakeFiles/mgc_codegen.dir/Machine.cpp.o.d"
+  "/root/repo/src/codegen/RegAlloc.cpp" "src/codegen/CMakeFiles/mgc_codegen.dir/RegAlloc.cpp.o" "gcc" "src/codegen/CMakeFiles/mgc_codegen.dir/RegAlloc.cpp.o.d"
+  "/root/repo/src/codegen/Serialize.cpp" "src/codegen/CMakeFiles/mgc_codegen.dir/Serialize.cpp.o" "gcc" "src/codegen/CMakeFiles/mgc_codegen.dir/Serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/mgc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mgc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcsafety/CMakeFiles/mgc_gcsafety.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcmaps/CMakeFiles/mgc_gcmaps.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mgc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgc_codegen.dir/Disasm.cpp.o"
+  "CMakeFiles/mgc_codegen.dir/Disasm.cpp.o.d"
+  "CMakeFiles/mgc_codegen.dir/Emit.cpp.o"
+  "CMakeFiles/mgc_codegen.dir/Emit.cpp.o.d"
+  "CMakeFiles/mgc_codegen.dir/Machine.cpp.o"
+  "CMakeFiles/mgc_codegen.dir/Machine.cpp.o.d"
+  "CMakeFiles/mgc_codegen.dir/RegAlloc.cpp.o"
+  "CMakeFiles/mgc_codegen.dir/RegAlloc.cpp.o.d"
+  "CMakeFiles/mgc_codegen.dir/Serialize.cpp.o"
+  "CMakeFiles/mgc_codegen.dir/Serialize.cpp.o.d"
+  "libmgc_codegen.a"
+  "libmgc_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgc_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgc_driver.dir/Compiler.cpp.o"
+  "CMakeFiles/mgc_driver.dir/Compiler.cpp.o.d"
+  "libmgc_driver.a"
+  "libmgc_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgc_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

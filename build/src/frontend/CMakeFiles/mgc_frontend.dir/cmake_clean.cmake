@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgc_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/mgc_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/mgc_frontend.dir/Lower.cpp.o"
+  "CMakeFiles/mgc_frontend.dir/Lower.cpp.o.d"
+  "CMakeFiles/mgc_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/mgc_frontend.dir/Parser.cpp.o.d"
+  "CMakeFiles/mgc_frontend.dir/Sema.cpp.o"
+  "CMakeFiles/mgc_frontend.dir/Sema.cpp.o.d"
+  "CMakeFiles/mgc_frontend.dir/Type.cpp.o"
+  "CMakeFiles/mgc_frontend.dir/Type.cpp.o.d"
+  "libmgc_frontend.a"
+  "libmgc_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgc_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgc_gc.dir/Collector.cpp.o"
+  "CMakeFiles/mgc_gc.dir/Collector.cpp.o.d"
+  "libmgc_gc.a"
+  "libmgc_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgc_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgc_gcmaps.dir/GcTables.cpp.o"
+  "CMakeFiles/mgc_gcmaps.dir/GcTables.cpp.o.d"
+  "libmgc_gcmaps.a"
+  "libmgc_gcmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgc_gcmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

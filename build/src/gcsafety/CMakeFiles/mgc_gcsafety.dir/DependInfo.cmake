@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gcsafety/GcSafety.cpp" "src/gcsafety/CMakeFiles/mgc_gcsafety.dir/GcSafety.cpp.o" "gcc" "src/gcsafety/CMakeFiles/mgc_gcsafety.dir/GcSafety.cpp.o.d"
+  "/root/repo/src/gcsafety/Interproc.cpp" "src/gcsafety/CMakeFiles/mgc_gcsafety.dir/Interproc.cpp.o" "gcc" "src/gcsafety/CMakeFiles/mgc_gcsafety.dir/Interproc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/mgc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mgc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mgc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgc_gcsafety.dir/GcSafety.cpp.o"
+  "CMakeFiles/mgc_gcsafety.dir/GcSafety.cpp.o.d"
+  "CMakeFiles/mgc_gcsafety.dir/Interproc.cpp.o"
+  "CMakeFiles/mgc_gcsafety.dir/Interproc.cpp.o.d"
+  "libmgc_gcsafety.a"
+  "libmgc_gcsafety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgc_gcsafety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

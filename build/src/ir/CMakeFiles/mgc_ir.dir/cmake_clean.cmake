@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgc_ir.dir/IR.cpp.o"
+  "CMakeFiles/mgc_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/mgc_ir.dir/Printer.cpp.o"
+  "CMakeFiles/mgc_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/mgc_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/mgc_ir.dir/Verifier.cpp.o.d"
+  "libmgc_ir.a"
+  "libmgc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgc_opt.dir/Diamond.cpp.o"
+  "CMakeFiles/mgc_opt.dir/Diamond.cpp.o.d"
+  "CMakeFiles/mgc_opt.dir/LoopOpts.cpp.o"
+  "CMakeFiles/mgc_opt.dir/LoopOpts.cpp.o.d"
+  "CMakeFiles/mgc_opt.dir/Scalar.cpp.o"
+  "CMakeFiles/mgc_opt.dir/Scalar.cpp.o.d"
+  "libmgc_opt.a"
+  "libmgc_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgc_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgc_support.dir/ByteCodec.cpp.o"
+  "CMakeFiles/mgc_support.dir/ByteCodec.cpp.o.d"
+  "CMakeFiles/mgc_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/mgc_support.dir/Diagnostics.cpp.o.d"
+  "libmgc_support.a"
+  "libmgc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgc_vm.dir/Heap.cpp.o"
+  "CMakeFiles/mgc_vm.dir/Heap.cpp.o.d"
+  "CMakeFiles/mgc_vm.dir/VM.cpp.o"
+  "CMakeFiles/mgc_vm.dir/VM.cpp.o.d"
+  "libmgc_vm.a"
+  "libmgc_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgc_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AnalysisTest.cpp" "tests/CMakeFiles/mgc_tests.dir/AnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/AnalysisTest.cpp.o.d"
+  "/root/repo/tests/ByteCodecTest.cpp" "tests/CMakeFiles/mgc_tests.dir/ByteCodecTest.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/ByteCodecTest.cpp.o.d"
+  "/root/repo/tests/EndToEndTest.cpp" "tests/CMakeFiles/mgc_tests.dir/EndToEndTest.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/EndToEndTest.cpp.o.d"
+  "/root/repo/tests/ExtrasTest.cpp" "tests/CMakeFiles/mgc_tests.dir/ExtrasTest.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/ExtrasTest.cpp.o.d"
+  "/root/repo/tests/FrontendTest.cpp" "tests/CMakeFiles/mgc_tests.dir/FrontendTest.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/FrontendTest.cpp.o.d"
+  "/root/repo/tests/GCTest.cpp" "tests/CMakeFiles/mgc_tests.dir/GCTest.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/GCTest.cpp.o.d"
+  "/root/repo/tests/GcMapsTest.cpp" "tests/CMakeFiles/mgc_tests.dir/GcMapsTest.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/GcMapsTest.cpp.o.d"
+  "/root/repo/tests/InterprocTest.cpp" "tests/CMakeFiles/mgc_tests.dir/InterprocTest.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/InterprocTest.cpp.o.d"
+  "/root/repo/tests/OptTest.cpp" "tests/CMakeFiles/mgc_tests.dir/OptTest.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/OptTest.cpp.o.d"
+  "/root/repo/tests/PropertyTest.cpp" "tests/CMakeFiles/mgc_tests.dir/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/PropertyTest.cpp.o.d"
+  "/root/repo/tests/SampleProgramsTest.cpp" "tests/CMakeFiles/mgc_tests.dir/SampleProgramsTest.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/SampleProgramsTest.cpp.o.d"
+  "/root/repo/tests/Sec62Test.cpp" "tests/CMakeFiles/mgc_tests.dir/Sec62Test.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/Sec62Test.cpp.o.d"
+  "/root/repo/tests/ThreadsTest.cpp" "tests/CMakeFiles/mgc_tests.dir/ThreadsTest.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/ThreadsTest.cpp.o.d"
+  "/root/repo/tests/VMTest.cpp" "tests/CMakeFiles/mgc_tests.dir/VMTest.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/VMTest.cpp.o.d"
+  "/root/repo/bench/Programs.cpp" "tests/CMakeFiles/mgc_tests.dir/__/bench/Programs.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/__/bench/Programs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/mgc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/mgc_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/mgc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mgc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcsafety/CMakeFiles/mgc_gcsafety.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/mgc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcmaps/CMakeFiles/mgc_gcmaps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mgc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/mgc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/mgc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mgc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

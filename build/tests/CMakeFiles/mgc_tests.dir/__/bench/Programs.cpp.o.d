@@ -1,0 +1,3 @@
+tests/CMakeFiles/mgc_tests.dir/__/bench/Programs.cpp.o: \
+ /root/repo/bench/Programs.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/Programs.h

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/mgc.cpp" "tools/CMakeFiles/mgc.dir/mgc.cpp.o" "gcc" "tools/CMakeFiles/mgc.dir/mgc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/mgc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/mgc_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/mgc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mgc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcsafety/CMakeFiles/mgc_gcsafety.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/mgc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcmaps/CMakeFiles/mgc_gcmaps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mgc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/mgc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/mgc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mgc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgc.dir/mgc.cpp.o"
+  "CMakeFiles/mgc.dir/mgc.cpp.o.d"
+  "mgc"
+  "mgc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
