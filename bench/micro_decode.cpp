@@ -15,6 +15,8 @@
 #include "BenchUtil.h"
 #include "Programs.h"
 
+#include "gcmaps/MapIndex.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace mgc;
@@ -55,16 +57,20 @@ struct ProgramFixture {
   std::unique_ptr<vm::Program> Prog;
   /// Function with the most gc-points, and its busiest ordinals.
   const gcmaps::EncodedFuncMaps *Busiest = nullptr;
+  const gcmaps::FuncMapIndex *BusiestIndex = nullptr;
+  unsigned BusiestFunc = 0;
 
   explicit ProgramFixture(const char *Source) {
     driver::CompilerOptions CO;
     CO.OptLevel = 2;
     Prog = bench::compileOrDie("micro", Source, CO);
     size_t Best = 0;
-    for (const auto &Maps : Prog->Maps)
-      if (Maps.RetPCs.size() > Best) {
-        Best = Maps.RetPCs.size();
-        Busiest = &Maps;
+    for (unsigned F = 0; F != Prog->Maps.size(); ++F)
+      if (Prog->Maps[F].RetPCs.size() > Best) {
+        Best = Prog->Maps[F].RetPCs.size();
+        Busiest = &Prog->Maps[F];
+        BusiestIndex = &Prog->MapIndexes[F];
+        BusiestFunc = F;
       }
   }
 };
@@ -112,6 +118,55 @@ BENCHMARK(BM_DecodeGcPoint)
     ->Args({0, 1})
     ->Args({1, 1});
 
+/// The same decode through the load-time side index: the chain walk and
+/// ground-table re-expansion disappear; only the point's own payloads are
+/// read.
+void BM_DecodeGcPointIndexed(benchmark::State &State) {
+  ProgramFixture &F = State.range(1) ? typeregFixture() : destroyFixture();
+  const auto &Maps = *F.Busiest;
+  const auto &Index = *F.BusiestIndex;
+  unsigned Ordinal =
+      State.range(0) == 0
+          ? 0
+          : static_cast<unsigned>(Maps.RetPCs.size()) - 1;
+  gcmaps::GcPointInfo Info; // Reused: capacity persists across decodes.
+  for (auto _ : State) {
+    gcmaps::decodeGcPointIndexed(Maps, Index, Ordinal, Info);
+    benchmark::DoNotOptimize(Info.RegMask);
+  }
+  State.SetLabel(State.range(1) ? "typereg" : "destroy");
+}
+BENCHMARK(BM_DecodeGcPointIndexed)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1});
+
+/// The collector's steady-state path: the decoded-point cache hit, which
+/// returns a const reference without touching the blob at all.
+void BM_DecodeGcPointCached(benchmark::State &State) {
+  ProgramFixture &F = State.range(1) ? typeregFixture() : destroyFixture();
+  const auto &Maps = *F.Busiest;
+  const auto &Index = *F.BusiestIndex;
+  unsigned Ordinal =
+      State.range(0) == 0
+          ? 0
+          : static_cast<unsigned>(Maps.RetPCs.size()) - 1;
+  gcmaps::DecodedPointCache Cache;
+  gcmaps::decodeGcPointIndexed(Maps, Index, Ordinal,
+                               Cache.insert(F.BusiestFunc, Ordinal));
+  for (auto _ : State) {
+    const gcmaps::GcPointInfo *Info = Cache.lookup(F.BusiestFunc, Ordinal);
+    benchmark::DoNotOptimize(Info);
+  }
+  State.SetLabel(State.range(1) ? "typereg" : "destroy");
+}
+BENCHMARK(BM_DecodeGcPointCached)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1});
+
 /// Decoding every gc-point of every function: the per-collection table
 /// work for a whole program, amortized.
 void BM_DecodeAllPoints(benchmark::State &State) {
@@ -128,6 +183,40 @@ void BM_DecodeAllPoints(benchmark::State &State) {
 }
 BENCHMARK(BM_DecodeAllPoints);
 
+/// Every gc-point of every function through the index (scratch reused):
+/// the O(points²) chain replay of the reference decoder becomes O(points).
+void BM_DecodeAllPointsIndexed(benchmark::State &State) {
+  ProgramFixture &F = destroyFixture();
+  gcmaps::GcPointInfo Info;
+  for (auto _ : State) {
+    size_t Total = 0;
+    for (size_t FI = 0; FI != F.Prog->Maps.size(); ++FI) {
+      const auto &Maps = F.Prog->Maps[FI];
+      const auto &Index = F.Prog->MapIndexes[FI];
+      for (unsigned K = 0; K != Maps.RetPCs.size(); ++K) {
+        gcmaps::decodeGcPointIndexed(Maps, Index, K, Info);
+        Total += Info.LiveSlots.size();
+      }
+    }
+    benchmark::DoNotOptimize(Total);
+  }
+}
+BENCHMARK(BM_DecodeAllPointsIndexed);
+
+/// What programs pay for the acceleration: index construction itself.
+void BM_BuildMapIndex(benchmark::State &State) {
+  ProgramFixture &F = destroyFixture();
+  for (auto _ : State) {
+    size_t Points = 0;
+    for (const auto &Maps : F.Prog->Maps) {
+      gcmaps::FuncMapIndex Index = gcmaps::buildFuncMapIndex(Maps);
+      Points += Index.Points.size();
+    }
+    benchmark::DoNotOptimize(Points);
+  }
+}
+BENCHMARK(BM_BuildMapIndex);
+
 //===----------------------------------------------------------------------===//
 // Whole-collection cost (precise, table-driven)
 //===----------------------------------------------------------------------===//
@@ -135,12 +224,15 @@ BENCHMARK(BM_DecodeAllPoints);
 void BM_FullCollection(benchmark::State &State) {
   ProgramFixture &F = destroyFixture();
   // Run destroy once to a mid-execution heap, then measure explicit
-  // collections on the final state.
+  // collections on the final state.  Arg 0 selects the decoder: 0 = the
+  // reference walk-from-start decoder, 1 = index + decoded-point cache.
+  gc::CollectorOptions GCO;
+  GCO.UseMapIndex = State.range(0) != 0;
   vm::VMOptions VO;
   VO.HeapBytes = 1u << 20;
   VO.StackWords = 1u << 20;
   vm::VM M(*F.Prog, VO);
-  gc::installPreciseCollector(M);
+  gc::installPreciseCollector(M, GCO);
   if (!M.run()) {
     State.SkipWithError(M.Error.c_str());
     return;
@@ -149,8 +241,9 @@ void BM_FullCollection(benchmark::State &State) {
     M.collectNow();
     benchmark::DoNotOptimize(M.Stats.Collections);
   }
+  State.SetLabel(GCO.UseMapIndex ? "indexed" : "reference");
 }
-BENCHMARK(BM_FullCollection);
+BENCHMARK(BM_FullCollection)->Arg(0)->Arg(1);
 
 } // namespace
 

@@ -162,6 +162,9 @@ CompileResult driver::compile(const std::string &Source,
   for (const gcmaps::FuncTableData &T : RawTables)
     Prog->Maps.push_back(
         gcmaps::encodeFunction(T, Prog->Sizes, Prog->Stats));
+  // Install-time decode acceleration (§6.3's decode cost, amortized): the
+  // collector resolves gc-points through these side indexes by default.
+  Prog->buildMapIndexes();
 
   Prog->Image = codegen::serializeCode(Prog->Code);
   Result.Prog = std::move(Prog);

@@ -7,10 +7,14 @@
 #include "gc/Collector.h"
 
 #include "gcmaps/GcTables.h"
+#include "gcmaps/MapIndex.h"
 
 #include <cassert>
 #include <chrono>
-#include <set>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <unordered_set>
 #include <vector>
 
 using namespace mgc;
@@ -28,21 +32,73 @@ struct DerivedEntry {
   std::vector<std::pair<Word *, int>> Bases;
 };
 
+/// The installed collector.  One instance lives for the life of the VM
+/// (captured by the Collector closure), so the decoded-point cache and the
+/// root/derived/scratch buffers persist across collections: steady-state
+/// collections decode from cache and allocate nothing.
 class PreciseCollector {
 public:
-  explicit PreciseCollector(VM &M) : M(M) {}
+  explicit PreciseCollector(const CollectorOptions &Opts)
+      : Opts(Opts), Cache(Opts.CacheLines) {}
 
-  void collect();
+  void collect(VM &M);
 
 private:
-  void walkThread(ThreadContext &T, uint32_t TablePC);
+  void walkThread(VM &M, ThreadContext &T, uint32_t TablePC);
+  /// The decoded tables for gc-point \p Ordinal of function \p FuncIdx,
+  /// through the configured path (cache+index, or the reference decoder).
+  const gcmaps::GcPointInfo &pointInfo(VM &M, unsigned FuncIdx,
+                                       unsigned Ordinal);
   Word *resolve(const vm::Location &L, uint32_t FP, uint32_t AP,
                 ThreadContext &T, Word **RegHome);
 
-  VM &M;
+  CollectorOptions Opts;
+  gcmaps::DecodedPointCache Cache;
+  uint64_t CacheHitsReported = 0;
+  uint64_t CacheMissesReported = 0;
+  /// Reference-decoder scratch (UseMapIndex == false).
+  gcmaps::GcPointInfo RefInfo;
   std::vector<Word *> TidyRoots;
+  /// Persistent arena: entries beyond DerivedUsed keep their base-vector
+  /// capacity between collections instead of being destroyed.
   std::vector<DerivedEntry> Derived;
+  size_t DerivedUsed = 0;
 };
+
+const gcmaps::GcPointInfo &PreciseCollector::pointInfo(VM &M,
+                                                       unsigned FuncIdx,
+                                                       unsigned Ordinal) {
+  const gcmaps::EncodedFuncMaps &Maps = M.Prog.Maps[FuncIdx];
+  const gcmaps::GcPointInfo *Info;
+  if (Opts.UseMapIndex) {
+    assert(FuncIdx < M.Prog.MapIndexes.size() &&
+           "program installed without map indexes");
+    const gcmaps::FuncMapIndex &Index = M.Prog.MapIndexes[FuncIdx];
+    Info = Cache.lookup(FuncIdx, Ordinal);
+    if (!Info) {
+      gcmaps::GcPointInfo &Slot = Cache.insert(FuncIdx, Ordinal);
+      gcmaps::decodeGcPointIndexed(Maps, Index, Ordinal, Slot,
+                                   &M.Stats.DecodeBytesSkipped);
+      Info = &Slot;
+    }
+    M.Stats.DecodeCacheHits += Cache.hits() - CacheHitsReported;
+    M.Stats.DecodeCacheMisses += Cache.misses() - CacheMissesReported;
+    CacheHitsReported = Cache.hits();
+    CacheMissesReported = Cache.misses();
+  } else {
+    RefInfo = gcmaps::decodeGcPoint(Maps, Ordinal);
+    Info = &RefInfo;
+  }
+  if (Opts.CrossCheck &&
+      !(*Info == gcmaps::decodeGcPoint(Maps, Ordinal))) {
+    std::fprintf(stderr,
+                 "gc cross-check: accelerated decode of func %u point %u "
+                 "disagrees with the reference decoder\n",
+                 FuncIdx, Ordinal);
+    std::abort();
+  }
+  return *Info;
+}
 
 Word *PreciseCollector::resolve(const vm::Location &L, uint32_t FP,
                                 uint32_t AP, ThreadContext &T,
@@ -61,7 +117,7 @@ Word *PreciseCollector::resolve(const vm::Location &L, uint32_t FP,
   return nullptr;
 }
 
-void PreciseCollector::walkThread(ThreadContext &T, uint32_t TablePC) {
+void PreciseCollector::walkThread(VM &M, ThreadContext &T, uint32_t TablePC) {
   // Register reconstruction state: where each register's value *as of the
   // frame being processed* lives.  Innermost frame: the live register file;
   // moving outward, registers saved by a frame are found in its save area.
@@ -81,8 +137,8 @@ void PreciseCollector::walkThread(ThreadContext &T, uint32_t TablePC) {
 
     int Ordinal = gcmaps::findGcPoint(Maps, PC);
     assert(Ordinal >= 0 && "suspension point is not a known gc-point");
-    gcmaps::GcPointInfo Info =
-        gcmaps::decodeGcPoint(Maps, static_cast<unsigned>(Ordinal));
+    const gcmaps::GcPointInfo &Info =
+        pointInfo(M, FuncIdx, static_cast<unsigned>(Ordinal));
 
     for (const vm::Location &L : Info.LiveSlots)
       TidyRoots.push_back(resolve(L, FP, AP, T, RegHome));
@@ -91,25 +147,24 @@ void PreciseCollector::walkThread(ThreadContext &T, uint32_t TablePC) {
         TidyRoots.push_back(RegHome[R]);
 
     for (const gcmaps::DerivationRecord &Rec : Info.Derivs) {
-      DerivedEntry E;
+      if (DerivedUsed == Derived.size())
+        Derived.emplace_back();
+      DerivedEntry &E = Derived[DerivedUsed++];
+      E.Bases.clear();
       E.Target = resolve(Rec.Target, FP, AP, T, RegHome);
       const std::vector<gcmaps::BaseRef> *Bases = &Rec.Bases;
       if (Rec.Ambiguous) {
         // Consult the path variable to select the derivation that actually
-        // happened (§4).
+        // happened (§4).  Alts are encoded sorted by path value, so this
+        // is a binary search rather than a linear scan.
         Word PathValue = *resolve(Rec.PathVar, FP, AP, T, RegHome);
-        const gcmaps::DerivationAlt *Chosen = nullptr;
-        for (const gcmaps::DerivationAlt &Alt : Rec.Alts)
-          if (static_cast<Word>(Alt.PathValue) == PathValue) {
-            Chosen = &Alt;
-            break;
-          }
+        const gcmaps::DerivationAlt *Chosen = gcmaps::findDerivationAlt(
+            Rec, static_cast<int32_t>(PathValue));
         assert(Chosen && "path variable selects no known derivation");
         Bases = &Chosen->Bases;
       }
       for (const gcmaps::BaseRef &B : *Bases)
         E.Bases.emplace_back(resolve(B.Loc, FP, AP, T, RegHome), B.Coeff);
-      Derived.push_back(std::move(E));
     }
 
     // Step to the caller: registers this frame saved now live in its save
@@ -128,12 +183,12 @@ void PreciseCollector::walkThread(ThreadContext &T, uint32_t TablePC) {
   }
 }
 
-void PreciseCollector::collect() {
+void PreciseCollector::collect(VM &M) {
   using Clock = std::chrono::steady_clock;
   auto T0 = Clock::now();
 
   TidyRoots.clear();
-  Derived.clear();
+  DerivedUsed = 0;
 
   // --- Stack tracing: locate tables, decode, gather roots (timed
   // separately; this is §6.3's measured quantity).
@@ -144,7 +199,7 @@ void PreciseCollector::collect() {
     uint32_t TablePC = M.SuspendPCs.empty() ? 0 : M.SuspendPCs[TI];
     if (TablePC == SentinelPC || TablePC == 0)
       continue;
-    walkThread(T, TablePC);
+    walkThread(M, T, TablePC);
   }
   for (unsigned W : M.Prog.GlobalPtrWords)
     TidyRoots.push_back(&M.Globals[W]);
@@ -156,7 +211,8 @@ void PreciseCollector::collect() {
 
   // --- Phase 1 (§3): un-derive, innermost frames first, leaving E in each
   // derived location.
-  for (const DerivedEntry &E : Derived) {
+  for (size_t K = 0; K != DerivedUsed; ++K) {
+    const DerivedEntry &E = Derived[K];
     Word V = *E.Target;
     for (const auto &[BaseLoc, Coeff] : E.Bases)
       V -= static_cast<Word>(static_cast<int64_t>(Coeff)) * *BaseLoc;
@@ -208,7 +264,7 @@ void PreciseCollector::collect() {
 
   // --- Phase 2 of the update (§3): re-derive from the new base values, in
   // exactly the reverse order.
-  for (size_t K = Derived.size(); K-- > 0;) {
+  for (size_t K = DerivedUsed; K-- > 0;) {
     const DerivedEntry &E = Derived[K];
     Word V = *E.Target;
     for (const auto &[BaseLoc, Coeff] : E.Bases)
@@ -225,8 +281,12 @@ void PreciseCollector::collect() {
 
 } // namespace
 
-void gc::installPreciseCollector(VM &M) {
-  M.Collector = [](VM &Inner) { PreciseCollector(Inner).collect(); };
+void gc::installPreciseCollector(VM &M, const CollectorOptions &Opts) {
+  // The collector instance is shared by every collection of this VM: the
+  // decoded-point cache and the root/derived buffers persist, so only the
+  // first collections pay decode allocations.
+  auto State = std::make_shared<PreciseCollector>(Opts);
+  M.Collector = [State](VM &Inner) { State->collect(Inner); };
 }
 
 //===----------------------------------------------------------------------===//
@@ -239,8 +299,12 @@ ConservativeStats gc::conservativeTrace(VM &M) {
   ConservativeStats S;
 
   Heap &H = M.TheHeap;
-  std::set<Word> Marked;
+  // Hash-based mark set: the conservative baseline should pay for its lack
+  // of liveness information, not for red-black-tree rebalancing.
+  std::unordered_set<Word> Marked;
+  Marked.reserve(1024);
   std::vector<Word> Work;
+  Work.reserve(256);
 
   auto Consider = [&](Word V) {
     ++S.WordsScanned;

@@ -33,8 +33,23 @@
 namespace mgc {
 namespace gc {
 
-/// Installs the precise copying collector on \p M.
-void installPreciseCollector(vm::VM &M);
+/// How the precise collector resolves gc-point tables.
+struct CollectorOptions {
+  /// Use the load-time FuncMapIndex + decoded-point cache (MapIndex.h).
+  /// When false, every frame decodes through the reference walk-from-start
+  /// decoder — the §6.3 measured artifact (`--no-map-index` in mgc).
+  bool UseMapIndex = true;
+  /// Re-decode every gc-point through the reference decoder as well and
+  /// abort on any disagreement with the indexed/cached result.
+  bool CrossCheck = false;
+  /// Decoded-point cache lines (power of two).
+  unsigned CacheLines = 64;
+};
+
+/// Installs the precise copying collector on \p M.  The collector's decode
+/// state (point cache, root/derived buffers) persists across collections,
+/// so steady-state collections perform no decode allocations.
+void installPreciseCollector(vm::VM &M, const CollectorOptions &Opts = {});
 
 /// Statistics of a conservative (non-moving) trace.
 struct ConservativeStats {

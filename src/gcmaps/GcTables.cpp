@@ -92,9 +92,19 @@ std::vector<uint8_t> packDerivs(const std::vector<DerivationRecord> &Recs) {
     } else {
       appendPacked(Out, encodeLocation(R.PathVar));
       appendPacked(Out, static_cast<int32_t>(R.Alts.size()));
-      for (const DerivationAlt &Alt : R.Alts) {
-        appendPacked(Out, Alt.PathValue);
-        packBaseRefs(Out, Alt.Bases);
+      // Emit alternatives sorted by path value so the collector's alt
+      // selection can binary-search instead of scanning linearly.
+      std::vector<const DerivationAlt *> Sorted;
+      Sorted.reserve(R.Alts.size());
+      for (const DerivationAlt &Alt : R.Alts)
+        Sorted.push_back(&Alt);
+      std::sort(Sorted.begin(), Sorted.end(),
+                [](const DerivationAlt *A, const DerivationAlt *B) {
+                  return A->PathValue < B->PathValue;
+                });
+      for (const DerivationAlt *Alt : Sorted) {
+        appendPacked(Out, Alt->PathValue);
+        packBaseRefs(Out, Alt->Bases);
       }
     }
   }
@@ -340,7 +350,14 @@ std::vector<BaseRef> readBaseRefs(PackedReader &R) {
   return Bases;
 }
 
-std::vector<DerivationRecord> readDerivs(PackedReader &R) {
+void skipBaseRefs(PackedReader &R) {
+  int32_t N = R.readPackedWord();
+  for (int32_t I = 0; I != N; ++I)
+    (void)R.readPackedWord();
+}
+} // namespace
+
+std::vector<DerivationRecord> gcmaps::readDerivationRecords(PackedReader &R) {
   std::vector<DerivationRecord> Recs;
   int32_t N = R.readPackedWord();
   for (int32_t I = 0; I != N; ++I) {
@@ -363,7 +380,24 @@ std::vector<DerivationRecord> readDerivs(PackedReader &R) {
   }
   return Recs;
 }
-} // namespace
+
+void gcmaps::skipDerivationRecords(PackedReader &R) {
+  int32_t N = R.readPackedWord();
+  for (int32_t I = 0; I != N; ++I) {
+    (void)R.readPackedWord(); // Target.
+    bool Ambiguous = R.readPackedWord() != 0;
+    if (!Ambiguous) {
+      skipBaseRefs(R);
+    } else {
+      (void)R.readPackedWord(); // Path variable.
+      int32_t NAlts = R.readPackedWord();
+      for (int32_t K = 0; K != NAlts; ++K) {
+        (void)R.readPackedWord(); // Path value.
+        skipBaseRefs(R);
+      }
+    }
+  }
+}
 
 GcPointInfo gcmaps::decodeGcPoint(const EncodedFuncMaps &Maps,
                                   unsigned Ordinal) {
@@ -401,7 +435,7 @@ GcPointInfo gcmaps::decodeGcPoint(const EncodedFuncMaps &Maps,
     if (Desc & DerivEmpty)
       CurDerivs.clear();
     else if (!(Desc & DerivSame))
-      CurDerivs = readDerivs(R);
+      CurDerivs = readDerivationRecords(R);
 
     if (P == Ordinal)
       break;

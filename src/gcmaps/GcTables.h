@@ -150,7 +150,18 @@ int findGcPoint(const EncodedFuncMaps &Maps, uint32_t RetPC);
 
 /// Decodes gc-point \p Ordinal.  Walks the blob from the start resolving
 /// identical-to-previous chains, as the runtime does (§6.3's decode cost).
+/// This is the reference decoder; MapIndex.h provides the accelerated path
+/// that the collector uses by default.
 GcPointInfo decodeGcPoint(const EncodedFuncMaps &Maps, unsigned Ordinal);
+
+/// Reads one packed derivations record (the count-prefixed form emitted by
+/// the encoder) at \p R's position.  Ambiguous alternatives are encoded
+/// sorted by PathValue, so decoded `Alts` support binary search.
+std::vector<DerivationRecord> readDerivationRecords(PackedReader &R);
+
+/// Advances \p R past one packed derivations record without materializing
+/// it (used by the load-time index builder).
+void skipDerivationRecords(PackedReader &R);
 
 } // namespace gcmaps
 } // namespace mgc

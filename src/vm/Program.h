@@ -17,6 +17,7 @@
 #include "codegen/Machine.h"
 #include "codegen/Serialize.h"
 #include "gcmaps/GcTables.h"
+#include "gcmaps/MapIndex.h"
 #include "ir/IR.h"
 
 #include <cassert>
@@ -38,6 +39,9 @@ struct Program {
   /// Per-function gc maps (RetPCs are global instruction indices); empty
   /// blobs when compiled without gc tables.
   std::vector<gcmaps::EncodedFuncMaps> Maps;
+  /// Load-time decode acceleration: one side index per function, built at
+  /// install time (buildMapIndexes).  Parallel to Maps; empty until built.
+  std::vector<gcmaps::FuncMapIndex> MapIndexes;
   gcmaps::SchemeSizes Sizes;
   gcmaps::TableStats Stats;
 
@@ -50,6 +54,17 @@ struct Program {
   unsigned GcPointsElided = 0;
   unsigned PathVars = 0;
   unsigned PathAssigns = 0;
+
+  /// Builds the per-function decode indexes (idempotent).  Called by the
+  /// driver at install time; cheap — one forward walk per blob.
+  void buildMapIndexes() {
+    if (MapIndexes.size() == Maps.size())
+      return;
+    MapIndexes.clear();
+    MapIndexes.reserve(Maps.size());
+    for (const gcmaps::EncodedFuncMaps &M : Maps)
+      MapIndexes.push_back(gcmaps::buildFuncMapIndex(M));
+  }
 
   /// The function containing global instruction index \p PC.
   unsigned funcOfPC(uint32_t PC) const {

@@ -58,6 +58,11 @@ struct VMStats {
   uint64_t GcNanos = 0;         ///< Total collection time.
   uint64_t DerivedAdjusted = 0; ///< Derived-value un/re-derivations.
   uint64_t RootsTraced = 0;
+  // Decode acceleration counters (zero when the reference decoder is in
+  // use; see gc::CollectorOptions).
+  uint64_t DecodeCacheHits = 0;   ///< Decoded-point cache hits.
+  uint64_t DecodeCacheMisses = 0; ///< Decoded-point cache misses.
+  uint64_t DecodeBytesSkipped = 0; ///< Blob bytes the index let us skip.
   /// Instruction count at the start of the current collection's stack
   /// trace, for the §6.3 "instructions per frame" figure.
   uint64_t RendezvousSteps = 0;

@@ -441,4 +441,69 @@ END M.)");
   EXPECT_GT(R.Stats.GcNanos, 0u);
 }
 
+TEST(GC, DecoderModesAgreeUnderStress) {
+  // The same stressed workload through the reference decoder, the
+  // index+cache, and the cross-checking mode: identical output, identical
+  // root enumeration; only the accelerated run touches the cache.
+  const std::string Src = R"(
+MODULE M;
+TYPE R = REF RECORD v: INTEGER; next: R END;
+PROCEDURE Build(n: INTEGER): R;
+VAR h, c: R;
+BEGIN
+  h := NIL;
+  FOR i := 1 TO n DO
+    c := NEW(R); c^.v := i; c^.next := h; h := c
+  END;
+  RETURN h
+END Build;
+PROCEDURE Sum(h: R): INTEGER;
+VAR s: INTEGER;
+BEGIN
+  s := 0;
+  WHILE h # NIL DO s := s + h^.v; h := h^.next END;
+  RETURN s
+END Sum;
+VAR t: INTEGER;
+BEGIN
+  t := 0;
+  FOR k := 1 TO 8 DO
+    t := t + Sum(Build(20))
+  END;
+  PutInt(t); PutLn();
+END M.)";
+  driver::CompilerOptions CO;
+  CO.OptLevel = 2;
+  vm::VMOptions VO;
+  VO.GcStress = true;
+  VO.HeapBytes = 1u << 16;
+
+  gc::CollectorOptions Reference;
+  Reference.UseMapIndex = false;
+  RunResult Ref = compileAndRun(Src, CO, VO, Reference);
+  ASSERT_TRUE(Ref.Ok) << Ref.Error;
+  EXPECT_EQ(Ref.Out, "1680\n");
+  EXPECT_GT(Ref.Stats.Collections, 0u);
+  EXPECT_EQ(Ref.Stats.DecodeCacheHits, 0u);
+  EXPECT_EQ(Ref.Stats.DecodeCacheMisses, 0u);
+
+  RunResult Fast = compileAndRun(Src, CO, VO);
+  ASSERT_TRUE(Fast.Ok) << Fast.Error;
+  EXPECT_EQ(Fast.Out, Ref.Out);
+  EXPECT_EQ(Fast.Stats.RootsTraced, Ref.Stats.RootsTraced);
+  EXPECT_EQ(Fast.Stats.DerivedAdjusted, Ref.Stats.DerivedAdjusted);
+  EXPECT_EQ(Fast.Stats.FramesTraced, Ref.Stats.FramesTraced);
+  // Stress mode revisits the same gc-points constantly: the cache must
+  // serve the steady state.
+  EXPECT_GT(Fast.Stats.DecodeCacheHits, Fast.Stats.DecodeCacheMisses);
+  EXPECT_GT(Fast.Stats.DecodeBytesSkipped, 0u);
+
+  gc::CollectorOptions Checked;
+  Checked.CrossCheck = true;
+  RunResult Cross = compileAndRun(Src, CO, VO, Checked);
+  ASSERT_TRUE(Cross.Ok) << Cross.Error;
+  EXPECT_EQ(Cross.Out, Ref.Out);
+  EXPECT_EQ(Cross.Stats.RootsTraced, Ref.Stats.RootsTraced);
+}
+
 } // namespace

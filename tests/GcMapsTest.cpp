@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "gcmaps/GcTables.h"
+#include "gcmaps/MapIndex.h"
 
 #include <gtest/gtest.h>
 
@@ -284,6 +285,173 @@ TEST(GcMaps, PcMapAccountsTwoBytesPerPoint) {
   TableStats Stats;
   encodeFunction(Data, Sizes, Stats);
   EXPECT_EQ(Sizes.PcMapBytes, 4u + 2u * 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Load-time index + decoded-point cache (the acceleration layer)
+//===----------------------------------------------------------------------===//
+
+TEST(MapIndex, IndexedDecodeMatchesReference) {
+  SchemeSizes Sizes;
+  TableStats Stats;
+  FuncTableData Data = makeSampleData();
+  EncodedFuncMaps Maps = encodeFunction(Data, Sizes, Stats);
+  FuncMapIndex Index = buildFuncMapIndex(Maps);
+
+  ASSERT_EQ(Index.Points.size(), 4u);
+  EXPECT_EQ(Index.Ground.size(), Maps.GroundCount);
+  for (unsigned P = 0; P != 4; ++P)
+    EXPECT_TRUE(crossCheckPoint(Maps, Index, P)) << "point " << P;
+}
+
+TEST(MapIndex, SameAsPreviousChainsCollapseToOneHop) {
+  // 20 identical points: the reference decoder replays the whole chain;
+  // the index resolves every ordinal to point 0's payload offsets.
+  FuncTableData Data;
+  for (unsigned I = 0; I != 20; ++I) {
+    GcPointData P;
+    P.RetPC = I * 3 + 1;
+    P.LiveSlots = {Location::fpSlot(2), Location::fpSlot(4)};
+    P.RegMask = 0b11;
+    DerivationRecord R;
+    R.Target = Location::reg(2);
+    R.Bases = {{Location::fpSlot(2), 1}};
+    P.Derivs.push_back(R);
+    Data.Points.push_back(P);
+  }
+  SchemeSizes Sizes;
+  TableStats Stats;
+  EncodedFuncMaps Maps = encodeFunction(Data, Sizes, Stats);
+  FuncMapIndex Index = buildFuncMapIndex(Maps);
+
+  ASSERT_EQ(Index.Points.size(), 20u);
+  for (unsigned P = 1; P != 20; ++P) {
+    EXPECT_EQ(Index.Points[P].DeltaOff, Index.Points[0].DeltaOff);
+    EXPECT_EQ(Index.Points[P].RegOff, Index.Points[0].RegOff);
+    EXPECT_EQ(Index.Points[P].DerivOff, Index.Points[0].DerivOff);
+    EXPECT_TRUE(crossCheckPoint(Maps, Index, P));
+  }
+}
+
+TEST(MapIndex, EmptyTablesIndexAsEmptyPayloads) {
+  FuncTableData Data;
+  for (unsigned I = 0; I != 5; ++I) {
+    GcPointData P;
+    P.RetPC = I + 1;
+    Data.Points.push_back(P);
+  }
+  SchemeSizes Sizes;
+  TableStats Stats;
+  EncodedFuncMaps Maps = encodeFunction(Data, Sizes, Stats);
+  FuncMapIndex Index = buildFuncMapIndex(Maps);
+  for (const PointIndexEntry &E : Index.Points) {
+    EXPECT_EQ(E.DeltaOff, EmptyPayload);
+    EXPECT_EQ(E.RegOff, EmptyPayload);
+    EXPECT_EQ(E.DerivOff, EmptyPayload);
+  }
+  for (unsigned P = 0; P != 5; ++P)
+    EXPECT_TRUE(crossCheckPoint(Maps, Index, P));
+
+  // A function compiled without tables has no blob at all.
+  EncodedFuncMaps NoTables;
+  FuncMapIndex EmptyIndex = buildFuncMapIndex(NoTables);
+  EXPECT_TRUE(EmptyIndex.Points.empty());
+  EXPECT_TRUE(EmptyIndex.Ground.empty());
+}
+
+TEST(MapIndex, IndexedDecodeSkipsChainBytes) {
+  FuncTableData Data = makeSampleData();
+  SchemeSizes Sizes;
+  TableStats Stats;
+  EncodedFuncMaps Maps = encodeFunction(Data, Sizes, Stats);
+  FuncMapIndex Index = buildFuncMapIndex(Maps);
+
+  // The last ordinal: the reference decoder walks the whole blob; the
+  // indexed decode reads only this point's payloads.
+  GcPointInfo Info;
+  uint64_t Skipped = 0;
+  decodeGcPointIndexed(Maps, Index, 3, Info, &Skipped);
+  EXPECT_GT(Skipped, 0u);
+  EXPECT_LT(Skipped, Maps.Blob.size());
+}
+
+TEST(MapIndex, DecodedPointCacheHitsAndEvicts) {
+  SchemeSizes Sizes;
+  TableStats Stats;
+  FuncTableData Data = makeSampleData();
+  EncodedFuncMaps Maps = encodeFunction(Data, Sizes, Stats);
+  FuncMapIndex Index = buildFuncMapIndex(Maps);
+
+  DecodedPointCache Cache(4);
+  EXPECT_EQ(Cache.lookup(0, 0), nullptr); // Cold miss.
+  decodeGcPointIndexed(Maps, Index, 0, Cache.insert(0, 0));
+  const GcPointInfo *Hit = Cache.lookup(0, 0);
+  ASSERT_NE(Hit, nullptr);
+  EXPECT_TRUE(*Hit == decodeGcPoint(Maps, 0));
+  EXPECT_EQ(Cache.hits(), 1u);
+  EXPECT_EQ(Cache.misses(), 1u);
+
+  // Direct-mapped: a colliding (func, ordinal) evicts, and a re-inserted
+  // entry is correct again.
+  decodeGcPointIndexed(Maps, Index, 1, Cache.insert(0, 1));
+  decodeGcPointIndexed(Maps, Index, 0, Cache.insert(0, 0));
+  const GcPointInfo *Again = Cache.lookup(0, 0);
+  ASSERT_NE(Again, nullptr);
+  EXPECT_TRUE(*Again == decodeGcPoint(Maps, 0));
+}
+
+//===----------------------------------------------------------------------===//
+// Ambiguous-derivation selection (alts sorted at encode, binary search)
+//===----------------------------------------------------------------------===//
+
+TEST(MapIndex, AltsEncodedSortedAndSelectedByBinarySearch) {
+  // >2 alternatives, deliberately emitted out of order: the encoder must
+  // sort by path value and findDerivationAlt must select each one.
+  FuncTableData Data;
+  GcPointData P;
+  P.RetPC = 5;
+  DerivationRecord R;
+  R.Target = Location::fpSlot(7);
+  R.Ambiguous = true;
+  R.PathVar = Location::fpSlot(9);
+  R.Alts = {{7, {{Location::apSlot(3), 1}}},
+            {0, {{Location::apSlot(0), 1}}},
+            {3, {{Location::apSlot(2), 1}, {Location::apSlot(0), -1}}},
+            {1, {{Location::apSlot(1), 1}}}};
+  P.Derivs.push_back(R);
+  Data.Points.push_back(P);
+
+  SchemeSizes Sizes;
+  TableStats Stats;
+  EncodedFuncMaps Maps = encodeFunction(Data, Sizes, Stats);
+  GcPointInfo Info = decodeGcPoint(Maps, 0);
+  ASSERT_EQ(Info.Derivs.size(), 1u);
+  const DerivationRecord &Got = Info.Derivs[0];
+  ASSERT_EQ(Got.Alts.size(), 4u);
+  for (size_t K = 1; K != Got.Alts.size(); ++K)
+    EXPECT_LT(Got.Alts[K - 1].PathValue, Got.Alts[K].PathValue)
+        << "alts must decode sorted by path value";
+
+  // Every original alternative is found and maps to its own bases.
+  for (const DerivationAlt &Want : R.Alts) {
+    const DerivationAlt *Found = findDerivationAlt(Got, Want.PathValue);
+    ASSERT_NE(Found, nullptr) << "path value " << Want.PathValue;
+    EXPECT_EQ(Found->PathValue, Want.PathValue);
+    ASSERT_EQ(Found->Bases.size(), Want.Bases.size());
+    for (size_t B = 0; B != Want.Bases.size(); ++B) {
+      EXPECT_EQ(Found->Bases[B].Loc, Want.Bases[B].Loc);
+      EXPECT_EQ(Found->Bases[B].Coeff, Want.Bases[B].Coeff);
+    }
+  }
+  // Path values between/outside the encoded ones select nothing.
+  EXPECT_EQ(findDerivationAlt(Got, 2), nullptr);
+  EXPECT_EQ(findDerivationAlt(Got, 5), nullptr);
+  EXPECT_EQ(findDerivationAlt(Got, -1), nullptr);
+  EXPECT_EQ(findDerivationAlt(Got, 100), nullptr);
+
+  // The indexed decode agrees on the ambiguous record too.
+  FuncMapIndex Index = buildFuncMapIndex(Maps);
+  EXPECT_TRUE(crossCheckPoint(Maps, Index, 0));
 }
 
 } // namespace

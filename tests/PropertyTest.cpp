@@ -13,6 +13,9 @@
 
 #include "TestUtil.h"
 
+#include "Programs.h"
+#include "gcmaps/MapIndex.h"
+
 using namespace mgc;
 using namespace mgc::test;
 
@@ -191,5 +194,75 @@ END Churn.
 
 INSTANTIATE_TEST_SUITE_P(Rounds, ChurnSweep,
                          ::testing::Values(1, 2, 5, 10, 25, 50));
+
+//===----------------------------------------------------------------------===//
+// Decode equivalence: reference decoder == indexed/cached decode
+//===----------------------------------------------------------------------===//
+
+/// Every gc-point of every function of all four benchmark programs, at
+/// both optimization levels, must decode identically through the reference
+/// walk-from-start decoder, the load-time index, and the decoded-point
+/// cache — including same-as-previous chains and all-empty descriptors.
+class DecodeEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DecodeEquivalence, ReferenceEqualsIndexedAndCached) {
+  const programs::NamedProgram &P = programs::All[std::get<0>(GetParam())];
+  driver::CompilerOptions CO;
+  CO.OptLevel = std::get<1>(GetParam());
+  auto C = driver::compile(P.Source, CO);
+  ASSERT_TRUE(C.Prog) << P.Name << " failed to compile:\n" << C.Diags.str();
+  vm::Program &Prog = *C.Prog;
+  ASSERT_EQ(Prog.MapIndexes.size(), Prog.Maps.size());
+
+  // A deliberately tiny cache so eviction and re-fill are exercised too.
+  gcmaps::DecodedPointCache Cache(4);
+  unsigned PointsChecked = 0, SamePoints = 0, EmptyPoints = 0;
+  for (unsigned F = 0; F != Prog.Maps.size(); ++F) {
+    const gcmaps::EncodedFuncMaps &Maps = Prog.Maps[F];
+    const gcmaps::FuncMapIndex &Index = Prog.MapIndexes[F];
+    ASSERT_EQ(Index.Points.size(), Maps.RetPCs.size()) << "func " << F;
+
+    for (unsigned K = 0; K != Maps.RetPCs.size(); ++K) {
+      gcmaps::GcPointInfo Ref = gcmaps::decodeGcPoint(Maps, K);
+
+      gcmaps::GcPointInfo Indexed;
+      gcmaps::decodeGcPointIndexed(Maps, Index, K, Indexed);
+      EXPECT_TRUE(Indexed == Ref) << P.Name << " func " << F << " point "
+                                  << K << ": indexed decode diverged";
+
+      const gcmaps::GcPointInfo *Cached = Cache.lookup(F, K);
+      if (!Cached) {
+        gcmaps::decodeGcPointIndexed(Maps, Index, K, Cache.insert(F, K));
+        Cached = Cache.lookup(F, K);
+      }
+      ASSERT_NE(Cached, nullptr);
+      EXPECT_TRUE(*Cached == Ref) << P.Name << " func " << F << " point "
+                                  << K << ": cached decode diverged";
+
+      ++PointsChecked;
+      const gcmaps::PointIndexEntry &E = Index.Points[K];
+      if (K > 0 && (E.DeltaOff == Index.Points[K - 1].DeltaOff ||
+                    E.DerivOff == Index.Points[K - 1].DerivOff))
+        ++SamePoints;
+      if (E.DeltaOff == gcmaps::EmptyPayload &&
+          E.RegOff == gcmaps::EmptyPayload &&
+          E.DerivOff == gcmaps::EmptyPayload)
+        ++EmptyPoints;
+    }
+  }
+  // The sweep must actually cover the interesting encodings.
+  EXPECT_GT(PointsChecked, 0u) << P.Name;
+  EXPECT_GT(SamePoints + EmptyPoints, 0u)
+      << P.Name << ": expected same-as-previous or empty descriptors";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, DecodeEquivalence,
+    ::testing::Combine(::testing::Range(0, 4), ::testing::Values(0, 2)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>> &Info) {
+      return std::string(programs::All[std::get<0>(Info.param)].Name) +
+             "_O" + std::to_string(std::get<1>(Info.param));
+    });
 
 } // namespace

@@ -32,7 +32,8 @@ struct RunResult {
 /// Compiles and runs \p Source; fails the current test on compile errors.
 inline RunResult compileAndRun(const std::string &Source,
                                driver::CompilerOptions CO = {},
-                               vm::VMOptions VO = {}) {
+                               vm::VMOptions VO = {},
+                               gc::CollectorOptions GCO = {}) {
   RunResult R;
   auto C = driver::compile(Source, CO);
   if (!C.Prog) {
@@ -44,7 +45,7 @@ inline RunResult compileAndRun(const std::string &Source,
   R.CodeBytes = C.Prog->codeSizeBytes();
   R.IRDump = C.IRDump;
   vm::VM M(*C.Prog, VO);
-  gc::installPreciseCollector(M);
+  gc::installPreciseCollector(M, GCO);
   R.Ok = M.run();
   R.Out = M.Out;
   R.Error = M.Error;

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+#===- tools/check.sh - tier-1 verify + decode perf trajectory -------------===#
+#
+# Part of the mgc project (PLDI 1992 gc-tables reproduction).
+#
+# Runs the tier-1 verify line (configure, build, ctest) and then the decode
+# microbenchmarks, writing indexed-vs-reference ns/op to BENCH_decode.json
+# at the repo root so successive PRs leave a perf trajectory.
+#
+#   tools/check.sh [--skip-tests]
+#
+#===------------------------------------------------------------------------===#
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+
+SKIP_TESTS=0
+for Arg in "$@"; do
+  case "$Arg" in
+    --skip-tests) SKIP_TESTS=1 ;;
+    *) echo "usage: tools/check.sh [--skip-tests]" >&2; exit 2 ;;
+  esac
+done
+
+# --- Tier-1 verify -------------------------------------------------------
+cmake -B build -S .
+cmake --build build -j
+if [ "$SKIP_TESTS" -eq 0 ]; then
+  (cd build && ctest --output-on-failure -j)
+fi
+
+# --- Decode perf trajectory ---------------------------------------------
+# Short min_time: this is a trajectory marker, not a publication run.
+# (Older google-benchmark releases reject the "0.05x" repetition syntax,
+# so pass plain seconds.)
+MIN_TIME="${BENCH_MIN_TIME:-0.05}"
+./build/bench/micro_decode \
+  --benchmark_filter='BM_Decode|BM_BuildMapIndex|BM_FullCollection' \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_out="$ROOT/BENCH_decode.json" \
+  --benchmark_out_format=json \
+  --benchmark_format=console
+
+echo "check.sh: tier-1 ok; decode benchmarks written to BENCH_decode.json"

@@ -20,6 +20,11 @@
 ///   --stats          print compilation and collection statistics
 ///   --stress         collect before every allocation
 ///   --heap BYTES     semispace size (default 4 MiB)
+///   --no-map-index   decode tables with the reference walk-from-start
+///                    decoder (the §6.3 artifact) instead of the load-time
+///                    index + decoded-point cache
+///   --gc-crosscheck  verify every accelerated decode against the
+///                    reference decoder (aborts on mismatch)
 ///   --no-run         compile only
 ///
 //===----------------------------------------------------------------------===//
@@ -41,8 +46,8 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--noopt] [--no-gc-tables] [--cisc] [--threads] "
                "[--interproc]\n           [--split] [--dump-ir] [--dump-asm] "
-               "[--stats] [--stress]\n           [--heap BYTES] [--no-run] "
-               "file.mg\n",
+               "[--stats] [--stress]\n           [--heap BYTES] "
+               "[--no-map-index] [--gc-crosscheck] [--no-run] file.mg\n",
                Argv0);
   return 2;
 }
@@ -51,6 +56,7 @@ int usage(const char *Argv0) {
 int main(int argc, char **argv) {
   driver::CompilerOptions Options;
   vm::VMOptions VO;
+  gc::CollectorOptions GCO;
   bool DumpIR = false, DumpAsm = false, Stats = false, Run = true;
   const char *Path = nullptr;
 
@@ -76,6 +82,10 @@ int main(int argc, char **argv) {
       Stats = true;
     } else if (!std::strcmp(Arg, "--stress")) {
       VO.GcStress = true;
+    } else if (!std::strcmp(Arg, "--no-map-index")) {
+      GCO.UseMapIndex = false;
+    } else if (!std::strcmp(Arg, "--gc-crosscheck")) {
+      GCO.CrossCheck = true;
     } else if (!std::strcmp(Arg, "--no-run")) {
       Run = false;
     } else if (!std::strcmp(Arg, "--heap")) {
@@ -138,7 +148,7 @@ int main(int argc, char **argv) {
     return 0;
 
   vm::VM Machine(Prog, VO);
-  gc::installPreciseCollector(Machine);
+  gc::installPreciseCollector(Machine, GCO);
   bool Ok = Machine.run();
   std::fputs(Machine.Out.c_str(), stdout);
   if (!Ok) {
@@ -154,6 +164,15 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(S.BytesCopied),
                 static_cast<unsigned long long>(S.FramesTraced),
                 static_cast<unsigned long long>(S.DerivedAdjusted));
+    if (GCO.UseMapIndex && (S.DecodeCacheHits || S.DecodeCacheMisses))
+      std::printf("decode: %llu cache hits, %llu misses (%.1f%% hit), "
+                  "%llu blob bytes skipped by index\n",
+                  static_cast<unsigned long long>(S.DecodeCacheHits),
+                  static_cast<unsigned long long>(S.DecodeCacheMisses),
+                  100.0 * static_cast<double>(S.DecodeCacheHits) /
+                      static_cast<double>(S.DecodeCacheHits +
+                                          S.DecodeCacheMisses),
+                  static_cast<unsigned long long>(S.DecodeBytesSkipped));
   }
   return 0;
 }
