@@ -62,6 +62,7 @@ const char *opName(MOp Op) {
   case MOp::Call: return "call";
   case MOp::CallRt: return "callrt";
   case MOp::GcPoll: return "gcpoll";
+  case MOp::WriteBarrier: return "wrbar";
   case MOp::Jump: return "jump";
   case MOp::Branch: return "branch";
   case MOp::Ret: return "ret";
@@ -116,6 +117,9 @@ std::string codegen::disassemble(const Program &Prog, const MInstr &I) {
     break;
   case MOp::Trap:
     Append("#" + std::to_string(I.Index));
+    break;
+  case MOp::WriteBarrier:
+    Append("[" + operandStr(I.A) + "+" + std::to_string(I.B.Imm) + "]");
     break;
   default:
     if (!I.D.isNone())

@@ -577,6 +577,18 @@ void Emitter::emitInstr(const BasicBlock &BB, unsigned Index) {
     return;
   }
 
+  case Opcode::WriteBarrier: {
+    // Not a gc-point: the barrier neither allocates nor yields.  The slot
+    // address is recomputed from the base's home so no extra value is live
+    // across it.
+    MInstr M;
+    M.Op = MOp::WriteBarrier;
+    M.A = locOperand(I.A.R);
+    M.B = MOperand::imm(I.Disp);
+    push(M);
+    return;
+  }
+
   case Opcode::GcPoll: {
     uint32_t GcIdx = static_cast<uint32_t>(Code.size());
     recordGcPoint(BB, Index, GcIdx);

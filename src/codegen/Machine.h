@@ -53,6 +53,7 @@ enum class MOp : uint8_t {
   Call,       ///< call Funcs[Index]; args at outgoing slots; gc-point
   CallRt,     ///< runtime intrinsic Index; gc-point only for GcCollect
   GcPoll,     ///< gc-point
+  WriteBarrier, ///< generational barrier: record slot A + Imm-in-B if old→young
   Jump, Branch, Ret, Trap,
 };
 

@@ -87,6 +87,13 @@ CompileResult driver::compile(const std::string &Source,
     for (auto &F : M->Functions)
       LoopPolls += gcsafety::insertLoopPolls(*F);
 
+  // Barriers go in after optimization so they sit adjacent to the final
+  // stores (the optimizer never has to reason about them).
+  unsigned WriteBarriers = 0;
+  if (Options.WriteBarriers)
+    for (auto &F : M->Functions)
+      WriteBarriers += gcsafety::insertWriteBarriers(*F);
+
   if (Options.InterprocGcPoints && Options.ThreadedPolls) {
     // Loop polls are gc-points: functions that gained one may now trigger
     // a collection, so calls to them must be gc-points after all.
@@ -131,6 +138,7 @@ CompileResult driver::compile(const std::string &Source,
   Prog->GcPointsElided = GcPointsElided;
   Prog->PathVars = PathVars;
   Prog->PathAssigns = PathAssigns;
+  Prog->WriteBarriersEmitted = WriteBarriers;
 
   codegen::EmitOptions EO;
   EO.GcSafe = Options.GcTables;

@@ -38,6 +38,10 @@ struct CompilerOptions {
   /// §5.3's interprocedural refinement: calls to procedures that can never
   /// trigger a collection are not gc-points (fewer, smaller tables).
   bool InterprocGcPoints = false;
+  /// Generational support: emit a write barrier after every store of a
+  /// tidy pointer through a possibly-heap address.  Required for running
+  /// under VMOptions::GenGc; harmless (no-op barriers) otherwise.
+  bool WriteBarriers = false;
   Disambiguation Mode = Disambiguation::PathVariables;
 };
 

@@ -45,6 +45,17 @@ public:
 
 private:
   void walkThread(VM &M, ThreadContext &T, uint32_t TablePC);
+  /// The full two-space Cheney copy (also evacuates the nursery in
+  /// generational mode).
+  void traceFull(VM &M);
+  /// Generational mode: evacuates only the nursery, using the remembered
+  /// set for the old→young roots.
+  void traceMinor(VM &M);
+  /// --gc-crosscheck after a minor collection: a full reachability
+  /// traversal proving no live object was left behind in the evacuated
+  /// nursery half via a stale remembered set.  Runs before the nursery
+  /// halves swap.
+  void crosscheckAfterMinor(VM &M);
   /// The decoded tables for gc-point \p Ordinal of function \p FuncIdx,
   /// through the configured path (cache+index, or the reference decoder).
   const gcmaps::GcPointInfo &pointInfo(VM &M, unsigned FuncIdx,
@@ -183,42 +194,9 @@ void PreciseCollector::walkThread(VM &M, ThreadContext &T, uint32_t TablePC) {
   }
 }
 
-void PreciseCollector::collect(VM &M) {
-  using Clock = std::chrono::steady_clock;
-  auto T0 = Clock::now();
-
-  TidyRoots.clear();
-  DerivedUsed = 0;
-
-  // --- Stack tracing: locate tables, decode, gather roots (timed
-  // separately; this is §6.3's measured quantity).
-  for (size_t TI = 0; TI != M.Threads.size(); ++TI) {
-    ThreadContext &T = *M.Threads[TI];
-    if (!T.Live)
-      continue; // Finished threads have no frames to scan.
-    uint32_t TablePC = M.SuspendPCs.empty() ? 0 : M.SuspendPCs[TI];
-    if (TablePC == SentinelPC || TablePC == 0)
-      continue;
-    walkThread(M, T, TablePC);
-  }
-  for (unsigned W : M.Prog.GlobalPtrWords)
-    TidyRoots.push_back(&M.Globals[W]);
-
-  auto T1 = Clock::now();
-
+void PreciseCollector::traceFull(VM &M) {
   Heap &H = M.TheHeap;
   H.beginCollection();
-
-  // --- Phase 1 (§3): un-derive, innermost frames first, leaving E in each
-  // derived location.
-  for (size_t K = 0; K != DerivedUsed; ++K) {
-    const DerivedEntry &E = Derived[K];
-    Word V = *E.Target;
-    for (const auto &[BaseLoc, Coeff] : E.Bases)
-      V -= static_cast<Word>(static_cast<int64_t>(Coeff)) * *BaseLoc;
-    *E.Target = V;
-    ++M.Stats.DerivedAdjusted;
-  }
 
   // --- Trace: forward every tidy root, then Cheney-scan the copied
   // objects using the heap type descriptors.
@@ -239,7 +217,8 @@ void PreciseCollector::collect(VM &M) {
   Word Scan = H.scanStart();
   while (Scan < H.toAlloc()) {
     Word *Obj = reinterpret_cast<Word *>(Scan);
-    const ir::TypeDesc &D = M.Prog.TypeDescs[static_cast<size_t>(Obj[0] >> 1)];
+    const ir::TypeDesc &D =
+        M.Prog.TypeDescs[Heap::headerDesc(Obj[0])];
     for (unsigned Off : D.PtrOffsets) {
       Word &Field = Obj[1 + Off];
       if (Field != 0)
@@ -261,6 +240,182 @@ void PreciseCollector::collect(VM &M) {
 
   M.Stats.BytesCopied += H.toAlloc() - H.scanStart();
   H.endCollection();
+}
+
+void PreciseCollector::traceMinor(VM &M) {
+  Heap &H = M.TheHeap;
+  assert(H.minorHeadroomOk() &&
+         "minor collection started without promotion headroom");
+  H.beginMinorCollection();
+
+  // The remembered set rebuilt for the next cycle: surviving old→young
+  // edges plus any created by promotion during this collection.
+  std::unordered_set<Word> NewRem;
+
+  // Forwards a field's target out of the nursery if it is young.  Fields
+  // of *old-space* objects that end up pointing at a survivor are
+  // old→young edges and must enter the new remembered set.
+  auto FwdField = [&](Word &Field, bool InOldObject) {
+    if (H.inNursery(Field))
+      Field = H.forwardYoung(Field);
+    if (InOldObject && H.inNurseryTo(Field))
+      NewRem.insert(reinterpret_cast<Word>(&Field));
+  };
+
+  // --- Roots: the same table-driven tidy roots as a full collection...
+  for (Word *Root : TidyRoots) {
+    ++M.Stats.RootsTraced;
+    Word V = *Root;
+    if (V == 0)
+      continue;
+    assert((H.inOld(V) || H.inNursery(V) || H.inNurseryTo(V)) &&
+           "tidy root does not point into the heap (stale table or "
+           "liveness bug)");
+    if (H.inNursery(V))
+      *Root = H.forwardYoung(V);
+  }
+  // ...plus every remembered old-space slot that still holds a young
+  // pointer (the barrier records slots eagerly; stores since may have
+  // overwritten them).
+  for (Word Slot : H.remSet()) {
+    Word &Field = *reinterpret_cast<Word *>(Slot);
+    if (H.inNursery(Field))
+      Field = H.forwardYoung(Field);
+  }
+
+  // --- Cheney scan over both target regions: the survivor half and the
+  // region of old space filled by promotion.  Scanning either can grow
+  // both, so alternate until neither advances.
+  auto ScanObject = [&](Word Scan, bool InOldObject) -> size_t {
+    Word *Obj = reinterpret_cast<Word *>(Scan);
+    const ir::TypeDesc &D =
+        M.Prog.TypeDescs[Heap::headerDesc(Obj[0])];
+    for (unsigned Off : D.PtrOffsets)
+      FwdField(Obj[1 + Off], InOldObject);
+    size_t Words = 1 + D.SizeWords;
+    if (D.IsOpenArray) {
+      int64_t Len = static_cast<int64_t>(Obj[1]);
+      for (int64_t E = 0; E != Len; ++E)
+        for (unsigned Off : D.ElemPtrOffsets)
+          FwdField(Obj[2 + static_cast<size_t>(E) * D.ElemSizeWords + Off],
+                   InOldObject);
+      Words += static_cast<size_t>(Len) * D.ElemSizeWords;
+    }
+    return Words * sizeof(Word);
+  };
+
+  Word NurScan = H.nurScanStart();
+  Word OldScan = H.oldScanStart();
+  while (NurScan < H.nurToAlloc() || OldScan < H.oldAllocPtr()) {
+    while (NurScan < H.nurToAlloc())
+      NurScan += ScanObject(NurScan, /*InOldObject=*/false);
+    while (OldScan < H.oldAllocPtr())
+      OldScan += ScanObject(OldScan, /*InOldObject=*/true);
+  }
+
+  // Surviving entries of the old remembered set: the slot still holds a
+  // young pointer once its target moved to the survivor half.
+  for (Word Slot : H.remSet()) {
+    Word V = *reinterpret_cast<const Word *>(Slot);
+    if (H.inNurseryTo(V))
+      NewRem.insert(Slot);
+  }
+
+  M.Stats.BytesCopied += (H.nurToAlloc() - H.nurScanStart()) +
+                         (H.oldAllocPtr() - H.oldScanStart());
+
+  if (Opts.CrossCheck)
+    crosscheckAfterMinor(M);
+
+  H.remSet().swap(NewRem);
+  H.endMinorCollection();
+}
+
+void PreciseCollector::crosscheckAfterMinor(VM &M) {
+  // Full-heap reachability verification: starting from every tidy root,
+  // no reachable pointer may still target the evacuated nursery half — a
+  // violation means a live object was missed via a stale remembered set.
+  // The traversal also exercises objectWords on every reachable object,
+  // asserting each open-array length round-trips its allocation size.
+  Heap &H = M.TheHeap;
+  std::unordered_set<Word> Visited;
+  std::vector<Word> Work;
+  auto Push = [&](Word V) {
+    if (V == 0)
+      return;
+    if (H.inNursery(V)) {
+      std::fprintf(stderr,
+                   "gc cross-check: reachable object left in the evacuated "
+                   "nursery half (stale remembered set)\n");
+      std::abort();
+    }
+    if (!H.inOld(V) && !H.inNurseryTo(V))
+      return;
+    if (Visited.insert(V).second)
+      Work.push_back(V);
+  };
+  for (Word *Root : TidyRoots)
+    Push(*Root);
+  while (!Work.empty()) {
+    Word Obj = Work.back();
+    Work.pop_back();
+    const Word *P = reinterpret_cast<const Word *>(Obj);
+    const ir::TypeDesc &D = H.descOf(Obj);
+    (void)H.objectWords(Obj); // Asserts the header is sane.
+    for (unsigned Off : D.PtrOffsets)
+      Push(P[1 + Off]);
+    if (D.IsOpenArray) {
+      int64_t Len = static_cast<int64_t>(P[1]);
+      for (int64_t E = 0; E != Len; ++E)
+        for (unsigned Off : D.ElemPtrOffsets)
+          Push(P[2 + static_cast<size_t>(E) * D.ElemSizeWords + Off]);
+    }
+  }
+}
+
+void PreciseCollector::collect(VM &M) {
+  using Clock = std::chrono::steady_clock;
+  auto T0 = Clock::now();
+
+  bool Minor = M.TheHeap.generational() && M.RequestedGc == GcKind::Minor;
+
+  TidyRoots.clear();
+  DerivedUsed = 0;
+
+  // --- Stack tracing: locate tables, decode, gather roots (timed
+  // separately; this is §6.3's measured quantity).  A minor collection
+  // gathers the identical root set — only the trace differs.
+  for (size_t TI = 0; TI != M.Threads.size(); ++TI) {
+    ThreadContext &T = *M.Threads[TI];
+    if (!T.Live)
+      continue; // Finished threads have no frames to scan.
+    uint32_t TablePC = M.SuspendPCs.empty() ? 0 : M.SuspendPCs[TI];
+    if (TablePC == SentinelPC || TablePC == 0)
+      continue;
+    walkThread(M, T, TablePC);
+  }
+  for (unsigned W : M.Prog.GlobalPtrWords)
+    TidyRoots.push_back(&M.Globals[W]);
+
+  auto T1 = Clock::now();
+
+  // --- Phase 1 (§3): un-derive, innermost frames first, leaving E in each
+  // derived location.
+  for (size_t K = 0; K != DerivedUsed; ++K) {
+    const DerivedEntry &E = Derived[K];
+    Word V = *E.Target;
+    for (const auto &[BaseLoc, Coeff] : E.Bases)
+      V -= static_cast<Word>(static_cast<int64_t>(Coeff)) * *BaseLoc;
+    *E.Target = V;
+    ++M.Stats.DerivedAdjusted;
+  }
+
+  if (Minor) {
+    ++M.Stats.MinorCollections;
+    traceMinor(M);
+  } else {
+    traceFull(M);
+  }
 
   // --- Phase 2 of the update (§3): re-derive from the new base values, in
   // exactly the reverse order.
@@ -275,8 +430,11 @@ void PreciseCollector::collect(VM &M) {
   auto T2 = Clock::now();
   M.Stats.StackTraceNanos += static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0).count());
-  M.Stats.GcNanos += static_cast<uint64_t>(
+  uint64_t Nanos = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(T2 - T0).count());
+  M.Stats.GcNanos += Nanos;
+  if (Minor)
+    M.Stats.MinorGcNanos += Nanos;
 }
 
 } // namespace

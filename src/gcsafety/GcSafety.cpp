@@ -115,6 +115,35 @@ unsigned gcsafety::insertLoopPolls(Function &F) {
 }
 
 //===----------------------------------------------------------------------===//
+// Write barriers (generational mode)
+//===----------------------------------------------------------------------===//
+
+unsigned gcsafety::insertWriteBarriers(Function &F) {
+  unsigned Inserted = 0;
+  for (const auto &BB : F.Blocks) {
+    for (size_t I = 0; I != BB->Instrs.size(); ++I) {
+      const Instr &Ins = BB->Instrs[I];
+      if (Ins.Op != Opcode::Store)
+        continue;
+      // Only stores that can create a heap→heap edge need a barrier: the
+      // stored value must be a tidy pointer and the address must possibly
+      // point into the heap.  Frame/global stores are collector roots.
+      if (!Ins.B.isReg() || F.kindOf(Ins.B.R) != PtrKind::Tidy)
+        continue;
+      PtrKind AK = Ins.A.isReg() ? F.kindOf(Ins.A.R) : PtrKind::NonPtr;
+      if (AK != PtrKind::Tidy && AK != PtrKind::Derived &&
+          AK != PtrKind::IncomingAddr)
+        continue;
+      BB->Instrs.insert(BB->Instrs.begin() + I + 1,
+                        Instr::writeBarrier(Ins.A.R, Ins.Disp));
+      ++Inserted;
+      ++I; // Skip the barrier just inserted.
+    }
+  }
+  return Inserted;
+}
+
+//===----------------------------------------------------------------------===//
 // Path variables (§4)
 //===----------------------------------------------------------------------===//
 

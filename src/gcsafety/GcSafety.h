@@ -33,6 +33,15 @@ namespace gcsafety {
 /// Inserts GcPoll instructions per §5.3.  Returns the number inserted.
 unsigned insertLoopPolls(ir::Function &F);
 
+/// Generational mode: inserts a WriteBarrier after every Store of a tidy
+/// pointer through a possibly-heap address (Tidy/Derived/IncomingAddr
+/// base; frame addresses are roots and need no barrier).  Runs after
+/// optimization so barriers sit adjacent to the final stores; the barrier
+/// is not a gc-point and its base-register use is visible to liveness, so
+/// gc-maps at neighbouring points stay correct.  Returns the number
+/// inserted.
+unsigned insertWriteBarriers(ir::Function &F);
+
 /// Path-variable assignment results for one function.
 struct PathVarInfo {
   int Slot = -1; ///< Frame slot holding the path constant.

@@ -54,6 +54,7 @@ const char *ir::opcodeName(Opcode Op) {
   case Opcode::Call: return "call";
   case Opcode::CallRt: return "callrt";
   case Opcode::GcPoll: return "gcpoll";
+  case Opcode::WriteBarrier: return "wrbar";
   case Opcode::Jump: return "jump";
   case Opcode::Branch: return "branch";
   case Opcode::Ret: return "ret";

@@ -78,6 +78,7 @@ enum class Opcode : uint8_t {
   Call,       ///< Dst? = Functions[Index](Args...); gc-point
   CallRt,     ///< Runtime intrinsic #Rt(Args...); gc-point only for GcCollect
   GcPoll,     ///< Loop gc-point for threaded mode (§5.3)
+  WriteBarrier, ///< Generational barrier: record slot A + Disp if old→young
   // Terminators.
   Jump,       ///< goto Target0
   Branch,     ///< if A goto Target0 else Target1
@@ -292,6 +293,13 @@ struct Instr {
     Instr I;
     I.Op = Opcode::Trap;
     I.Index = static_cast<int>(K);
+    return I;
+  }
+  static Instr writeBarrier(VReg Addr, int64_t Disp) {
+    Instr I;
+    I.Op = Opcode::WriteBarrier;
+    I.A = Operand::reg(Addr);
+    I.Disp = Disp;
     return I;
   }
 };

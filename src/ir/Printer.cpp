@@ -94,6 +94,9 @@ std::string ir::toString(const Function &F, const Instr &I) {
   case Opcode::Trap:
     S += " #" + std::to_string(I.Index);
     break;
+  case Opcode::WriteBarrier:
+    S += " [" + operandStr(F, I.A) + " + " + std::to_string(I.Disp) + "]";
+    break;
   default: {
     bool First = true;
     for (const Operand *O : {&I.A, &I.B}) {

@@ -116,6 +116,10 @@ private:
       if (!I.A.isReg() || !pointerLike(F.kindOf(I.A.R)))
         issue(F, &I, "Store address is not pointer-like");
       break;
+    case Opcode::WriteBarrier:
+      if (!I.A.isReg() || !pointerLike(F.kindOf(I.A.R)))
+        issue(F, &I, "WriteBarrier address is not pointer-like");
+      break;
     case Opcode::LoadSlot:
     case Opcode::StoreSlot:
     case Opcode::AddrSlot:

@@ -13,29 +13,80 @@ using namespace mgc;
 using namespace mgc::vm;
 
 namespace {
-constexpr Word ForwardBit = 1;
-
 Word headerOf(Word Obj) { return *reinterpret_cast<Word *>(Obj); }
 void setHeader(Word Obj, Word H) { *reinterpret_cast<Word *>(Obj) = H; }
+
+/// a * b, or SIZE_MAX on overflow.
+size_t mulChecked(size_t A, size_t B) {
+  size_t R;
+  if (__builtin_mul_overflow(A, B, &R))
+    return Heap::BadAlloc;
+  return R;
+}
+
+/// a + b, or SIZE_MAX on overflow.
+size_t addChecked(size_t A, size_t B) {
+  size_t R;
+  if (__builtin_add_overflow(A, B, &R))
+    return Heap::BadAlloc;
+  return R;
+}
 } // namespace
 
-Heap::Heap(size_t SemispaceBytes, const std::vector<ir::TypeDesc> &Descs)
-    : SpaceBytes((SemispaceBytes + 7) & ~size_t(7)), Descs(Descs) {
+Heap::Heap(size_t SemispaceBytes, const std::vector<ir::TypeDesc> &Descs,
+           bool Generational, size_t NurseryBytes)
+    : SpaceBytes((SemispaceBytes + 7) & ~size_t(7)), Gen(Generational),
+      Descs(Descs) {
   Space0.reset(new uint8_t[SpaceBytes]);
   Space1.reset(new uint8_t[SpaceBytes]);
   FromBase = reinterpret_cast<Word>(Space0.get());
   ToBase = reinterpret_cast<Word>(Space1.get());
   AllocPtr = FromBase;
   ToAlloc = ToBase;
+  OldLimit = FromBase + SpaceBytes;
+  if (Gen) {
+    // Each nursery half defaults to an eighth of a semispace, and is
+    // clamped so old space keeps room to absorb a full nursery of
+    // promotions (maxObjectBytes stays positive).
+    size_t Half = NurseryBytes ? NurseryBytes : SpaceBytes / 8;
+    Half = (Half + 7) & ~size_t(7);
+    if (Half < 512)
+      Half = 512;
+    if (Half > SpaceBytes / 2)
+      Half = (SpaceBytes / 2) & ~size_t(7);
+    NurHalfBytes = Half;
+    Nur0.reset(new uint8_t[NurHalfBytes]);
+    Nur1.reset(new uint8_t[NurHalfBytes]);
+    NurFromBase = reinterpret_cast<Word>(Nur0.get());
+    NurToBase = reinterpret_cast<Word>(Nur1.get());
+    NurAlloc = NurFromBase;
+    NurToAlloc = NurToBase;
+    OldLimit = FromBase + SpaceBytes - NurHalfBytes;
+  }
+}
+
+size_t Heap::allocationBytes(unsigned DescIdx, int64_t Length) const {
+  assert(DescIdx < Descs.size());
+  const ir::TypeDesc &D = Descs[DescIdx];
+  size_t Words = 1 + D.SizeWords;
+  if (D.IsOpenArray) {
+    if (Length < 0)
+      return BadAlloc;
+    size_t Elems = mulChecked(static_cast<size_t>(Length), D.ElemSizeWords);
+    Words = addChecked(Words, Elems);
+  }
+  return mulChecked(Words, sizeof(Word));
 }
 
 size_t Heap::objectWords(Word Obj) const {
   const ir::TypeDesc &D = descOf(Obj);
   size_t Words = 1 + D.SizeWords;
   if (D.IsOpenArray) {
-    int64_t Len = static_cast<int64_t>(
-        reinterpret_cast<Word *>(Obj)[1]);
-    Words += static_cast<size_t>(Len) * D.ElemSizeWords;
+    int64_t Len = static_cast<int64_t>(reinterpret_cast<Word *>(Obj)[1]);
+    assert(Len >= 0 && "corrupt open-array length");
+    size_t Elems = mulChecked(static_cast<size_t>(Len), D.ElemSizeWords);
+    Words = addChecked(Words, Elems);
+    assert(Words != BadAlloc && "open-array length does not round-trip");
   }
   return Words;
 }
@@ -43,31 +94,52 @@ size_t Heap::objectWords(Word Obj) const {
 const ir::TypeDesc &Heap::descOf(Word Obj) const {
   Word H = headerOf(Obj);
   assert(!(H & ForwardBit) && "descOf on a forwarded object");
-  size_t Idx = static_cast<size_t>(H >> 1);
+  size_t Idx = headerDesc(H);
   assert(Idx < Descs.size() && "corrupt object header");
   return Descs[Idx];
 }
 
-Word Heap::allocate(unsigned DescIdx, int64_t Length) {
-  assert(DescIdx < Descs.size());
+Word Heap::bumpAllocate(Word &Bump, Word Limit, unsigned DescIdx,
+                        int64_t Length) {
   const ir::TypeDesc &D = Descs[DescIdx];
-  size_t Words = 1 + D.SizeWords;
-  if (D.IsOpenArray) {
-    assert(Length >= 0 && "negative open array length");
-    Words += static_cast<size_t>(Length) * D.ElemSizeWords;
-  }
-  size_t Bytes = Words * sizeof(Word);
-  if (AllocPtr + Bytes > FromBase + SpaceBytes)
+  size_t Bytes = allocationBytes(DescIdx, Length);
+  // Overflowed or oversized requests fail like an exhausted space; the VM
+  // reports them deterministically before ever retrying.  (Bump can sit
+  // past Limit after a full collection that overran the old-space reserve,
+  // so the comparison must not rely on Limit - Bump.)
+  if (Bytes == BadAlloc || Bump > Limit || Bytes > Limit - Bump)
     return 0;
-  Word Obj = AllocPtr;
-  AllocPtr += Bytes;
+  Word Obj = Bump;
+  Bump += Bytes;
   std::memset(reinterpret_cast<void *>(Obj), 0, Bytes);
-  setHeader(Obj, static_cast<Word>(DescIdx) << 1);
+  setHeader(Obj, makeHeader(DescIdx, 0));
   if (D.IsOpenArray)
     reinterpret_cast<Word *>(Obj)[1] = static_cast<Word>(Length);
   BytesAllocated += Bytes;
   ++ObjectsAllocated;
   return Obj;
+}
+
+Word Heap::allocate(unsigned DescIdx, int64_t Length) {
+  assert(DescIdx < Descs.size());
+  if (Gen) {
+    // Invariant: old-used + nursery-used never exceeds a semispace, so a
+    // full collection's to-space copy always fits.  The nursery limit
+    // shrinks when old space has overrun its reserve.
+    size_t Used = (AllocPtr - FromBase) + (NurAlloc - NurFromBase);
+    size_t Budget = Used < SpaceBytes ? SpaceBytes - Used : 0;
+    Word Limit = NurAlloc + Budget;
+    if (Limit > NurFromBase + NurHalfBytes)
+      Limit = NurFromBase + NurHalfBytes;
+    return bumpAllocate(NurAlloc, Limit, DescIdx, Length);
+  }
+  return bumpAllocate(AllocPtr, FromBase + SpaceBytes, DescIdx, Length);
+}
+
+Word Heap::allocateOld(unsigned DescIdx, int64_t Length) {
+  assert(Gen && "allocateOld is a generational-mode path");
+  assert(DescIdx < Descs.size());
+  return bumpAllocate(AllocPtr, OldLimit, DescIdx, Length);
 }
 
 Word Heap::forward(Word Obj) {
@@ -82,6 +154,9 @@ Word Heap::forward(Word Obj) {
   ToAlloc += Words * sizeof(Word);
   std::memcpy(reinterpret_cast<void *>(New),
               reinterpret_cast<const void *>(Obj), Words * sizeof(Word));
+  // A full collection tenures everything it copies; survival counts only
+  // matter while an object is young.
+  setHeader(New, makeHeader(headerDesc(H), 0));
   setHeader(Obj, New | ForwardBit);
   return New;
 }
@@ -90,15 +165,59 @@ void Heap::endCollection() {
   std::swap(FromBase, ToBase);
   AllocPtr = ToAlloc;
   ToAlloc = ToBase;
+  OldLimit = Gen ? FromBase + SpaceBytes - NurHalfBytes
+                 : FromBase + SpaceBytes;
+  if (Gen) {
+    NurAlloc = NurFromBase; // The nursery was fully evacuated.
+    RemSet.clear();         // Everything is old now.
+  }
+}
+
+Word Heap::forwardYoung(Word Obj) {
+  assert(inNursery(Obj) && "minor collection forwarding a non-nursery object");
+  Word H = headerOf(Obj);
+  if (H & ForwardBit)
+    return H & ~ForwardBit;
+  size_t Bytes = objectWords(Obj) * sizeof(Word);
+  unsigned Age = headerAge(H) + 1;
+  Word New;
+  if (Age >= PromoteAge) {
+    New = AllocPtr;
+    assert(New + Bytes <= OldLimit &&
+           "promotion overflow: minor collection started without headroom");
+    AllocPtr += Bytes;
+    ++ObjectsPromoted;
+    BytesPromoted += Bytes;
+    Age = 0;
+  } else {
+    New = NurToAlloc;
+    assert(New + Bytes <= NurToBase + NurHalfBytes &&
+           "survivor-half overflow during minor collection");
+    NurToAlloc += Bytes;
+  }
+  std::memcpy(reinterpret_cast<void *>(New),
+              reinterpret_cast<const void *>(Obj), Bytes);
+  setHeader(New, makeHeader(headerDesc(H), Age));
+  setHeader(Obj, New | ForwardBit);
+  return New;
+}
+
+void Heap::endMinorCollection() {
+  std::swap(NurFromBase, NurToBase);
+  NurAlloc = NurToAlloc;
+  NurToAlloc = NurToBase;
 }
 
 bool Heap::plausibleObject(Word P) const {
-  if (P < FromBase || P >= AllocPtr)
+  bool InOldUsed = P >= FromBase && P < AllocPtr;
+  bool InNurUsed = Gen && P >= NurFromBase && P < NurAlloc;
+  if (!InOldUsed && !InNurUsed)
     return false;
-  if ((P - FromBase) % sizeof(Word) != 0)
+  Word Base = InOldUsed ? FromBase : NurFromBase;
+  if ((P - Base) % sizeof(Word) != 0)
     return false;
   Word H = headerOf(P);
   if (H & ForwardBit)
     return false;
-  return (H >> 1) < Descs.size();
+  return headerDesc(H) < Descs.size();
 }

@@ -14,6 +14,24 @@
 ///     [header][payload words...]                 fixed-shape objects
 ///     [header][length][elements...]              open arrays
 ///
+/// Header word: bit 0 is the forwarding tag, bits 1..2 hold the object's
+/// survival count (generational mode), and the descriptor index sits in
+/// the remaining bits.
+///
+/// The heap runs in one of two modes:
+///
+///  - Two-space (default): a classic pair of semispaces; every collection
+///    is a full Cheney copy from from-space to to-space.
+///  - Generational: a bump-allocated nursery (itself split in two halves
+///    so minor collections can copy survivors within it) in front of the
+///    two "old" semispaces.  Minor collections evacuate live nursery
+///    objects into the other nursery half, promoting them into old space
+///    once they have survived PromoteAge copies; a remembered set of
+///    old-space slots that may hold young pointers (maintained by the
+///    compiler-emitted write barriers) supplies the extra roots.  Full
+///    collections fall back to the Cheney copy over nursery + old space
+///    and clear the remembered set.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MGC_VM_HEAP_H
@@ -22,7 +40,9 @@
 #include "ir/IR.h"
 
 #include <cstdint>
+#include <limits>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 namespace mgc {
@@ -32,39 +52,160 @@ using Word = uint64_t;
 
 class Heap {
 public:
-  Heap(size_t SemispaceBytes, const std::vector<ir::TypeDesc> &Descs);
+  /// Returned by allocationBytes when the size computation overflows.
+  static constexpr size_t BadAlloc = std::numeric_limits<size_t>::max();
+
+  /// Header encoding (shared with the collector's scan loop).
+  static constexpr Word ForwardBit = 1;
+  static constexpr unsigned AgeShift = 1;
+  static constexpr Word AgeMask = 3;
+  static constexpr unsigned DescShift = 3;
+  /// Survivals of a minor collection before promotion to old space.
+  static constexpr unsigned PromoteAge = 2;
+
+  static size_t headerDesc(Word H) { return static_cast<size_t>(H >> DescShift); }
+  static unsigned headerAge(Word H) {
+    return static_cast<unsigned>((H >> AgeShift) & AgeMask);
+  }
+  static Word makeHeader(size_t DescIdx, unsigned Age) {
+    return (static_cast<Word>(DescIdx) << DescShift) |
+           (static_cast<Word>(Age) << AgeShift);
+  }
+
+  /// \p NurseryBytes is the size of *each* nursery half; 0 selects a
+  /// default proportional to the semispace size.  Ignored unless
+  /// \p Generational.
+  Heap(size_t SemispaceBytes, const std::vector<ir::TypeDesc> &Descs,
+       bool Generational = false, size_t NurseryBytes = 0);
+
+  bool generational() const { return Gen; }
+
+  /// Exact bytes an allocation of descriptor \p DescIdx (\p Length
+  /// elements for open arrays) needs, header included, or BadAlloc when
+  /// the computation overflows size_t.
+  size_t allocationBytes(unsigned DescIdx, int64_t Length) const;
+
+  /// Largest single object this heap can ever hold; requests above it can
+  /// never succeed, no matter how much is collected.
+  size_t maxObjectBytes() const {
+    return Gen ? SpaceBytes - NurHalfBytes : SpaceBytes;
+  }
 
   /// Bump-allocates an object of descriptor \p DescIdx (\p Length elements
-  /// for open arrays).  Returns 0 when the from-space is exhausted — the
-  /// caller must collect and retry.  Payload words are zeroed (all-NIL).
+  /// for open arrays).  Returns 0 when the allocation space (nursery in
+  /// generational mode, from-space otherwise) is exhausted or the size
+  /// computation overflows — the caller must collect and retry.  Payload
+  /// words are zeroed (all-NIL).
   Word allocate(unsigned DescIdx, int64_t Length);
+
+  /// Generational mode: allocates directly in old space (objects too large
+  /// for the nursery).  Returns 0 when old space is exhausted.
+  Word allocateOld(unsigned DescIdx, int64_t Length);
 
   /// Total words of an object, header included.
   size_t objectWords(Word Obj) const;
 
   const ir::TypeDesc &descOf(Word Obj) const;
 
+  /// Any space new objects or survivors currently live in (old from-space
+  /// and, in generational mode, the active nursery half).
   bool inFromSpace(Word P) const {
-    return P >= FromBase && P < FromBase + SpaceBytes;
+    return (P >= FromBase && P < FromBase + SpaceBytes) ||
+           (Gen && inNursery(P));
   }
   bool inToSpace(Word P) const {
     return P >= ToBase && P < ToBase + SpaceBytes;
   }
 
-  size_t usedBytes() const { return AllocPtr - FromBase; }
+  //===--- Generational queries --------------------------------------------===
+
+  /// The active (allocation) nursery half.
+  bool inNursery(Word P) const {
+    return Gen && P >= NurFromBase && P < NurFromBase + NurHalfBytes;
+  }
+  /// The survivor half filled during a minor collection.
+  bool inNurseryTo(Word P) const {
+    return Gen && P >= NurToBase && P < NurToBase + NurHalfBytes;
+  }
+  /// The allocated portion of old space.
+  bool inOld(Word P) const {
+    return Gen && P >= FromBase && P < AllocPtr;
+  }
+
+  size_t usedBytes() const {
+    size_t Used = AllocPtr - FromBase;
+    if (Gen)
+      Used += NurAlloc - NurFromBase;
+    return Used;
+  }
   size_t capacityBytes() const { return SpaceBytes; }
+  size_t nurseryCapacityBytes() const { return NurHalfBytes; }
+  size_t nurseryUsedBytes() const { return Gen ? NurAlloc - NurFromBase : 0; }
+  size_t oldUsedBytes() const { return AllocPtr - FromBase; }
 
-  //===--- Collector interface ---------------------------------------------===
+  /// Whether a minor collection is guaranteed room to promote every
+  /// surviving nursery object into old space (worst case: all of them).
+  bool minorHeadroomOk() const {
+    return (AllocPtr - FromBase) + (NurAlloc - NurFromBase) <=
+           maxObjectBytes();
+  }
 
-  /// Begins a collection: resets the to-space allocation pointer.
+  //===--- Write barrier / remembered set ----------------------------------===
+
+  /// The compiler-emitted barrier: records \p SlotAddr in the remembered
+  /// set when it is an old-space slot now holding a nursery pointer.
+  /// Returns true when a new entry was recorded.
+  bool writeBarrier(Word SlotAddr) {
+    if (!inOld(SlotAddr))
+      return false;
+    Word V = *reinterpret_cast<const Word *>(SlotAddr);
+    if (!inNursery(V))
+      return false;
+    return RemSet.insert(SlotAddr).second;
+  }
+
+  std::unordered_set<Word> &remSet() { return RemSet; }
+  const std::unordered_set<Word> &remSet() const { return RemSet; }
+
+  uint64_t ObjectsPromoted = 0;
+  uint64_t BytesPromoted = 0;
+
+  //===--- Full-collection (Cheney) interface ------------------------------===
+
+  /// Begins a full collection: resets the to-space allocation pointer.
   void beginCollection() { ToAlloc = ToBase; }
-  /// Copies \p Obj to to-space (or returns its forwarding pointer).
+  /// Copies \p Obj to to-space (or returns its forwarding pointer).  In
+  /// generational mode the source may be either old from-space or the
+  /// nursery; everything lands in old to-space.
   Word forward(Word Obj);
   /// Cheney scan pointer management.
   Word scanStart() const { return ToBase; }
   Word toAlloc() const { return ToAlloc; }
-  /// Ends a collection: swaps the spaces.
+  /// Ends a full collection: swaps the old spaces; generational mode also
+  /// empties the nursery and clears the remembered set.
   void endCollection();
+
+  //===--- Minor-collection interface (generational mode) ------------------===
+
+  /// Begins a minor collection: resets the survivor half's bump pointer
+  /// and records where promoted objects will start in old space.
+  void beginMinorCollection() {
+    NurToAlloc = NurToBase;
+    MinorOldScanStart = AllocPtr;
+  }
+  /// Copies nursery object \p Obj into the survivor half — or into old
+  /// space once it has survived PromoteAge minor collections — and leaves
+  /// a forwarding pointer.  Asserts headroom: callers must check
+  /// minorHeadroomOk() before starting a minor collection.
+  Word forwardYoung(Word Obj);
+  /// Survivor-half scan pointers.
+  Word nurScanStart() const { return NurToBase; }
+  Word nurToAlloc() const { return NurToAlloc; }
+  /// Promoted-region scan pointers (grows during the minor scan).
+  Word oldScanStart() const { return MinorOldScanStart; }
+  Word oldAllocPtr() const { return AllocPtr; }
+  /// Ends a minor collection: swaps the nursery halves.
+  void endMinorCollection();
 
   /// Whether \p P looks like a valid object pointer (used by assertions
   /// and the conservative baseline collector).
@@ -74,11 +215,28 @@ public:
   uint64_t ObjectsAllocated = 0;
 
 private:
+  Word bumpAllocate(Word &Bump, Word Limit, unsigned DescIdx, int64_t Length);
+
   size_t SpaceBytes;
+  bool Gen;
+  size_t NurHalfBytes = 0;
   std::unique_ptr<uint8_t[]> Space0, Space1;
+  std::unique_ptr<uint8_t[]> Nur0, Nur1;
   Word FromBase, ToBase;
-  Word AllocPtr; ///< Bump pointer in from-space.
-  Word ToAlloc;  ///< Bump pointer in to-space during collection.
+  Word AllocPtr; ///< Bump pointer in old from-space.
+  Word ToAlloc;  ///< Bump pointer in old to-space during collection.
+  /// Old-space allocation limit: in generational mode the last nursery's
+  /// worth of old space is reserved so a full collection's to-space copy
+  /// (old live + nursery live) always fits.
+  Word OldLimit;
+  Word NurFromBase = 0, NurToBase = 0;
+  Word NurAlloc = 0;   ///< Bump pointer in the active nursery half.
+  Word NurToAlloc = 0; ///< Bump pointer in the survivor half (minor gc).
+  Word MinorOldScanStart = 0;
+  /// Old-space slot addresses that may hold nursery pointers.  Slots are
+  /// stable between full collections (old objects only move then), which
+  /// is what makes raw addresses a sound representation.
+  std::unordered_set<Word> RemSet;
   const std::vector<ir::TypeDesc> &Descs;
 };
 

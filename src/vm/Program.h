@@ -54,6 +54,7 @@ struct Program {
   unsigned GcPointsElided = 0;
   unsigned PathVars = 0;
   unsigned PathAssigns = 0;
+  unsigned WriteBarriersEmitted = 0;
 
   /// Builds the per-function decode indexes (idempotent).  Called by the
   /// driver at install time; cheap — one forward walk per blob.

@@ -20,7 +20,8 @@ constexpr Word NilGuard = 4096;
 } // namespace
 
 VM::VM(const Program &Prog, VMOptions Opts)
-    : Prog(Prog), Opts(Opts), TheHeap(Opts.HeapBytes, Prog.TypeDescs),
+    : Prog(Prog), Opts(Opts),
+      TheHeap(Opts.HeapBytes, Prog.TypeDescs, Opts.GenGc, Opts.NurseryBytes),
       Globals(Prog.GlobalAreaWords, 0) {
   spawnThread(Prog.MainFunc);
 }
@@ -134,14 +135,64 @@ void VM::writeOperand(ThreadContext &T, const MOperand &O, Word V) {
 }
 
 Word VM::allocate(unsigned DescIdx, int64_t Length, uint32_t RetPC) {
+  // Overflowing or over-capacity requests can never be satisfied by
+  // collecting; fail deterministically instead of spinning the retry loop.
+  size_t Bytes = TheHeap.allocationBytes(DescIdx, Length);
+  if (Bytes == Heap::BadAlloc || Bytes > TheHeap.maxObjectBytes()) {
+    std::string Size = Bytes == Heap::BadAlloc
+                           ? "more than SIZE_MAX"
+                           : std::to_string(Bytes);
+    fail("out of memory: object of " + Size + " bytes exceeds heap capacity");
+    return 0;
+  }
+
   if (Opts.GcStress) {
-    if (!collect(RetPC))
+    if (!collect(RetPC, TheHeap.generational() && TheHeap.minorHeadroomOk()
+                            ? GcKind::Minor
+                            : GcKind::Full))
       return 0;
   }
+
+  if (!TheHeap.generational()) {
+    Word Obj = TheHeap.allocate(DescIdx, Length);
+    if (Obj != 0)
+      return Obj;
+    if (!collect(RetPC))
+      return 0;
+    Obj = TheHeap.allocate(DescIdx, Length);
+    if (Obj == 0)
+      fail("heap exhausted: " + std::to_string(TheHeap.usedBytes()) +
+           " bytes live of " + std::to_string(TheHeap.capacityBytes()));
+    return Obj;
+  }
+
+  // Generational mode.  Objects too large for the nursery go straight to
+  // old space; everything else bump-allocates in the nursery, escalating
+  // nursery-exhaustion to a minor collection and only then to a full one.
+  if (Bytes > TheHeap.nurseryCapacityBytes()) {
+    Word Obj = TheHeap.allocateOld(DescIdx, Length);
+    if (Obj != 0)
+      return Obj;
+    if (!collect(RetPC, GcKind::Full))
+      return 0;
+    Obj = TheHeap.allocateOld(DescIdx, Length);
+    if (Obj == 0)
+      fail("heap exhausted: " + std::to_string(TheHeap.usedBytes()) +
+           " bytes live of " + std::to_string(TheHeap.capacityBytes()));
+    return Obj;
+  }
+
   Word Obj = TheHeap.allocate(DescIdx, Length);
   if (Obj != 0)
     return Obj;
-  if (!collect(RetPC))
+  if (TheHeap.minorHeadroomOk()) {
+    if (!collect(RetPC, GcKind::Minor))
+      return 0;
+    Obj = TheHeap.allocate(DescIdx, Length);
+    if (Obj != 0)
+      return Obj;
+  }
+  if (!collect(RetPC, GcKind::Full))
     return 0;
   Obj = TheHeap.allocate(DescIdx, Length);
   if (Obj == 0)
@@ -150,11 +201,14 @@ Word VM::allocate(unsigned DescIdx, int64_t Length, uint32_t RetPC) {
   return Obj;
 }
 
-bool VM::collect(uint32_t TriggerRetPC) {
+bool VM::collect(uint32_t TriggerRetPC, GcKind Kind) {
   if (!Collector)
     return fail("allocation failed and no collector is installed");
   assert(!InCollect && "recursive collection");
   InCollect = true;
+  RequestedGc = Kind;
+  if (TheHeap.remSet().size() > Stats.RemSetPeak)
+    Stats.RemSetPeak = TheHeap.remSet().size();
 
   // Rendezvous (§5.3): every other live thread runs until it is about to
   // execute a gc-point instruction; its table pc is that instruction's
@@ -343,6 +397,18 @@ bool VM::step(ThreadContext &T) {
     }
     break;
   }
+  case MOp::WriteBarrier:
+    // Records [A + disp] in the remembered set when it is an old-space slot
+    // now holding a nursery pointer.  A no-op outside generational mode, so
+    // barrier-compiled binaries still run identically under the default
+    // collector.
+    if (Opts.GenGc) {
+      ++Stats.WriteBarriersRun;
+      Word Slot = readOperand(T, I.A) + static_cast<Word>(I.B.Imm);
+      if (TheHeap.writeBarrier(Slot))
+        ++Stats.RemSetRecords;
+    }
+    break;
   case MOp::GcPoll:
     // A voluntary gc-point; nothing happens unless a collection is in
     // progress, in which case the rendezvous loop stops *before* executing

@@ -39,6 +39,13 @@ namespace vm {
 struct VMOptions {
   size_t HeapBytes = 4u << 20;
   size_t StackWords = 1u << 16;
+  /// Run the heap in generational mode: nursery allocation, minor
+  /// collections driven by the remembered set, write barriers active.
+  /// Programs must be compiled with write barriers (CompilerOptions::
+  /// WriteBarriers) for this to be sound.
+  bool GenGc = false;
+  /// Size of each nursery half in generational mode (0 = auto).
+  size_t NurseryBytes = 0;
   /// Collect before every allocation (stress testing).
   bool GcStress = false;
   /// Thread scheduler quantum in instructions (multi-threaded runs).
@@ -51,11 +58,17 @@ struct VMOptions {
 
 struct VMStats {
   uint64_t Instrs = 0;
-  uint64_t Collections = 0;
+  uint64_t Collections = 0;      ///< All collections (minor + full).
+  uint64_t MinorCollections = 0; ///< Generational mode: nursery-only.
   uint64_t FramesTraced = 0;
   uint64_t BytesCopied = 0;
   uint64_t StackTraceNanos = 0; ///< Table decode + root enumeration time.
   uint64_t GcNanos = 0;         ///< Total collection time.
+  uint64_t MinorGcNanos = 0;    ///< Portion of GcNanos in minor collections.
+  // Generational-mode counters.
+  uint64_t WriteBarriersRun = 0; ///< Barrier instructions executed.
+  uint64_t RemSetRecords = 0;    ///< Barrier hits that recorded a new slot.
+  uint64_t RemSetPeak = 0;       ///< Largest remembered set seen at a gc.
   uint64_t DerivedAdjusted = 0; ///< Derived-value un/re-derivations.
   uint64_t RootsTraced = 0;
   // Decode acceleration counters (zero when the reference decoder is in
@@ -78,6 +91,12 @@ struct ThreadContext {
   uint32_t AP = 0;
   bool Live = false;
   bool Finished = false;
+};
+
+/// What the VM is asking the installed collector for.
+enum class GcKind : uint8_t {
+  Full,  ///< Evacuate everything (the two-space Cheney path).
+  Minor, ///< Generational mode: nursery only, extra roots from the remset.
 };
 
 class VM {
@@ -109,6 +128,10 @@ public:
   /// thread is suspended during a collection.
   std::vector<uint32_t> SuspendPCs;
 
+  /// The collection kind the VM requested of the installed collector
+  /// (valid while Collector runs).
+  GcKind RequestedGc = GcKind::Full;
+
   std::string Out;   ///< PutInt/PutChar/PutLn output.
   std::string Error; ///< Set on trap/runtime error.
   VMStats Stats;
@@ -130,7 +153,7 @@ private:
 
   /// Runs the rendezvous protocol and the collector; \p TriggerRetPC is the
   /// gc-point of the triggering thread.
-  bool collect(uint32_t TriggerRetPC);
+  bool collect(uint32_t TriggerRetPC, GcKind Kind = GcKind::Full);
 
   Word allocate(unsigned DescIdx, int64_t Length, uint32_t RetPC);
 

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 
 namespace mgc {
@@ -34,6 +35,15 @@ inline RunResult compileAndRun(const std::string &Source,
                                driver::CompilerOptions CO = {},
                                vm::VMOptions VO = {},
                                gc::CollectorOptions GCO = {}) {
+  // tools/check.sh runs the tier-1 suite a second time with
+  // MGC_TEST_GEN_GC=1: every gc-tables test program goes through
+  // generational mode (nursery + barriers + minor collections) with the
+  // decode and remembered-set cross-checks on.  Outputs must not change.
+  if (std::getenv("MGC_TEST_GEN_GC") && CO.GcTables) {
+    CO.WriteBarriers = true;
+    VO.GenGc = true;
+    GCO.CrossCheck = true;
+  }
   RunResult R;
   auto C = driver::compile(Source, CO);
   if (!C.Prog) {

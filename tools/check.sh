@@ -3,9 +3,14 @@
 #
 # Part of the mgc project (PLDI 1992 gc-tables reproduction).
 #
-# Runs the tier-1 verify line (configure, build, ctest) and then the decode
-# microbenchmarks, writing indexed-vs-reference ns/op to BENCH_decode.json
-# at the repo root so successive PRs leave a perf trajectory.
+# Runs the tier-1 verify line (configure, build, ctest) twice — once in the
+# default two-space configuration and once with MGC_TEST_GEN_GC=1, which
+# re-runs every gc-tables test through generational mode (nursery + write
+# barriers + minor collections) with the remembered-set cross-check on —
+# then the decode microbenchmarks (BENCH_decode.json) and the generational
+# pause benchmarks (BENCH_gengc.json) so successive PRs leave a perf
+# trajectory.  The gengc binary exits non-zero on any cross-check or
+# output divergence between the two modes.
 #
 #   tools/check.sh [--skip-tests]
 #
@@ -28,6 +33,10 @@ cmake -B build -S .
 cmake --build build -j
 if [ "$SKIP_TESTS" -eq 0 ]; then
   (cd build && ctest --output-on-failure -j)
+  # Second pass: the same suite through the generational collector (write
+  # barriers + nursery + minor collections + remembered-set cross-check).
+  # Outputs and assertions must not change.
+  (cd build && MGC_TEST_GEN_GC=1 ctest --output-on-failure -j)
 fi
 
 # --- Decode perf trajectory ---------------------------------------------
@@ -42,4 +51,13 @@ MIN_TIME="${BENCH_MIN_TIME:-0.05}"
   --benchmark_out_format=json \
   --benchmark_format=console
 
-echo "check.sh: tier-1 ok; decode benchmarks written to BENCH_decode.json"
+# --- Generational pause trajectory --------------------------------------
+# verifyModes() inside the binary runs every workload in both modes with
+# cross-checks on and exits non-zero on divergence, failing this script.
+./build/bench/gengc \
+  --benchmark_out="$ROOT/BENCH_gengc.json" \
+  --benchmark_out_format=json \
+  --benchmark_format=console
+
+echo "check.sh: tier-1 ok (default + gen-gc); benchmarks written to" \
+     "BENCH_decode.json and BENCH_gengc.json"

@@ -20,6 +20,10 @@
 ///   --stats          print compilation and collection statistics
 ///   --stress         collect before every allocation
 ///   --heap BYTES     semispace size (default 4 MiB)
+///   --gen-gc         generational mode: nursery + write barriers +
+///                    remembered-set minor collections
+///   --nursery-bytes BYTES
+///                    size of each nursery half (default heap/8)
 ///   --no-map-index   decode tables with the reference walk-from-start
 ///                    decoder (the §6.3 artifact) instead of the load-time
 ///                    index + decoded-point cache
@@ -46,8 +50,9 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--noopt] [--no-gc-tables] [--cisc] [--threads] "
                "[--interproc]\n           [--split] [--dump-ir] [--dump-asm] "
-               "[--stats] [--stress]\n           [--heap BYTES] "
-               "[--no-map-index] [--gc-crosscheck] [--no-run] file.mg\n",
+               "[--stats] [--stress]\n           [--heap BYTES] [--gen-gc] "
+               "[--nursery-bytes BYTES]\n           [--no-map-index] "
+               "[--gc-crosscheck] [--no-run] file.mg\n",
                Argv0);
   return 2;
 }
@@ -92,6 +97,13 @@ int main(int argc, char **argv) {
       if (++A == argc)
         return usage(argv[0]);
       VO.HeapBytes = static_cast<size_t>(std::atoll(argv[A]));
+    } else if (!std::strcmp(Arg, "--gen-gc")) {
+      Options.WriteBarriers = true;
+      VO.GenGc = true;
+    } else if (!std::strcmp(Arg, "--nursery-bytes")) {
+      if (++A == argc)
+        return usage(argv[0]);
+      VO.NurseryBytes = static_cast<size_t>(std::atoll(argv[A]));
     } else if (Arg[0] == '-') {
       return usage(argv[0]);
     } else {
@@ -140,6 +152,8 @@ int main(int argc, char **argv) {
     if (Prog.PathVars)
       std::printf("path variables: %u (%u assignments)\n", Prog.PathVars,
                   Prog.PathAssigns);
+    if (Options.WriteBarriers)
+      std::printf("write barriers: %u emitted\n", Prog.WriteBarriersEmitted);
     if (Options.CiscFold)
       std::printf("addressing folds: %u applied, %u preserved for gc\n",
                   Prog.CiscFoldsApplied, Prog.CiscFoldsBlocked);
@@ -164,6 +178,20 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(S.BytesCopied),
                 static_cast<unsigned long long>(S.FramesTraced),
                 static_cast<unsigned long long>(S.DerivedAdjusted));
+    if (VO.GenGc)
+      std::printf("gen-gc: %llu minor / %llu full collections, %llu barriers "
+                  "run, %llu remset records (peak %llu), %llu objects "
+                  "promoted (%llu bytes)\n",
+                  static_cast<unsigned long long>(S.MinorCollections),
+                  static_cast<unsigned long long>(S.Collections -
+                                                  S.MinorCollections),
+                  static_cast<unsigned long long>(S.WriteBarriersRun),
+                  static_cast<unsigned long long>(S.RemSetRecords),
+                  static_cast<unsigned long long>(S.RemSetPeak),
+                  static_cast<unsigned long long>(
+                      Machine.TheHeap.ObjectsPromoted),
+                  static_cast<unsigned long long>(
+                      Machine.TheHeap.BytesPromoted));
     if (GCO.UseMapIndex && (S.DecodeCacheHits || S.DecodeCacheMisses))
       std::printf("decode: %llu cache hits, %llu misses (%.1f%% hit), "
                   "%llu blob bytes skipped by index\n",
