@@ -178,3 +178,13 @@ CompileResult driver::compile(const std::string &Source,
   Result.Prog = std::move(Prog);
   return Result;
 }
+
+std::vector<CompileResult>
+driver::compileBatch(const std::string &Source,
+                     const std::vector<CompilerOptions> &Options) {
+  std::vector<CompileResult> Results;
+  Results.reserve(Options.size());
+  for (const CompilerOptions &O : Options)
+    Results.push_back(compile(Source, O));
+  return Results;
+}

@@ -21,6 +21,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace mgc {
 namespace driver {
@@ -55,6 +56,15 @@ struct CompileResult {
 /// Compiles one MG module.
 CompileResult compile(const std::string &Source,
                       const CompilerOptions &Options = CompilerOptions());
+
+/// Compiles one source under several option sets (the differential
+/// fuzzer's mode matrix).  Results are positionally parallel to
+/// \p Options.  Each configuration runs the full pipeline from its own
+/// parse: Sema and Lower annotate the AST in place, so sharing a single
+/// front-end pass between configurations would not be sound.
+std::vector<CompileResult>
+compileBatch(const std::string &Source,
+             const std::vector<CompilerOptions> &Options);
 
 } // namespace driver
 } // namespace mgc

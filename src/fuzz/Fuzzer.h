@@ -1,0 +1,69 @@
+//===- fuzz/Fuzzer.h - Fuzzing campaign driver ------------------*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ties generator, oracle, and reducer into one campaign: for each seed in
+/// [Seed, Seed+Count) generate a program, run it through the differential
+/// matrix, and on divergence write the original source, the reduced
+/// source, and a repro command file to the artifact directory.
+///
+/// Everything in FuzzSummary::Log and in the artifact files is a pure
+/// function of the seed range — byte-identical across runs.  Wall-clock
+/// timing lives only in FuzzSummary::Seconds (surfaced via the JSON
+/// output), never in the log.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_FUZZ_FUZZER_H
+#define MGC_FUZZ_FUZZER_H
+
+#include <cstdint>
+#include <string>
+
+namespace mgc {
+namespace fuzz {
+
+struct FuzzOptions {
+  uint64_t Seed = 1;
+  unsigned Count = 100;
+  std::string OutDir = "fuzz-artifacts";
+  bool Reduce = true;            ///< Reduce diverging programs.
+  bool DumpAll = false;          ///< Write every generated program.
+  unsigned MaxReduceTries = 1500; ///< Oracle budget per reduction.
+};
+
+struct FuzzSummary {
+  unsigned Programs = 0;
+  unsigned Divergences = 0;
+  /// Reference config failed: generator produced a bad program (counts
+  /// against the generator, not the compiler).
+  unsigned GeneratorDefects = 0;
+  // Coverage counters: programs exercising each hard case.
+  unsigned CovDerivedAcrossCall = 0;
+  unsigned CovAmbiguous = 0;
+  unsigned CovThreads = 0;
+  unsigned CovOpenArrays = 0;
+  unsigned CovWithBinding = 0;
+  unsigned CovRecursion = 0;
+  unsigned CovRefChains = 0;
+  unsigned CovVarParams = 0;
+  /// Deterministic campaign log (what mgc-fuzz prints).
+  std::string Log;
+  /// Wall-clock; JSON-only, never part of Log.
+  double Seconds = 0;
+};
+
+/// Runs the campaign.  Artifacts go to Opts.OutDir (created on demand).
+FuzzSummary runFuzz(const FuzzOptions &Opts);
+
+/// Renders the BENCH_fuzz.json payload (programs/sec + coverage
+/// fractions).
+std::string summaryJson(const FuzzOptions &Opts, const FuzzSummary &S);
+
+} // namespace fuzz
+} // namespace mgc
+
+#endif // MGC_FUZZ_FUZZER_H

@@ -1,0 +1,623 @@
+//===- fuzz/Generator.cpp - Random MG program generator -------------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Generator.h"
+#include "fuzz/Rng.h"
+
+#include <set>
+
+using namespace mgc;
+using namespace mgc::fuzz;
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void indent(std::string &Out, int N) { Out.append(N * 2, ' '); }
+
+void renderBlock(const std::vector<GStmt> &B, int In, std::string &Out);
+
+void renderStmt(const GStmt &S, int In, std::string &Out) {
+  switch (S.K) {
+  case GStmt::Text:
+    indent(Out, In);
+    Out += S.Line;
+    break;
+  case GStmt::For:
+    indent(Out, In);
+    Out += "FOR " + S.Var + " := " + std::to_string(S.From) + " TO ";
+    Out += S.BoundExpr.empty() ? std::to_string(S.Bound) : S.BoundExpr;
+    Out += " DO\n";
+    renderBlock(S.Body, In + 1, Out);
+    Out += "\n";
+    indent(Out, In);
+    Out += "END";
+    break;
+  case GStmt::While:
+    indent(Out, In);
+    Out += "WHILE " + S.Cond + " DO\n";
+    renderBlock(S.Body, In + 1, Out);
+    Out += "\n";
+    indent(Out, In);
+    Out += "END";
+    break;
+  case GStmt::If:
+    indent(Out, In);
+    Out += "IF " + S.Cond + " THEN\n";
+    renderBlock(S.Body, In + 1, Out);
+    Out += "\n";
+    if (!S.Else.empty()) {
+      indent(Out, In);
+      Out += "ELSE\n";
+      renderBlock(S.Else, In + 1, Out);
+      Out += "\n";
+    }
+    indent(Out, In);
+    Out += "END";
+    break;
+  case GStmt::With:
+    indent(Out, In);
+    Out += "WITH " + S.Var + " = " + S.Target + " DO\n";
+    renderBlock(S.Body, In + 1, Out);
+    Out += "\n";
+    indent(Out, In);
+    Out += "END";
+    break;
+  }
+}
+
+void renderBlock(const std::vector<GStmt> &B, int In, std::string &Out) {
+  if (B.empty()) {
+    // A reduced-away body: keep the block syntactically valid.
+    indent(Out, In);
+    Out += "sink := sink";
+    return;
+  }
+  for (size_t I = 0; I != B.size(); ++I) {
+    if (I)
+      Out += ";\n";
+    renderStmt(B[I], In, Out);
+  }
+}
+
+} // namespace
+
+std::string GProgram::render() const {
+  std::string Out;
+  const char *Sep = Compact ? "" : "\n";
+  Out += "MODULE Fz;\n";
+  if (Comment)
+    Out += "(* generated: mgc-fuzz seed " + std::to_string(Seed) + " *)\n";
+  Out += Sep;
+  if (!TypeLines.empty()) {
+    Out += "TYPE\n";
+    for (const std::string &T : TypeLines)
+      Out += "  " + T + "\n";
+  }
+  if (!VarLines.empty()) {
+    Out += Sep;
+    Out += "VAR ";
+    for (size_t I = 0; I != VarLines.size(); ++I) {
+      if (I)
+        Out += "    ";
+      Out += VarLines[I] + ";\n";
+    }
+  }
+  for (const GProc &P : Procs) {
+    Out += Sep;
+    Out += "PROCEDURE " + P.Name + P.Signature + ";\n";
+    if (!P.VarLines.empty()) {
+      Out += "VAR ";
+      for (size_t I = 0; I != P.VarLines.size(); ++I) {
+        if (I)
+          Out += "; ";
+        Out += P.VarLines[I];
+      }
+      Out += ";\n";
+    }
+    Out += "BEGIN\n";
+    renderBlock(P.Body, 1, Out);
+    Out += "\nEND " + P.Name + ";\n";
+  }
+  Out += Sep;
+  Out += "BEGIN\n";
+  renderBlock(Main, 1, Out);
+  Out += "\nEND Fz.\n";
+  return Out;
+}
+
+bool GProgram::hasProc(const std::string &Name) const {
+  for (const GProc &P : Procs)
+    if (P.Name == Name)
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Procedure templates
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *Mod = "1000000007";
+
+GStmt forStmt(std::string Var, long From, long Bound,
+              std::vector<GStmt> Body) {
+  GStmt S;
+  S.K = GStmt::For;
+  S.Var = std::move(Var);
+  S.From = From;
+  S.Bound = Bound;
+  S.Body = std::move(Body);
+  return S;
+}
+
+GStmt forExpr(std::string Var, long From, std::string BoundExpr,
+              std::vector<GStmt> Body) {
+  GStmt S = forStmt(std::move(Var), From, 0, std::move(Body));
+  S.BoundExpr = std::move(BoundExpr);
+  return S;
+}
+
+GStmt whileStmt(std::string Cond, std::vector<GStmt> Body) {
+  GStmt S;
+  S.K = GStmt::While;
+  S.Cond = std::move(Cond);
+  S.Body = std::move(Body);
+  return S;
+}
+
+GStmt ifStmt(std::string Cond, std::vector<GStmt> Then,
+             std::vector<GStmt> Else = {}) {
+  GStmt S;
+  S.K = GStmt::If;
+  S.Cond = std::move(Cond);
+  S.Body = std::move(Then);
+  S.Else = std::move(Else);
+  return S;
+}
+
+GStmt withStmt(std::string Alias, std::string Target,
+               std::vector<GStmt> Body) {
+  GStmt S;
+  S.K = GStmt::With;
+  S.Var = std::move(Alias);
+  S.Target = std::move(Target);
+  S.Body = std::move(Body);
+  return S;
+}
+
+#define TXT GStmt::text
+
+/// BuildList(n): a prepend-only Cell chain (acyclic along `next`).
+GProc buildListProc() {
+  GProc P;
+  P.Name = "BuildList";
+  P.Signature = "(n: INTEGER): Cell";
+  P.VarLines = {"l, c: Cell", "i: INTEGER"};
+  P.Body.push_back(TXT("l := NIL"));
+  P.Body.push_back(forExpr("i", 1, "n",
+                           {TXT("c := NEW(Cell)"), TXT("c^.v := i"),
+                            TXT("c^.next := l"), TXT("l := c")}));
+  P.Body.push_back(TXT("RETURN l"));
+  return P;
+}
+
+/// SumList(l): walks the chain with a WITH-bound interior pointer held
+/// live across an allocation (the derived value must be un/re-derived at
+/// every stress collection).
+GProc sumListProc() {
+  GProc P;
+  P.Name = "SumList";
+  P.Signature = "(l: Cell): INTEGER";
+  P.VarLines = {"s: INTEGER", "t: Cell"};
+  P.Body.push_back(TXT("s := 0"));
+  P.Body.push_back(whileStmt(
+      "l # NIL",
+      {withStmt("w", "l^.v",
+                {TXT("t := NEW(Cell)"), TXT("t^.v := w"),
+                 TXT(std::string("s := (s + w + t^.v) MOD ") + Mod)}),
+       TXT("l := l^.next")}));
+  P.Body.push_back(TXT("RETURN s"));
+  return P;
+}
+
+/// Fill(a): writes every element of an open int array.
+GProc fillProc() {
+  GProc P;
+  P.Name = "Fill";
+  P.Signature = "(a: IArr)";
+  P.VarLines = {"i: INTEGER"};
+  P.Body.push_back(
+      forExpr("i", 0, "NUMBER(a) - 1", {TXT("a[i] := i * 3 + 1")}));
+  return P;
+}
+
+/// SumArr(a): element alias live across an allocation on every iteration
+/// (the ChurnSweep pattern — a derived pointer crossing gc-points in a
+/// loop whose back edge re-derives it).
+GProc sumArrProc() {
+  GProc P;
+  P.Name = "SumArr";
+  P.Signature = "(a: IArr): INTEGER";
+  P.VarLines = {"s, i: INTEGER"};
+  P.Body.push_back(TXT("s := 0"));
+  P.Body.push_back(forExpr(
+      "i", 0, "NUMBER(a) - 1",
+      {withStmt("e", "a[i]",
+                {TXT("gl := NEW(Cell)"), TXT("gl^.v := e"),
+                 TXT(std::string("s := (s + e + gl^.v) MOD ") + Mod)})}));
+  P.Body.push_back(TXT("RETURN s"));
+  return P;
+}
+
+/// MakeTree(d): recursive tree of branching factor \p Branch over an open
+/// kids array; every node allocates.
+GProc makeTreeProc(long Branch) {
+  GProc P;
+  P.Name = "MakeTree";
+  P.Signature = "(d: INTEGER): Node";
+  P.VarLines = {"n: Node", "i: INTEGER"};
+  P.Body.push_back(TXT("n := NEW(Node)"));
+  P.Body.push_back(TXT("n^.value := d"));
+  P.Body.push_back(ifStmt(
+      "d > 0",
+      {TXT("n^.kids := NEW(Kids, " + std::to_string(Branch) + ")"),
+       forStmt("i", 0, Branch - 1, {TXT("n^.kids[i] := MakeTree(d - 1)")})},
+      {TXT("n^.kids := NIL")}));
+  P.Body.push_back(TXT("RETURN n"));
+  return P;
+}
+
+GProc countTreeProc() {
+  GProc P;
+  P.Name = "CountTree";
+  P.Signature = "(n: Node): INTEGER";
+  P.VarLines = {"i, total: INTEGER"};
+  P.Body.push_back(ifStmt("n = NIL", {TXT("RETURN 0")}));
+  P.Body.push_back(TXT("total := 1"));
+  P.Body.push_back(
+      ifStmt("n^.kids # NIL",
+             {forExpr("i", 0, "NUMBER(n^.kids) - 1",
+                      {TXT("total := total + CountTree(n^.kids[i])")})}));
+  P.Body.push_back(TXT("RETURN total"));
+  return P;
+}
+
+/// LinkPairs(n): prepends under a header record.  `left` stays acyclic
+/// (the walked field); `right` carries a back edge that is never walked.
+/// In generational mode `h^.left := p` is an old→young store once `h`
+/// has been promoted, exercising the write barrier + remembered set.
+GProc linkPairsProc() {
+  GProc P;
+  P.Name = "LinkPairs";
+  P.Signature = "(n: INTEGER): Pair";
+  P.VarLines = {"h, p: Pair", "i: INTEGER"};
+  P.Body.push_back(TXT("h := NEW(Pair)"));
+  P.Body.push_back(TXT("h^.a := 1"));
+  P.Body.push_back(forExpr("i", 1, "n",
+                           {TXT("p := NEW(Pair)"), TXT("p^.a := i"),
+                            TXT("p^.b := i * 2"), TXT("p^.left := h^.left"),
+                            TXT("p^.right := h"), TXT("h^.left := p")}));
+  P.Body.push_back(TXT("RETURN h"));
+  return P;
+}
+
+GProc walkPairsProc() {
+  GProc P;
+  P.Name = "WalkPairs";
+  P.Signature = "(p: Pair): INTEGER";
+  P.VarLines = {"s: INTEGER"};
+  P.Body.push_back(TXT("s := 0"));
+  P.Body.push_back(
+      whileStmt("p # NIL",
+                {TXT(std::string("s := (s + p^.a + p^.b) MOD ") + Mod),
+                 TXT("p := p^.left")}));
+  P.Body.push_back(TXT("RETURN s"));
+  return P;
+}
+
+/// Bump(VAR x, n): a VAR parameter (pointer into the caller's frame or
+/// the global area) live across an allocation.
+GProc bumpProc() {
+  GProc P;
+  P.Name = "Bump";
+  P.Signature = "(VAR x: INTEGER; n: INTEGER)";
+  P.VarLines = {"c: Cell"};
+  P.Body.push_back(TXT("c := NEW(Cell)"));
+  P.Body.push_back(TXT("c^.v := n"));
+  P.Body.push_back(TXT(std::string("x := (x + c^.v) MOD ") + Mod));
+  return P;
+}
+
+/// Use(x): allocates, so every call site is a gc-point (under stress,
+/// every call collects).
+GProc useProc() {
+  GProc P;
+  P.Name = "Use";
+  P.Signature = "(x: INTEGER): INTEGER";
+  P.VarLines = {"junk: FArr"};
+  P.Body.push_back(TXT("junk := NEW(FArr)"));
+  P.Body.push_back(TXT("RETURN x"));
+  return P;
+}
+
+/// Work(inv, p, q): the §4 diamond — after optimization the element
+/// address is ambiguous between bases p and q, forcing a path variable
+/// (or duplicated loops under --split).
+GProc workProc() {
+  GProc P;
+  P.Name = "Work";
+  P.Signature = "(inv: BOOLEAN; p, q: FArr): INTEGER";
+  P.VarLines = {"i, s, v: INTEGER"};
+  P.Body.push_back(TXT("s := 0"));
+  P.Body.push_back(
+      forStmt("i", 1, 8,
+              {ifStmt("inv", {TXT("v := p[i]")}, {TXT("v := q[i]")}),
+               TXT(std::string("s := (s + Use(v)) MOD ") + Mod)}));
+  P.Body.push_back(TXT("RETURN s"));
+  return P;
+}
+
+/// Spin(): allocation-free spin loop on the `done` flag (§5.3 — its loop
+/// poll is what lets the rendezvous complete in threaded mode).
+GProc spinProc() {
+  GProc P;
+  P.Name = "Spin";
+  P.Signature = "()";
+  P.VarLines = {"i: INTEGER"};
+  P.Body.push_back(TXT("i := 0"));
+  P.Body.push_back(whileStmt(
+      "NOT done", {TXT("INC(i)"), ifStmt("i > 1000000", {TXT("i := 0")})}));
+  return P;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Program generation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Tracks which globals hold a non-NIL value on every path so far.
+struct InitState {
+  bool Gl = false, Ga = false, Gn = false, Gp = false, Fa = false;
+};
+
+std::string accum(Rng &R) {
+  static const char *Ts[] = {"t0", "t1", "t2", "t3"};
+  return Ts[R.next() % 4];
+}
+
+} // namespace
+
+GProgram fuzz::generateProgram(uint64_t Seed) {
+  Rng R(Seed);
+  GProgram P;
+  P.Seed = Seed;
+
+  P.TypeLines = {
+      "Cell = REF CellRec;",
+      "CellRec = RECORD v: INTEGER; next: Cell END;",
+      "Node = REF NodeRec;",
+      "Kids = REF ARRAY OF Node;",
+      "NodeRec = RECORD value: INTEGER; kids: Kids END;",
+      "IArr = REF ARRAY OF INTEGER;",
+      "FArr = REF ARRAY [1..8] OF INTEGER;",
+      "Pair = REF PairRec;",
+      "PairRec = RECORD a, b: INTEGER; left, right: Pair END;",
+  };
+  P.VarLines = {
+      "sink, t0, t1, t2, t3: INTEGER",
+      "gl: Cell",
+      "ga: IArr",
+      "gn: Node",
+      "gp: Pair",
+      "fa, fb: FArr",
+      "done: BOOLEAN",
+  };
+
+  P.HasSpin = R.pct(35);
+  long Branch = R.range(2, 3);
+
+  std::set<std::string> Needed;
+  InitState Init;
+  unsigned LoopIdx = 0;
+
+  int NumActions = static_cast<int>(R.range(5, 10));
+  for (int A = 0; A != NumActions; ++A) {
+    switch (R.range(0, 6)) {
+    case 0: { // List build + WITH-across-alloc walk.
+      long K = R.range(3, 9);
+      std::string T1 = accum(R);
+      P.Main.push_back(TXT("gl := BuildList(" + std::to_string(K) + ")"));
+      P.Main.push_back(
+          TXT(T1 + " := (" + T1 + " + SumList(gl)) MOD " + Mod));
+      Needed.insert("BuildList");
+      Needed.insert("SumList");
+      Init.Gl = true;
+      P.Cov.RefChains = P.Cov.WithBinding = P.Cov.DerivedAcrossCall = true;
+      break;
+    }
+    case 1: { // Open int array churn.
+      long K = R.range(4, 12);
+      P.Main.push_back(TXT("ga := NEW(IArr, " + std::to_string(K) + ")"));
+      std::string T1 = accum(R);
+      P.Main.push_back(TXT("Fill(ga)"));
+      P.Main.push_back(
+          TXT(T1 + " := (" + T1 + " + SumArr(ga)) MOD " + Mod));
+      Needed.insert("Fill");
+      Needed.insert("SumArr");
+      Init.Ga = true;
+      P.Cov.OpenArrays = P.Cov.WithBinding = P.Cov.DerivedAcrossCall = true;
+      break;
+    }
+    case 2: { // Recursive tree build/count.
+      long D = R.range(2, 4);
+      std::string T1 = accum(R);
+      P.Main.push_back(TXT("gn := MakeTree(" + std::to_string(D) + ")"));
+      P.Main.push_back(
+          TXT(T1 + " := (" + T1 + " + CountTree(gn)) MOD " + Mod));
+      Needed.insert("MakeTree");
+      Needed.insert("CountTree");
+      Init.Gn = true;
+      P.Cov.Recursion = P.Cov.OpenArrays = true;
+      break;
+    }
+    case 3: { // Pair chain: old→young stores under gen-gc.
+      long K = R.range(3, 10);
+      std::string T1 = accum(R);
+      P.Main.push_back(TXT("gp := LinkPairs(" + std::to_string(K) + ")"));
+      P.Main.push_back(
+          TXT(T1 + " := (" + T1 + " + WalkPairs(gp)) MOD " + Mod));
+      Needed.insert("LinkPairs");
+      Needed.insert("WalkPairs");
+      Init.Gp = true;
+      P.Cov.RefChains = true;
+      break;
+    }
+    case 4: { // VAR parameter across allocation.
+      long K = R.range(1, 99);
+      P.Main.push_back(
+          TXT("Bump(" + accum(R) + ", " + std::to_string(K) + ")"));
+      Needed.insert("Bump");
+      P.Cov.VarParams = true;
+      break;
+    }
+    case 5: { // §4 ambiguous diamond.
+      long M1 = R.range(1, 9), M2 = R.range(1, 9);
+      std::string IV = "i" + std::to_string(LoopIdx++);
+      P.Main.push_back(TXT("fa := NEW(FArr)"));
+      P.Main.push_back(TXT("fb := NEW(FArr)"));
+      P.Main.push_back(
+          forStmt(IV, 1, 8,
+                  {TXT("fa[" + IV + "] := " + IV + " * " +
+                       std::to_string(M1)),
+                   TXT("fb[" + IV + "] := " + IV + " * " +
+                       std::to_string(M2))}));
+      P.Main.push_back(
+          TXT("sink := (sink + Work(TRUE, fa, fb) * 1000 + "
+              "Work(FALSE, fa, fb)) MOD " +
+              std::string(Mod)));
+      Needed.insert("Use");
+      Needed.insert("Work");
+      Init.Fa = true;
+      P.Cov.Ambiguous = true;
+      break;
+    }
+    default: { // Free-form loop over scalar state + optional heap traffic.
+      std::string IV = "i" + std::to_string(LoopIdx++);
+      long K = R.range(2, 6);
+      std::vector<GStmt> Body;
+      int NS = static_cast<int>(R.range(1, 4));
+      for (int S = 0; S != NS; ++S) {
+        switch (R.range(0, 4)) {
+        case 0: {
+          std::string T1 = accum(R);
+          Body.push_back(TXT(T1 + " := (" + T1 + " + " + IV + " * " +
+                             std::to_string(R.range(1, 13)) + " + " +
+                             std::to_string(R.range(0, 99)) + ") MOD " +
+                             Mod));
+          break;
+        }
+        case 1: {
+          std::string T1 = accum(R), T2 = accum(R);
+          Body.push_back(ifStmt(T1 + " MOD 2 = 0",
+                                {TXT(T1 + " := (" + T1 + " + 1) MOD " + Mod)},
+                                {TXT(T2 + " := (" + T2 + " + " + IV +
+                                     ") MOD " + Mod)}));
+          break;
+        }
+        case 2: {
+          Body.push_back(TXT("gl := BuildList(" + IV + ")"));
+          Needed.insert("BuildList");
+          Init.Gl = true;
+          P.Cov.RefChains = true;
+          break;
+        }
+        case 3:
+          if (Init.Gl) {
+            std::string T1 = accum(R);
+            Body.push_back(
+                TXT(T1 + " := (" + T1 + " + SumList(gl)) MOD " + Mod));
+            Needed.insert("SumList");
+            P.Cov.WithBinding = P.Cov.DerivedAcrossCall = true;
+            break;
+          }
+          [[fallthrough]];
+        default: { // Nested scalar loop.
+          std::string IV2 = "i" + std::to_string(LoopIdx++);
+          std::string T1 = accum(R);
+          Body.push_back(forStmt(IV2, 1, R.range(2, 5),
+                                 {TXT(T1 + " := (" + T1 + " + " + IV +
+                                      " * " + IV2 + ") MOD " + Mod)}));
+          break;
+        }
+        }
+      }
+      P.Main.push_back(forStmt(IV, 1, K, std::move(Body)));
+      break;
+    }
+    }
+  }
+
+  if (P.HasSpin) {
+    Needed.insert("Spin");
+    P.Cov.Threads = true;
+    // Nothing may allocate after this point: the spin thread exits as
+    // soon as it observes the flag, and gc counts must stay deterministic.
+    P.Main.push_back(TXT("done := TRUE"));
+  }
+  P.Main.push_back(
+      TXT("PutInt((sink + t0 + t1 + t2 + t3) MOD " + std::string(Mod) + ")"));
+  P.Main.push_back(TXT("PutChar(32)"));
+  P.Main.push_back(TXT("PutInt(t0 + t1)"));
+  P.Main.push_back(TXT("PutChar(32)"));
+  P.Main.push_back(TXT("PutInt(t2 + t3)"));
+  P.Main.push_back(TXT("PutLn()"));
+
+  // Emit needed procedures in a canonical order (forward references are
+  // legal in MG, so order is cosmetic but must be deterministic).
+  const char *Order[] = {"BuildList", "SumList", "Fill",      "SumArr",
+                         "MakeTree",  "CountTree", "LinkPairs", "WalkPairs",
+                         "Bump",      "Use",       "Work",      "Spin"};
+  for (const char *Name : Order) {
+    if (!Needed.count(Name))
+      continue;
+    std::string N = Name;
+    if (N == "BuildList")
+      P.Procs.push_back(buildListProc());
+    else if (N == "SumList")
+      P.Procs.push_back(sumListProc());
+    else if (N == "Fill")
+      P.Procs.push_back(fillProc());
+    else if (N == "SumArr")
+      P.Procs.push_back(sumArrProc());
+    else if (N == "MakeTree")
+      P.Procs.push_back(makeTreeProc(Branch));
+    else if (N == "CountTree")
+      P.Procs.push_back(countTreeProc());
+    else if (N == "LinkPairs")
+      P.Procs.push_back(linkPairsProc());
+    else if (N == "WalkPairs")
+      P.Procs.push_back(walkPairsProc());
+    else if (N == "Bump")
+      P.Procs.push_back(bumpProc());
+    else if (N == "Use")
+      P.Procs.push_back(useProc());
+    else if (N == "Work")
+      P.Procs.push_back(workProc());
+    else if (N == "Spin")
+      P.Procs.push_back(spinProc());
+  }
+  if (P.HasSpin && !P.hasProc("Spin"))
+    P.Procs.push_back(spinProc());
+
+  return P;
+}

@@ -1,0 +1,111 @@
+//===- fuzz/Generator.h - Random MG program generator -----------*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded, deterministic generator of well-typed MG programs biased
+/// toward the paper's hard cases: REF RECORD chains and open arrays,
+/// WITH-bound derived pointers live across allocating calls, loops whose
+/// back edges carry derived values, ambiguous derivations across diamonds
+/// (§4), procedure calls that may allocate, and optional spawned threads
+/// with allocation-free spin loops (§5.3).
+///
+/// Programs are kept as a small structured tree (GProgram / GProc / GStmt)
+/// rather than flat text so the reducer can drop statements, shrink loop
+/// bounds, and inline WITH blocks while re-rendering valid source.
+///
+/// Safety rules baked into every production (the oracle treats *any*
+/// behavioral divergence as a bug, so generated programs must be fully
+/// deterministic and error-free):
+///  - array indices come only from FOR variables over the exact valid
+///    range or from in-range literals;
+///  - every accumulator is reduced MOD 1000000007, so no signed overflow;
+///  - list/tree links are prepend- or build-only along the walked field,
+///    so every traversal terminates (back edges use fields never walked);
+///  - divisors are positive literals; MOD operands are non-negative;
+///  - refs are dereferenced only after a dominating assignment (NEW zeroes
+///    payload words, so untouched pointer fields read as NIL);
+///  - threaded programs spin allocation-free on a `done` flag that the
+///    main thread sets before its final prints, and nothing allocates
+///    after `done := TRUE`, so output and gc counts stay deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_FUZZ_GENERATOR_H
+#define MGC_FUZZ_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mgc {
+namespace fuzz {
+
+/// Which of the paper's hard cases a generated program exercises; the
+/// fuzzer aggregates these into the coverage counters of BENCH_fuzz.json.
+struct Coverage {
+  bool DerivedAcrossCall = false; ///< WITH-bound pointer live across a gc-point.
+  bool Ambiguous = false;         ///< §4 diamond with a path variable.
+  bool Threads = false;           ///< Spawned allocation-free spin thread.
+  bool OpenArrays = false;        ///< REF ARRAY OF accesses.
+  bool WithBinding = false;       ///< WITH interior-pointer bindings.
+  bool Recursion = false;         ///< Recursive allocating procedures.
+  bool RefChains = false;         ///< REF RECORD list walks.
+  bool VarParams = false;         ///< VAR parameters into allocating procs.
+};
+
+/// One statement.  Compound kinds own nested blocks; `Text` is a complete
+/// simple statement with no trailing semicolon.
+struct GStmt {
+  enum Kind { Text, For, While, If, With };
+  Kind K = Text;
+  std::string Line;      ///< Text: the statement.
+  std::string Var;       ///< For: index variable; With: alias name.
+  long From = 0;         ///< For: lower bound.
+  long Bound = 0;        ///< For: numeric upper bound (reducible).
+  std::string BoundExpr; ///< For: symbolic upper bound (overrides Bound).
+  std::string Cond;      ///< While / If condition.
+  std::string Target;    ///< With: the aliased designator.
+  std::vector<GStmt> Body;
+  std::vector<GStmt> Else; ///< If only.
+
+  static GStmt text(std::string L) {
+    GStmt S;
+    S.Line = std::move(L);
+    return S;
+  }
+};
+
+struct GProc {
+  std::string Name;
+  std::string Signature; ///< Text after the name, e.g. "(n: INTEGER): Cell".
+  std::vector<std::string> VarLines; ///< Declaration groups, e.g. "l, c: Cell".
+  std::vector<GStmt> Body;
+};
+
+struct GProgram {
+  uint64_t Seed = 0;
+  std::vector<std::string> TypeLines; ///< Complete lines incl. ';'.
+  std::vector<std::string> VarLines;  ///< Declaration groups, no ';'.
+  std::vector<GProc> Procs;
+  std::vector<GStmt> Main;
+  bool HasSpin = false; ///< Program contains the Spin thread procedure.
+  bool Comment = true;  ///< Emit the provenance comment (reducer drops it).
+  bool Compact = false; ///< Omit blank separator lines (reducer sets it).
+  Coverage Cov;
+
+  /// Renders the whole module as MG source.
+  std::string render() const;
+
+  bool hasProc(const std::string &Name) const;
+};
+
+/// Generates one deterministic program from \p Seed.
+GProgram generateProgram(uint64_t Seed);
+
+} // namespace fuzz
+} // namespace mgc
+
+#endif // MGC_FUZZ_GENERATOR_H

@@ -1,0 +1,506 @@
+//===- fuzz/Oracle.cpp - Differential execution oracle --------------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace mgc;
+using namespace mgc::fuzz;
+
+//===----------------------------------------------------------------------===//
+// Matrix
+//===----------------------------------------------------------------------===//
+
+std::vector<RunSpec> fuzz::buildMatrix(bool HasSpin) {
+  std::vector<RunSpec> M;
+  auto Base = [&](const char *Name) {
+    RunSpec S;
+    S.Name = Name;
+    S.GCO.CrossCheck = true;
+    S.VO.InstrBudget = 50'000'000;
+    if (HasSpin) {
+      S.CO.ThreadedPolls = true;
+      S.SpawnSpin = true;
+    }
+    return S;
+  };
+
+  // Reference: unoptimized, roomy heap, no stress — collections are rare,
+  // so even a program compiled with broken tables usually completes here.
+  // Also carries the conservative-trace superset check.
+  {
+    RunSpec S = Base("ref-O0-two");
+    S.CO.OptLevel = 0;
+    S.VO.HeapBytes = 8u << 20;
+    S.ConservativeCheck = true;
+    S.IsRef = true;
+    S.CliFlags = "--noopt --heap 8388608 --gc-crosscheck";
+    M.push_back(S);
+  }
+  // Stressed cells: collect before every allocation.  Same-opt two-space /
+  // gen-gc / reference-decoder cells must agree exactly on the table-driven
+  // counts (the GenGC.StressedRootCountsMatchDefaultMode invariant), so
+  // they share a stats group.
+  {
+    RunSpec S = Base("O0-two-stress");
+    S.CO.OptLevel = 0;
+    S.VO.HeapBytes = 1u << 20;
+    S.VO.GcStress = true;
+    S.StatsGroup = 0;
+    S.CliFlags = "--noopt --heap 1048576 --stress --gc-crosscheck";
+    M.push_back(S);
+  }
+  {
+    RunSpec S = Base("O0-gen-stress");
+    S.CO.OptLevel = 0;
+    S.CO.WriteBarriers = true;
+    S.VO.GenGc = true;
+    S.VO.HeapBytes = 1u << 20;
+    S.VO.GcStress = true;
+    S.StatsGroup = 0;
+    S.CliFlags = "--noopt --heap 1048576 --stress --gen-gc --gc-crosscheck";
+    M.push_back(S);
+  }
+  {
+    RunSpec S = Base("O2-two-stress");
+    S.VO.HeapBytes = 1u << 20;
+    S.VO.GcStress = true;
+    S.StatsGroup = 1;
+    S.CliFlags = "--heap 1048576 --stress --gc-crosscheck";
+    M.push_back(S);
+  }
+  {
+    RunSpec S = Base("O2-gen-stress");
+    S.CO.WriteBarriers = true;
+    S.VO.GenGc = true;
+    S.VO.HeapBytes = 1u << 20;
+    S.VO.GcStress = true;
+    S.StatsGroup = 1;
+    S.CliFlags = "--heap 1048576 --stress --gen-gc --gc-crosscheck";
+    M.push_back(S);
+  }
+  {
+    RunSpec S = Base("O2-two-stress-noindex");
+    S.VO.HeapBytes = 1u << 20;
+    S.VO.GcStress = true;
+    S.GCO.UseMapIndex = false;
+    S.StatsGroup = 1;
+    S.CliFlags = "--heap 1048576 --stress --no-map-index --gc-crosscheck";
+    M.push_back(S);
+  }
+  // Path splitting duplicates loops (Fig. 2), so code differs and only
+  // output/status are comparable.
+  {
+    RunSpec S = Base("O2-split-stress");
+    S.CO.Mode = driver::Disambiguation::PathSplitting;
+    S.VO.HeapBytes = 1u << 20;
+    S.VO.GcStress = true;
+    S.CliFlags = "--heap 1048576 --stress --split --gc-crosscheck";
+    M.push_back(S);
+  }
+  // Small-heap pressure: natural (non-stress) collection schedules.
+  {
+    RunSpec S = Base("O2-two-small");
+    S.VO.HeapBytes = 128u << 10;
+    S.CliFlags = "--heap 131072 --gc-crosscheck";
+    M.push_back(S);
+  }
+  {
+    RunSpec S = Base("O0-two-small");
+    S.CO.OptLevel = 0;
+    S.VO.HeapBytes = 128u << 10;
+    S.CliFlags = "--noopt --heap 131072 --gc-crosscheck";
+    M.push_back(S);
+  }
+
+  if (HasSpin)
+    for (RunSpec &S : M)
+      S.CliFlags += " --threads --spawn Spin";
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// Sandboxed execution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs the program in this process (called in the forked child).
+RunOutcome executeInProcess(const vm::Program &Prog, const RunSpec &Spec) {
+  RunOutcome O;
+  vm::VM M(Prog, Spec.VO);
+  gc::installPreciseCollector(M, Spec.GCO);
+  if (Spec.SpawnSpin) {
+    int SpinIdx = -1;
+    for (unsigned I = 0; I != Prog.Funcs.size(); ++I)
+      if (Prog.Funcs[I].Name == "Spin")
+        SpinIdx = static_cast<int>(I);
+    if (SpinIdx < 0) {
+      O.St = RunOutcome::RuntimeError;
+      O.Error = "spawn: no procedure Spin";
+      return O;
+    }
+    M.spawnThread(static_cast<unsigned>(SpinIdx));
+  }
+  bool Ok = M.run();
+  O.St = Ok ? RunOutcome::Ok : RunOutcome::RuntimeError;
+  O.Out = M.Out;
+  O.Error = M.Error;
+  O.Collections = M.Stats.Collections;
+  O.MinorCollections = M.Stats.MinorCollections;
+  O.RootsTraced = M.Stats.RootsTraced;
+  O.DerivedAdjusted = M.Stats.DerivedAdjusted;
+  O.FramesTraced = M.Stats.FramesTraced;
+  O.WriteBarriersRun = M.Stats.WriteBarriersRun;
+  O.BytesCopied = M.Stats.BytesCopied;
+  O.ObjectsCopied = M.Stats.ObjectsCopied;
+  O.Instrs = M.Stats.Instrs;
+  if (Ok && Spec.ConservativeCheck) {
+    // The ambiguous-roots baseline must reach at least every object the
+    // precise collector finds live: scan first (nothing moves), then
+    // force a precise collection and count the survivors.
+    gc::ConservativeStats CS = gc::conservativeTrace(M);
+    uint64_t Before = M.Stats.ObjectsCopied;
+    M.collectNow();
+    O.PreciseLive = M.Stats.ObjectsCopied - Before;
+    O.ConservativeReached = CS.ObjectsReached;
+    O.ConservativeViolation = CS.ObjectsReached < O.PreciseLive;
+  }
+  return O;
+}
+
+const char *statusWord(RunOutcome::Status St) {
+  switch (St) {
+  case RunOutcome::Ok:
+    return "ok";
+  case RunOutcome::RuntimeError:
+    return "rterr";
+  case RunOutcome::CompileError:
+    return "cerr";
+  case RunOutcome::Crashed:
+    return "crash";
+  }
+  return "crash";
+}
+
+std::string serialize(const RunOutcome &O) {
+  std::ostringstream P;
+  P << "S " << statusWord(O.St) << "\n";
+  P << "O " << O.Out.size() << "\n" << O.Out << "\n";
+  P << "E " << O.Error.size() << "\n" << O.Error << "\n";
+  P << "T " << O.Collections << " " << O.MinorCollections << " "
+    << O.RootsTraced << " " << O.DerivedAdjusted << " " << O.FramesTraced
+    << " " << O.WriteBarriersRun << " " << O.BytesCopied << " "
+    << O.ObjectsCopied << " " << O.Instrs << "\n";
+  P << "C " << (O.ConservativeViolation ? 1 : 0) << " "
+    << O.ConservativeReached << " " << O.PreciseLive << "\n";
+  P << "D\n";
+  return P.str();
+}
+
+bool parsePayload(const std::string &Buf, RunOutcome &O) {
+  size_t Pos = 0;
+  auto Line = [&](std::string &L) {
+    size_t E = Buf.find('\n', Pos);
+    if (E == std::string::npos)
+      return false;
+    L = Buf.substr(Pos, E - Pos);
+    Pos = E + 1;
+    return true;
+  };
+  auto Sized = [&](char Tag, std::string &Dst) {
+    std::string L;
+    if (!Line(L) || L.size() < 2 || L[0] != Tag || L[1] != ' ')
+      return false;
+    size_t N = std::strtoull(L.c_str() + 2, nullptr, 10);
+    if (Pos + N + 1 > Buf.size())
+      return false;
+    Dst = Buf.substr(Pos, N);
+    Pos += N + 1; // payload + '\n'
+    return true;
+  };
+  std::string L;
+  if (!Line(L) || L.rfind("S ", 0) != 0)
+    return false;
+  std::string W = L.substr(2);
+  if (W == "ok")
+    O.St = RunOutcome::Ok;
+  else if (W == "rterr")
+    O.St = RunOutcome::RuntimeError;
+  else if (W == "cerr")
+    O.St = RunOutcome::CompileError;
+  else
+    return false;
+  if (!Sized('O', O.Out) || !Sized('E', O.Error))
+    return false;
+  if (!Line(L) || L.rfind("T ", 0) != 0)
+    return false;
+  {
+    std::istringstream In(L.substr(2));
+    if (!(In >> O.Collections >> O.MinorCollections >> O.RootsTraced >>
+          O.DerivedAdjusted >> O.FramesTraced >> O.WriteBarriersRun >>
+          O.BytesCopied >> O.ObjectsCopied >> O.Instrs))
+      return false;
+  }
+  if (!Line(L) || L.rfind("C ", 0) != 0)
+    return false;
+  {
+    int Viol = 0;
+    std::istringstream In(L.substr(2));
+    if (!(In >> Viol >> O.ConservativeReached >> O.PreciseLive))
+      return false;
+    O.ConservativeViolation = Viol != 0;
+  }
+  return Line(L) && L == "D";
+}
+
+} // namespace
+
+RunOutcome fuzz::runSandboxed(const vm::Program &Prog, const RunSpec &Spec) {
+  RunOutcome O;
+  int Fd[2];
+  if (pipe(Fd) != 0) {
+    O.St = RunOutcome::Crashed;
+    O.Error = "pipe failed";
+    return O;
+  }
+  pid_t Pid = fork();
+  if (Pid < 0) {
+    close(Fd[0]);
+    close(Fd[1]);
+    O.St = RunOutcome::Crashed;
+    O.Error = "fork failed";
+    return O;
+  }
+  if (Pid == 0) {
+    close(Fd[0]);
+    // A genuinely broken table aborts on a collector assertion: keep the
+    // parent's stderr clean (the repro command replays the message) and
+    // skip core dumps — crashes are an *expected* oracle signal here.
+    int Null = open("/dev/null", O_WRONLY);
+    if (Null >= 0) {
+      dup2(Null, 2);
+      close(Null);
+    }
+    struct rlimit NoCore = {0, 0};
+    setrlimit(RLIMIT_CORE, &NoCore);
+    // Backstop for hangs the instruction budget somehow misses (the
+    // budget itself is the deterministic limit; this is belt-and-braces).
+    alarm(120);
+    RunOutcome C = executeInProcess(Prog, Spec);
+    std::string P = serialize(C);
+    size_t Off = 0;
+    while (Off < P.size()) {
+      ssize_t W = write(Fd[1], P.data() + Off, P.size() - Off);
+      if (W <= 0)
+        break;
+      Off += static_cast<size_t>(W);
+    }
+    _exit(0);
+  }
+  close(Fd[1]);
+  std::string Buf;
+  char Tmp[4096];
+  ssize_t N;
+  while ((N = read(Fd[0], Tmp, sizeof Tmp)) > 0)
+    Buf.append(Tmp, static_cast<size_t>(N));
+  close(Fd[0]);
+  int WStatus = 0;
+  waitpid(Pid, &WStatus, 0);
+  if (parsePayload(Buf, O))
+    return O;
+  O = RunOutcome();
+  O.St = RunOutcome::Crashed;
+  if (WIFSIGNALED(WStatus))
+    O.Signal = WTERMSIG(WStatus);
+  return O;
+}
+
+//===----------------------------------------------------------------------===//
+// Differential check
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string escape(const std::string &S) {
+  std::string R;
+  for (char C : S) {
+    if (C == '\n')
+      R += "\\n";
+    else if (C == '"')
+      R += "\\\"";
+    else
+      R += C;
+  }
+  return R;
+}
+
+std::string statsBrief(const RunOutcome &O) {
+  std::ostringstream S;
+  S << "{c=" << O.Collections << " r=" << O.RootsTraced
+    << " d=" << O.DerivedAdjusted << " f=" << O.FramesTraced << "}";
+  return S.str();
+}
+
+} // namespace
+
+OracleResult fuzz::checkSource(const std::string &Source, bool HasSpin,
+                               bool FailFast) {
+  OracleResult Res;
+  std::vector<RunSpec> Specs = buildMatrix(HasSpin);
+
+  // Deduplicate compiler configurations.
+  std::vector<driver::CompilerOptions> COs;
+  std::vector<size_t> SpecCO(Specs.size());
+  auto Key = [](const driver::CompilerOptions &C) {
+    return (C.OptLevel << 3) | (C.WriteBarriers ? 4 : 0) |
+           (C.Mode == driver::Disambiguation::PathSplitting ? 2 : 0) |
+           (C.ThreadedPolls ? 1 : 0);
+  };
+  for (size_t I = 0; I != Specs.size(); ++I) {
+    size_t Found = COs.size();
+    for (size_t J = 0; J != COs.size(); ++J)
+      if (Key(COs[J]) == Key(Specs[I].CO))
+        Found = J;
+    if (Found == COs.size())
+      COs.push_back(Specs[I].CO);
+    SpecCO[I] = Found;
+  }
+
+  // The normal path batch-compiles everything up front; the reducer's
+  // fail-fast path compiles lazily so an early divergence skips the rest.
+  std::vector<driver::CompileResult> Compiled(COs.size());
+  std::vector<bool> Have(COs.size(), false);
+  if (!FailFast) {
+    Compiled = driver::compileBatch(Source, COs);
+    Have.assign(COs.size(), true);
+  }
+  auto Get = [&](size_t J) -> driver::CompileResult & {
+    if (!Have[J]) {
+      Compiled[J] = std::move(
+          driver::compileBatch(Source, {COs[J]}).front());
+      Have[J] = true;
+    }
+    return Compiled[J];
+  };
+
+  std::ostringstream R;
+  auto Fail = [&](size_t I) {
+    if (Res.FailingConfigs.empty() ||
+        Res.FailingConfigs.back() != Specs[I].Name)
+      Res.FailingConfigs.push_back(Specs[I].Name);
+    Res.Diverged = true;
+  };
+
+  std::vector<RunOutcome> Outs(Specs.size());
+  for (size_t I = 0; I != Specs.size(); ++I) {
+    driver::CompileResult &C = Get(SpecCO[I]);
+    if (!C.Prog) {
+      // Compile failure: in the reference configuration a bad program
+      // (generator/reducer defect); anywhere else a config-dependent
+      // compiler bug.
+      if (Specs[I].IsRef) {
+        Res.RefFailed = true;
+        Res.Report = "  [" + Specs[I].Name + "] compile error: " +
+                     escape(C.Diags.str()) + "\n";
+        return Res;
+      }
+      R << "  [" << Specs[I].Name << "] compile error: "
+        << escape(C.Diags.str()) << "\n";
+      Fail(I);
+      if (FailFast)
+        break;
+      continue;
+    }
+    RunOutcome &O = Outs[I];
+    O = runSandboxed(*C.Prog, Specs[I]);
+    if (Specs[I].IsRef) {
+      if (O.St != RunOutcome::Ok) {
+        Res.RefFailed = true;
+        std::ostringstream RR;
+        RR << "  [" << Specs[I].Name << "] reference run failed: ";
+        if (O.St == RunOutcome::Crashed)
+          RR << "signal " << O.Signal;
+        else
+          RR << escape(O.Error);
+        RR << "\n";
+        Res.Report = RR.str();
+        return Res;
+      }
+      if (O.ConservativeViolation) {
+        R << "  [" << Specs[I].Name << "] conservative trace reached "
+          << O.ConservativeReached << " objects < precise live "
+          << O.PreciseLive << "\n";
+        Fail(I);
+        if (FailFast)
+          break;
+      }
+      continue;
+    }
+    const RunOutcome &Ref = Outs[0];
+    if (O.St == RunOutcome::Crashed) {
+      R << "  [" << Specs[I].Name << "] crashed: signal " << O.Signal
+        << "\n";
+      Fail(I);
+    } else if (O.St != RunOutcome::Ok) {
+      R << "  [" << Specs[I].Name
+        << "] runtime error (reference succeeded): " << escape(O.Error)
+        << "\n";
+      Fail(I);
+    } else if (O.Out != Ref.Out) {
+      R << "  [" << Specs[I].Name << "] output mismatch: ref \""
+        << escape(Ref.Out) << "\" vs \"" << escape(O.Out) << "\"\n";
+      Fail(I);
+    }
+    if (Res.Diverged && FailFast)
+      break;
+  }
+  if (Res.Diverged && FailFast) {
+    Res.Report = R.str();
+    return Res;
+  }
+
+  // Stats groups: equivalent stressed configurations must agree exactly.
+  for (int G = 0;; ++G) {
+    size_t First = Specs.size();
+    bool Any = false;
+    for (size_t I = 0; I != Specs.size(); ++I) {
+      if (Specs[I].StatsGroup != G)
+        continue;
+      Any = true;
+      if (Outs[I].St != RunOutcome::Ok)
+        continue; // already reported above
+      if (First == Specs.size()) {
+        First = I;
+        continue;
+      }
+      const RunOutcome &A = Outs[First], &B = Outs[I];
+      if (A.Collections != B.Collections || A.RootsTraced != B.RootsTraced ||
+          A.DerivedAdjusted != B.DerivedAdjusted ||
+          A.FramesTraced != B.FramesTraced) {
+        R << "  [stats group " << G << "] " << Specs[First].Name << " "
+          << statsBrief(A) << " != " << Specs[I].Name << " " << statsBrief(B)
+          << "\n";
+        Fail(I);
+      }
+    }
+    if (!Any)
+      break;
+  }
+
+  Res.Report = R.str();
+  return Res;
+}

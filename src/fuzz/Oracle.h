@@ -1,0 +1,94 @@
+//===- fuzz/Oracle.h - Differential execution oracle ------------*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles one generated program at -O0 and -O2 and runs it under the
+/// whole mode matrix — two-space, --gen-gc, path splitting, the reference
+/// (walk-from-start) decoder, small-heap pressure — with --gc-crosscheck
+/// and gc stress on, plus a conservative-trace superset check on the
+/// reference run.  Any divergence in program output, exit status, or the
+/// stressed root/derived/frame counts between equivalent configurations
+/// is a bug in the compiler, the tables, or a collector.
+///
+/// Every execution happens in a forked child process: a wrong table can
+/// leave a stale root that the VM then dereferences as a raw host address,
+/// so a genuinely broken configuration may segfault — the oracle reports
+/// that as a divergence instead of dying with it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_FUZZ_ORACLE_H
+#define MGC_FUZZ_ORACLE_H
+
+#include "driver/Compiler.h"
+#include "gc/Collector.h"
+#include "vm/VM.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mgc {
+namespace fuzz {
+
+/// One cell of the mode matrix.
+struct RunSpec {
+  std::string Name;
+  driver::CompilerOptions CO;
+  vm::VMOptions VO;
+  gc::CollectorOptions GCO;
+  bool SpawnSpin = false;        ///< Spawn the program's Spin() thread.
+  bool ConservativeCheck = false; ///< Reference run only: superset check.
+  /// Specs sharing a non-negative group id must agree exactly on
+  /// {Collections, RootsTraced, DerivedAdjusted, FramesTraced} (the
+  /// GenGC.StressedRootCountsMatchDefaultMode invariant).
+  int StatsGroup = -1;
+  bool IsRef = false;
+  std::string CliFlags; ///< mgc flags reproducing this cell.
+};
+
+/// The matrix for one program.  \p HasSpin adds --threads + a spawned
+/// spin thread to every cell.
+std::vector<RunSpec> buildMatrix(bool HasSpin);
+
+/// Result of one sandboxed execution.
+struct RunOutcome {
+  enum Status { Ok, RuntimeError, CompileError, Crashed };
+  Status St = Crashed;
+  int Signal = 0;      ///< Crashed: the fatal signal.
+  std::string Out;     ///< Program output.
+  std::string Error;   ///< Runtime/compile diagnostic.
+  uint64_t Collections = 0, MinorCollections = 0, RootsTraced = 0,
+           DerivedAdjusted = 0, FramesTraced = 0, WriteBarriersRun = 0,
+           BytesCopied = 0, ObjectsCopied = 0, Instrs = 0;
+  // Conservative superset check (reference run only).
+  bool ConservativeViolation = false;
+  uint64_t ConservativeReached = 0, PreciseLive = 0;
+};
+
+/// Runs \p Prog under \p Spec in a forked child and collects the outcome.
+RunOutcome runSandboxed(const vm::Program &Prog, const RunSpec &Spec);
+
+struct OracleResult {
+  bool Diverged = false;
+  /// The reference configuration itself failed: the *generator* (or a
+  /// reducer candidate) produced a bad program; not a compiler bug.
+  bool RefFailed = false;
+  std::string Report; ///< Deterministic description (empty when clean).
+  std::vector<std::string> FailingConfigs;
+};
+
+/// Compiles (via driver::compileBatch) and runs \p Source through the
+/// matrix, comparing every cell against the reference run.  With
+/// \p FailFast the reducer's inner loop compiles configurations lazily
+/// and returns at the first divergence (the report covers only what ran).
+OracleResult checkSource(const std::string &Source, bool HasSpin,
+                         bool FailFast = false);
+
+} // namespace fuzz
+} // namespace mgc
+
+#endif // MGC_FUZZ_ORACLE_H

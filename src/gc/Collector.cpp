@@ -216,6 +216,8 @@ void PreciseCollector::traceFull(VM &M) {
 
   Word Scan = H.scanStart();
   while (Scan < H.toAlloc()) {
+    // Every object in to-space was evacuated by this collection.
+    ++M.Stats.ObjectsCopied;
     Word *Obj = reinterpret_cast<Word *>(Scan);
     const ir::TypeDesc &D =
         M.Prog.TypeDescs[Heap::headerDesc(Obj[0])];
@@ -287,6 +289,8 @@ void PreciseCollector::traceMinor(VM &M) {
   // region of old space filled by promotion.  Scanning either can grow
   // both, so alternate until neither advances.
   auto ScanObject = [&](Word Scan, bool InOldObject) -> size_t {
+    // Every scanned object was evacuated (survivor half or promotion).
+    ++M.Stats.ObjectsCopied;
     Word *Obj = reinterpret_cast<Word *>(Scan);
     const ir::TypeDesc &D =
         M.Prog.TypeDescs[Heap::headerDesc(Obj[0])];

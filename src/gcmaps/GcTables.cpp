@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 using namespace mgc;
 using namespace mgc::gcmaps;
@@ -149,6 +150,26 @@ PointEncoding encodePoint(const GcPointData &P,
   E.DeltaEmptyFlag = P.LiveSlots.empty();
   E.RegEmptyFlag = P.RegMask == 0;
   E.DerivEmptyFlag = P.Derivs.empty();
+  // Hidden fault-injection hook for validating the differential fuzzer:
+  // drop the highest set delta bit, silently un-rooting one live slot at
+  // every gc-point.  Both decoders read the same (broken) table, so only
+  // a behavioral divergence — not the decode cross-check — can catch it.
+  // Queried per call (not cached): tests toggle it with setenv/unsetenv.
+  if (std::getenv("MGC_FUZZ_DROP_DELTA_BIT")) {
+    for (size_t I = E.DeltaBits.size(); I-- > 0;)
+      if (E.DeltaBits[I]) {
+        uint8_t B = E.DeltaBits[I];
+        uint8_t Hi = 1;
+        while (B >>= 1)
+          Hi <<= 1;
+        E.DeltaBits[I] = static_cast<uint8_t>(E.DeltaBits[I] & ~Hi);
+        E.DeltaEmptyFlag = true;
+        for (uint8_t Byte : E.DeltaBits)
+          if (Byte)
+            E.DeltaEmptyFlag = false;
+        break;
+      }
+  }
   return E;
 }
 

@@ -476,6 +476,10 @@ bool VM::run() {
         break;
       }
     }
+    // Checked per quantum, not per instruction: cheap, and still a
+    // deterministic point in the schedule.
+    if (Opts.InstrBudget && Stats.Instrs > Opts.InstrBudget)
+      return fail("instruction budget exceeded");
     CurThread = static_cast<unsigned>((CurThread + 1) % Threads.size());
   }
   return Error.empty();

@@ -54,6 +54,11 @@ struct VMOptions {
   /// waits for it to reach a gc-point; exceeding it is a runtime error
   /// (demonstrating why §5.3 requires loop polls).
   uint64_t RendezvousBudget = 2'000'000;
+  /// Deterministic whole-run instruction limit (0 = unlimited); exceeding
+  /// it is a runtime error.  The differential fuzzer sets this so that a
+  /// non-terminating reducer candidate fails identically everywhere
+  /// instead of hanging the oracle.
+  uint64_t InstrBudget = 0;
 };
 
 struct VMStats {
@@ -62,6 +67,7 @@ struct VMStats {
   uint64_t MinorCollections = 0; ///< Generational mode: nursery-only.
   uint64_t FramesTraced = 0;
   uint64_t BytesCopied = 0;
+  uint64_t ObjectsCopied = 0; ///< Objects evacuated (minor + full).
   uint64_t StackTraceNanos = 0; ///< Table decode + root enumeration time.
   uint64_t GcNanos = 0;         ///< Total collection time.
   uint64_t MinorGcNanos = 0;    ///< Portion of GcNanos in minor collections.

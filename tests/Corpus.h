@@ -1,0 +1,81 @@
+//===- tests/Corpus.h - Checked-in fuzz corpus loader -----------*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loads the checked-in seed corpus (tests/corpus/*.mg) — programs the
+/// fuzzer generator produced, curated for feature diversity and frozen so
+/// the suite keeps exercising them even as the generator evolves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_TESTS_CORPUS_H
+#define MGC_TESTS_CORPUS_H
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mgc {
+namespace test {
+
+struct CorpusProgram {
+  std::string Name;   ///< File stem, e.g. "seed001".
+  std::string Source; ///< Full MG source text.
+  bool HasSpin;       ///< Program defines the Spin thread procedure.
+};
+
+/// All corpus programs in name order.  The directory is located through
+/// the MGC_SOURCE_DIR compile definition, so the tests run from any build
+/// directory.
+inline const std::vector<CorpusProgram> &corpus() {
+  static const std::vector<CorpusProgram> Programs = [] {
+    namespace fs = std::filesystem;
+    std::vector<CorpusProgram> Out;
+    fs::path Dir = fs::path(MGC_SOURCE_DIR) / "tests" / "corpus";
+    for (const fs::directory_entry &E : fs::directory_iterator(Dir)) {
+      if (E.path().extension() != ".mg")
+        continue;
+      std::ifstream In(E.path(), std::ios::binary);
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      CorpusProgram P;
+      P.Name = E.path().stem().string();
+      P.Source = Buf.str();
+      P.HasSpin = P.Source.find("PROCEDURE Spin") != std::string::npos;
+      Out.push_back(std::move(P));
+    }
+    std::sort(Out.begin(), Out.end(),
+              [](const CorpusProgram &A, const CorpusProgram &B) {
+                return A.Name < B.Name;
+              });
+    return Out;
+  }();
+  return Programs;
+}
+
+/// Corpus names, for parameterized-test instantiation.
+inline std::vector<std::string> corpusNames() {
+  std::vector<std::string> Names;
+  for (const CorpusProgram &P : corpus())
+    Names.push_back(P.Name);
+  return Names;
+}
+
+/// Looks up one corpus program by name; aborts if absent.
+inline const CorpusProgram &corpusProgram(const std::string &Name) {
+  for (const CorpusProgram &P : corpus())
+    if (P.Name == Name)
+      return P;
+  std::abort();
+}
+
+} // namespace test
+} // namespace mgc
+
+#endif // MGC_TESTS_CORPUS_H

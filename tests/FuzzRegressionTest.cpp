@@ -1,0 +1,176 @@
+//===- tests/FuzzRegressionTest.cpp - Differential fuzzer regression -------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzzer as a regression suite: the checked-in corpus runs through
+/// the full differential mode matrix, the campaign is bit-for-bit
+/// deterministic, the generator keeps producing valid programs, and —
+/// the end-to-end self-test — an intentionally injected gc-table bug is
+/// caught by the oracle and reduced to a small repro.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Corpus.h"
+
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Generator.h"
+#include "fuzz/Oracle.h"
+#include "fuzz/Reducer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace mgc;
+using namespace mgc::test;
+using namespace mgc::fuzz;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Corpus through the oracle matrix
+//===----------------------------------------------------------------------===//
+
+class FuzzCorpus : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FuzzCorpus, OracleMatrixAgrees) {
+  const CorpusProgram &P = corpusProgram(GetParam());
+  OracleResult Res = checkSource(P.Source, P.HasSpin);
+  EXPECT_FALSE(Res.RefFailed) << P.Name << " no longer compiles/runs:\n"
+                              << Res.Report;
+  EXPECT_FALSE(Res.Diverged) << P.Name << " diverged:\n" << Res.Report;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, FuzzCorpus,
+                         ::testing::ValuesIn(corpusNames()),
+                         [](const ::testing::TestParamInfo<std::string> &I) {
+                           return I.param;
+                         });
+
+//===----------------------------------------------------------------------===//
+// Generator validity
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzGenerator, ProducesValidPrograms) {
+  // Seeds disjoint from the corpus range: every generated program must
+  // compile at both optimization levels.
+  for (uint64_t Seed = 60; Seed != 80; ++Seed) {
+    GProgram P = generateProgram(Seed);
+    std::string Source = P.render();
+    for (int Opt : {0, 2}) {
+      driver::CompilerOptions CO;
+      CO.OptLevel = Opt;
+      CO.ThreadedPolls = P.HasSpin;
+      auto C = driver::compile(Source, CO);
+      ASSERT_TRUE(C.Prog) << "seed " << Seed << " -O" << Opt << ":\n"
+                          << C.Diags.str() << "\n"
+                          << Source;
+    }
+  }
+}
+
+TEST(FuzzGenerator, RenderIsDeterministic) {
+  for (uint64_t Seed : {1u, 7u, 19u, 42u}) {
+    EXPECT_EQ(generateProgram(Seed).render(), generateProgram(Seed).render())
+        << "seed " << Seed;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Campaign determinism
+//===----------------------------------------------------------------------===//
+
+std::map<std::string, std::string> readDir(const std::filesystem::path &D) {
+  std::map<std::string, std::string> Files;
+  for (const auto &E : std::filesystem::directory_iterator(D)) {
+    std::ifstream In(E.path(), std::ios::binary);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Files[E.path().filename().string()] = Buf.str();
+  }
+  return Files;
+}
+
+TEST(FuzzCampaign, DeterministicAcrossRuns) {
+  namespace fs = std::filesystem;
+  fs::path A = fs::temp_directory_path() / "mgc-fuzz-det-a";
+  fs::path B = fs::temp_directory_path() / "mgc-fuzz-det-b";
+  fs::remove_all(A);
+  fs::remove_all(B);
+
+  FuzzOptions Opts;
+  Opts.Seed = 1;
+  Opts.Count = 5;
+  Opts.DumpAll = true;
+  FuzzSummary S1, S2;
+  Opts.OutDir = A.string();
+  S1 = runFuzz(Opts);
+  Opts.OutDir = B.string();
+  S2 = runFuzz(Opts);
+
+  // The log (everything except wall-clock timing, which lives only in
+  // the JSON) and every artifact byte must match.
+  EXPECT_EQ(S1.Log, S2.Log);
+  EXPECT_EQ(S1.Divergences, 0u) << S1.Log;
+  EXPECT_EQ(S1.GeneratorDefects, 0u) << S1.Log;
+  EXPECT_EQ(readDir(A), readDir(B));
+
+  fs::remove_all(A);
+  fs::remove_all(B);
+}
+
+//===----------------------------------------------------------------------===//
+// Injected-bug self-test
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzSelfTest, InjectedDeltaBitBugCaughtAndReduced) {
+  // MGC_FUZZ_DROP_DELTA_BIT makes the table emitter clear the highest set
+  // bit of each gc-point's last delta byte: a live root silently vanishes
+  // from the maps.  Both decoders read the same broken table, so only
+  // behavioral divergence can catch it — which is exactly the fuzzer's
+  // job.  Forked oracle children inherit the variable.
+  GProgram P = generateProgram(1);
+  std::string Source = P.render();
+
+  // Sanity: the program is clean without the bug.
+  OracleResult Clean = checkSource(Source, P.HasSpin);
+  ASSERT_FALSE(Clean.RefFailed) << Clean.Report;
+  ASSERT_FALSE(Clean.Diverged) << Clean.Report;
+
+  ASSERT_EQ(setenv("MGC_FUZZ_DROP_DELTA_BIT", "1", 1), 0);
+  OracleResult Broken = checkSource(Source, P.HasSpin);
+  EXPECT_FALSE(Broken.RefFailed) << Broken.Report;
+  EXPECT_TRUE(Broken.Diverged)
+      << "the injected table bug must produce a divergence";
+
+  GProgram Reduced = P;
+  if (Broken.Diverged) {
+    auto StillFails = [](const GProgram &Q) {
+      OracleResult R = checkSource(Q.render(), Q.HasSpin, /*FailFast=*/true);
+      return R.Diverged && !R.RefFailed;
+    };
+    ReduceStats RS;
+    Reduced = reduceProgram(P, StillFails, 1500, &RS);
+    std::string Repro = Reduced.render();
+    unsigned Lines = 0;
+    for (char C : Repro)
+      Lines += C == '\n';
+    EXPECT_LE(Lines, 30u) << "reduced repro too large:\n" << Repro;
+    EXPECT_GT(RS.Accepted, 0u);
+  }
+  ASSERT_EQ(unsetenv("MGC_FUZZ_DROP_DELTA_BIT"), 0);
+
+  // With the flag gone the reduced program must be clean again: the
+  // divergence was the injected bug, not a generator artifact.
+  OracleResult After = checkSource(Reduced.render(), Reduced.HasSpin);
+  EXPECT_FALSE(After.Diverged) << After.Report;
+}
+
+} // namespace

@@ -807,4 +807,71 @@ END M.)";
   EXPECT_EQ(Gen.Stats.FramesTraced, Ref.Stats.FramesTraced);
 }
 
+TEST(GenGC, AmbiguousDerivationBasesStraddleNurseryAndOldSpace) {
+  // The §4 diamond (v := p[i] or q[i] resolved by a path variable), but
+  // under generational collection with the two alternative bases in
+  // *different spaces*: `a` is allocated first and aged past several
+  // minor collections (promoted to old space) while `b` is nursery-fresh
+  // at the call.  A minor collection at Use's allocation must re-derive v
+  // from whichever base the path variable names — moving nursery base or
+  // stationary promoted base — without confusing the two.
+  const char *Src = R"(
+MODULE M;
+TYPE Arr = REF ARRAY [1..8] OF INTEGER;
+     Cell = REF RECORD v: INTEGER END;
+VAR a, b: Arr; junkg: Cell; r: INTEGER;
+
+PROCEDURE Use(x: INTEGER): INTEGER;
+VAR junk: Arr;
+BEGIN
+  junk := NEW(Arr);    (* every call runs a minor collection under stress *)
+  RETURN x
+END Use;
+
+PROCEDURE Work(inv: BOOLEAN; p, q: Arr): INTEGER;
+VAR i, s, v: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 1 TO 8 DO
+    IF inv THEN v := p[i] ELSE v := q[i] END;
+    s := s + Use(v)
+  END;
+  RETURN s
+END Work;
+
+BEGIN
+  a := NEW(Arr);
+  FOR i := 1 TO 8 DO a[i] := i END;
+  (* Age `a` across many stress-driven minor collections so it promotes
+     out of the nursery before Work runs. *)
+  FOR i := 1 TO 32 DO junkg := NEW(Cell) END;
+  b := NEW(Arr);
+  FOR i := 1 TO 8 DO b[i] := 10 * i END;
+  r := Work(TRUE, a, b) * 1000 + Work(FALSE, a, b);
+  PutInt(r); PutLn();
+END M.)";
+
+  gc::CollectorOptions Checked;
+  Checked.CrossCheck = true;
+  driver::CompilerOptions CO = genCompilerOptions();
+  CO.Mode = driver::Disambiguation::PathVariables;
+  vm::VMOptions VO = genVMOptions(1u << 20, 1u << 10);
+  VO.GcStress = true;
+  RunResult R = compileAndRun(Src, CO, VO, Checked);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Out, "36360\n");
+  EXPECT_GT(R.PathVars, 0u) << "the diamond must create a path variable";
+  EXPECT_GT(R.Stats.MinorCollections, 16u)
+      << "both Work calls must see minor collections";
+  EXPECT_GT(R.Stats.DerivedAdjusted, 0u);
+
+  // Path splitting must agree under the same generational pressure.
+  driver::CompilerOptions Split = CO;
+  Split.Mode = driver::Disambiguation::PathSplitting;
+  RunResult RS = compileAndRun(Src, Split, VO, Checked);
+  ASSERT_TRUE(RS.Ok) << RS.Error;
+  EXPECT_EQ(RS.Out, "36360\n");
+  EXPECT_EQ(RS.PathVars, 0u);
+}
+
 } // namespace

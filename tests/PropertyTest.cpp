@@ -11,6 +11,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "Corpus.h"
 #include "TestUtil.h"
 
 #include "Programs.h"
@@ -203,15 +204,14 @@ INSTANTIATE_TEST_SUITE_P(Rounds, ChurnSweep,
 /// both optimization levels, must decode identically through the reference
 /// walk-from-start decoder, the load-time index, and the decoded-point
 /// cache — including same-as-previous chains and all-empty descriptors.
-class DecodeEquivalence
-    : public ::testing::TestWithParam<std::tuple<int, int>> {};
-
-TEST_P(DecodeEquivalence, ReferenceEqualsIndexedAndCached) {
-  const programs::NamedProgram &P = programs::All[std::get<0>(GetParam())];
-  driver::CompilerOptions CO;
-  CO.OptLevel = std::get<1>(GetParam());
-  auto C = driver::compile(P.Source, CO);
-  ASSERT_TRUE(C.Prog) << P.Name << " failed to compile:\n" << C.Diags.str();
+/// Shared sweep body: every gc-point of every function must decode
+/// identically through the reference walk-from-start decoder, the
+/// load-time index, and the decoded-point cache.
+void checkDecodeEquivalence(const std::string &Name,
+                            const std::string &Source,
+                            driver::CompilerOptions CO) {
+  auto C = driver::compile(Source, CO);
+  ASSERT_TRUE(C.Prog) << Name << " failed to compile:\n" << C.Diags.str();
   vm::Program &Prog = *C.Prog;
   ASSERT_EQ(Prog.MapIndexes.size(), Prog.Maps.size());
 
@@ -228,7 +228,7 @@ TEST_P(DecodeEquivalence, ReferenceEqualsIndexedAndCached) {
 
       gcmaps::GcPointInfo Indexed;
       gcmaps::decodeGcPointIndexed(Maps, Index, K, Indexed);
-      EXPECT_TRUE(Indexed == Ref) << P.Name << " func " << F << " point "
+      EXPECT_TRUE(Indexed == Ref) << Name << " func " << F << " point "
                                   << K << ": indexed decode diverged";
 
       const gcmaps::GcPointInfo *Cached = Cache.lookup(F, K);
@@ -237,7 +237,7 @@ TEST_P(DecodeEquivalence, ReferenceEqualsIndexedAndCached) {
         Cached = Cache.lookup(F, K);
       }
       ASSERT_NE(Cached, nullptr);
-      EXPECT_TRUE(*Cached == Ref) << P.Name << " func " << F << " point "
+      EXPECT_TRUE(*Cached == Ref) << Name << " func " << F << " point "
                                   << K << ": cached decode diverged";
 
       ++PointsChecked;
@@ -252,9 +252,19 @@ TEST_P(DecodeEquivalence, ReferenceEqualsIndexedAndCached) {
     }
   }
   // The sweep must actually cover the interesting encodings.
-  EXPECT_GT(PointsChecked, 0u) << P.Name;
+  EXPECT_GT(PointsChecked, 0u) << Name;
   EXPECT_GT(SamePoints + EmptyPoints, 0u)
-      << P.Name << ": expected same-as-previous or empty descriptors";
+      << Name << ": expected same-as-previous or empty descriptors";
+}
+
+class DecodeEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DecodeEquivalence, ReferenceEqualsIndexedAndCached) {
+  const programs::NamedProgram &P = programs::All[std::get<0>(GetParam())];
+  driver::CompilerOptions CO;
+  CO.OptLevel = std::get<1>(GetParam());
+  checkDecodeEquivalence(P.Name, P.Source, CO);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -264,5 +274,31 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(programs::All[std::get<0>(Info.param)].Name) +
              "_O" + std::to_string(std::get<1>(Info.param));
     });
+
+/// The same sweep over the checked-in fuzz corpus: bigger programs with
+/// WITH-bound derived pointers, ambiguous diamonds, threads, and loop
+/// polls stress encodings the four benchmarks never emit.  Honors
+/// MGC_TEST_GEN_GC=1 (write barriers change the gc-point population).
+class CorpusDecodeEquivalence
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorpusDecodeEquivalence, ReferenceEqualsIndexedAndCached) {
+  const CorpusProgram &P = corpusProgram(GetParam());
+  for (int Opt : {0, 2}) {
+    driver::CompilerOptions CO;
+    CO.OptLevel = Opt;
+    CO.ThreadedPolls = P.HasSpin;
+    if (std::getenv("MGC_TEST_GEN_GC"))
+      CO.WriteBarriers = true;
+    checkDecodeEquivalence(P.Name + "_O" + std::to_string(Opt), P.Source,
+                           CO);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FuzzCorpus, CorpusDecodeEquivalence,
+                         ::testing::ValuesIn(corpusNames()),
+                         [](const ::testing::TestParamInfo<std::string> &I) {
+                           return I.param;
+                         });
 
 } // namespace

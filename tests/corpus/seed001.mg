@@ -1,0 +1,200 @@
+MODULE Fz;
+(* generated: mgc-fuzz seed 1 *)
+
+TYPE
+  Cell = REF CellRec;
+  CellRec = RECORD v: INTEGER; next: Cell END;
+  Node = REF NodeRec;
+  Kids = REF ARRAY OF Node;
+  NodeRec = RECORD value: INTEGER; kids: Kids END;
+  IArr = REF ARRAY OF INTEGER;
+  FArr = REF ARRAY [1..8] OF INTEGER;
+  Pair = REF PairRec;
+  PairRec = RECORD a, b: INTEGER; left, right: Pair END;
+
+VAR sink, t0, t1, t2, t3: INTEGER;
+    gl: Cell;
+    ga: IArr;
+    gn: Node;
+    gp: Pair;
+    fa, fb: FArr;
+    done: BOOLEAN;
+
+PROCEDURE BuildList(n: INTEGER): Cell;
+VAR l, c: Cell; i: INTEGER;
+BEGIN
+  l := NIL;
+  FOR i := 1 TO n DO
+    c := NEW(Cell);
+    c^.v := i;
+    c^.next := l;
+    l := c
+  END;
+  RETURN l
+END BuildList;
+
+PROCEDURE SumList(l: Cell): INTEGER;
+VAR s: INTEGER; t: Cell;
+BEGIN
+  s := 0;
+  WHILE l # NIL DO
+    WITH w = l^.v DO
+      t := NEW(Cell);
+      t^.v := w;
+      s := (s + w + t^.v) MOD 1000000007
+    END;
+    l := l^.next
+  END;
+  RETURN s
+END SumList;
+
+PROCEDURE Fill(a: IArr);
+VAR i: INTEGER;
+BEGIN
+  FOR i := 0 TO NUMBER(a) - 1 DO
+    a[i] := i * 3 + 1
+  END
+END Fill;
+
+PROCEDURE SumArr(a: IArr): INTEGER;
+VAR s, i: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 0 TO NUMBER(a) - 1 DO
+    WITH e = a[i] DO
+      gl := NEW(Cell);
+      gl^.v := e;
+      s := (s + e + gl^.v) MOD 1000000007
+    END
+  END;
+  RETURN s
+END SumArr;
+
+PROCEDURE LinkPairs(n: INTEGER): Pair;
+VAR h, p: Pair; i: INTEGER;
+BEGIN
+  h := NEW(Pair);
+  h^.a := 1;
+  FOR i := 1 TO n DO
+    p := NEW(Pair);
+    p^.a := i;
+    p^.b := i * 2;
+    p^.left := h^.left;
+    p^.right := h;
+    h^.left := p
+  END;
+  RETURN h
+END LinkPairs;
+
+PROCEDURE WalkPairs(p: Pair): INTEGER;
+VAR s: INTEGER;
+BEGIN
+  s := 0;
+  WHILE p # NIL DO
+    s := (s + p^.a + p^.b) MOD 1000000007;
+    p := p^.left
+  END;
+  RETURN s
+END WalkPairs;
+
+PROCEDURE Use(x: INTEGER): INTEGER;
+VAR junk: FArr;
+BEGIN
+  junk := NEW(FArr);
+  RETURN x
+END Use;
+
+PROCEDURE Work(inv: BOOLEAN; p, q: FArr): INTEGER;
+VAR i, s, v: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 1 TO 8 DO
+    IF inv THEN
+      v := p[i]
+    ELSE
+      v := q[i]
+    END;
+    s := (s + Use(v)) MOD 1000000007
+  END;
+  RETURN s
+END Work;
+
+PROCEDURE Spin();
+VAR i: INTEGER;
+BEGIN
+  i := 0;
+  WHILE NOT done DO
+    INC(i);
+    IF i > 1000000 THEN
+      i := 0
+    END
+  END
+END Spin;
+
+BEGIN
+  fa := NEW(FArr);
+  fb := NEW(FArr);
+  FOR i0 := 1 TO 8 DO
+    fa[i0] := i0 * 6;
+    fb[i0] := i0 * 1
+  END;
+  sink := (sink + Work(TRUE, fa, fb) * 1000 + Work(FALSE, fa, fb)) MOD 1000000007;
+  gp := LinkPairs(3);
+  t2 := (t2 + WalkPairs(gp)) MOD 1000000007;
+  ga := NEW(IArr, 11);
+  Fill(ga);
+  t0 := (t0 + SumArr(ga)) MOD 1000000007;
+  FOR i1 := 1 TO 3 DO
+    t1 := (t1 + i1 * 4 + 14) MOD 1000000007;
+    IF t0 MOD 2 = 0 THEN
+      t0 := (t0 + 1) MOD 1000000007
+    ELSE
+      t1 := (t1 + i1) MOD 1000000007
+    END;
+    IF t3 MOD 2 = 0 THEN
+      t3 := (t3 + 1) MOD 1000000007
+    ELSE
+      t3 := (t3 + i1) MOD 1000000007
+    END;
+    FOR i2 := 1 TO 5 DO
+      t3 := (t3 + i1 * i2) MOD 1000000007
+    END
+  END;
+  gl := BuildList(6);
+  t2 := (t2 + SumList(gl)) MOD 1000000007;
+  FOR i3 := 1 TO 3 DO
+    t1 := (t1 + i3 * 4 + 81) MOD 1000000007;
+    FOR i4 := 1 TO 5 DO
+      t2 := (t2 + i3 * i4) MOD 1000000007
+    END;
+    t2 := (t2 + i3 * 10 + 21) MOD 1000000007;
+    t2 := (t2 + SumList(gl)) MOD 1000000007
+  END;
+  FOR i5 := 1 TO 5 DO
+    gl := BuildList(i5)
+  END;
+  FOR i6 := 1 TO 5 DO
+    FOR i7 := 1 TO 2 DO
+      t3 := (t3 + i6 * i7) MOD 1000000007
+    END;
+    t2 := (t2 + SumList(gl)) MOD 1000000007;
+    t3 := (t3 + i6 * 7 + 20) MOD 1000000007;
+    t0 := (t0 + SumList(gl)) MOD 1000000007
+  END;
+  gp := LinkPairs(6);
+  t1 := (t1 + WalkPairs(gp)) MOD 1000000007;
+  fa := NEW(FArr);
+  fb := NEW(FArr);
+  FOR i8 := 1 TO 8 DO
+    fa[i8] := i8 * 6;
+    fb[i8] := i8 * 1
+  END;
+  sink := (sink + Work(TRUE, fa, fb) * 1000 + Work(FALSE, fa, fb)) MOD 1000000007;
+  done := TRUE;
+  PutInt((sink + t0 + t1 + t2 + t3) MOD 1000000007);
+  PutChar(32);
+  PutInt(t0 + t1);
+  PutChar(32);
+  PutInt(t2 + t3);
+  PutLn()
+END Fz.

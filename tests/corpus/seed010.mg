@@ -1,0 +1,186 @@
+MODULE Fz;
+(* generated: mgc-fuzz seed 10 *)
+
+TYPE
+  Cell = REF CellRec;
+  CellRec = RECORD v: INTEGER; next: Cell END;
+  Node = REF NodeRec;
+  Kids = REF ARRAY OF Node;
+  NodeRec = RECORD value: INTEGER; kids: Kids END;
+  IArr = REF ARRAY OF INTEGER;
+  FArr = REF ARRAY [1..8] OF INTEGER;
+  Pair = REF PairRec;
+  PairRec = RECORD a, b: INTEGER; left, right: Pair END;
+
+VAR sink, t0, t1, t2, t3: INTEGER;
+    gl: Cell;
+    ga: IArr;
+    gn: Node;
+    gp: Pair;
+    fa, fb: FArr;
+    done: BOOLEAN;
+
+PROCEDURE MakeTree(d: INTEGER): Node;
+VAR n: Node; i: INTEGER;
+BEGIN
+  n := NEW(Node);
+  n^.value := d;
+  IF d > 0 THEN
+    n^.kids := NEW(Kids, 3);
+    FOR i := 0 TO 2 DO
+      n^.kids[i] := MakeTree(d - 1)
+    END
+  ELSE
+    n^.kids := NIL
+  END;
+  RETURN n
+END MakeTree;
+
+PROCEDURE CountTree(n: Node): INTEGER;
+VAR i, total: INTEGER;
+BEGIN
+  IF n = NIL THEN
+    RETURN 0
+  END;
+  total := 1;
+  IF n^.kids # NIL THEN
+    FOR i := 0 TO NUMBER(n^.kids) - 1 DO
+      total := total + CountTree(n^.kids[i])
+    END
+  END;
+  RETURN total
+END CountTree;
+
+PROCEDURE LinkPairs(n: INTEGER): Pair;
+VAR h, p: Pair; i: INTEGER;
+BEGIN
+  h := NEW(Pair);
+  h^.a := 1;
+  FOR i := 1 TO n DO
+    p := NEW(Pair);
+    p^.a := i;
+    p^.b := i * 2;
+    p^.left := h^.left;
+    p^.right := h;
+    h^.left := p
+  END;
+  RETURN h
+END LinkPairs;
+
+PROCEDURE WalkPairs(p: Pair): INTEGER;
+VAR s: INTEGER;
+BEGIN
+  s := 0;
+  WHILE p # NIL DO
+    s := (s + p^.a + p^.b) MOD 1000000007;
+    p := p^.left
+  END;
+  RETURN s
+END WalkPairs;
+
+PROCEDURE Bump(VAR x: INTEGER; n: INTEGER);
+VAR c: Cell;
+BEGIN
+  c := NEW(Cell);
+  c^.v := n;
+  x := (x + c^.v) MOD 1000000007
+END Bump;
+
+PROCEDURE Use(x: INTEGER): INTEGER;
+VAR junk: FArr;
+BEGIN
+  junk := NEW(FArr);
+  RETURN x
+END Use;
+
+PROCEDURE Work(inv: BOOLEAN; p, q: FArr): INTEGER;
+VAR i, s, v: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 1 TO 8 DO
+    IF inv THEN
+      v := p[i]
+    ELSE
+      v := q[i]
+    END;
+    s := (s + Use(v)) MOD 1000000007
+  END;
+  RETURN s
+END Work;
+
+PROCEDURE Spin();
+VAR i: INTEGER;
+BEGIN
+  i := 0;
+  WHILE NOT done DO
+    INC(i);
+    IF i > 1000000 THEN
+      i := 0
+    END
+  END
+END Spin;
+
+BEGIN
+  fa := NEW(FArr);
+  fb := NEW(FArr);
+  FOR i0 := 1 TO 8 DO
+    fa[i0] := i0 * 2;
+    fb[i0] := i0 * 7
+  END;
+  sink := (sink + Work(TRUE, fa, fb) * 1000 + Work(FALSE, fa, fb)) MOD 1000000007;
+  gn := MakeTree(3);
+  t1 := (t1 + CountTree(gn)) MOD 1000000007;
+  gp := LinkPairs(3);
+  t0 := (t0 + WalkPairs(gp)) MOD 1000000007;
+  fa := NEW(FArr);
+  fb := NEW(FArr);
+  FOR i1 := 1 TO 8 DO
+    fa[i1] := i1 * 8;
+    fb[i1] := i1 * 2
+  END;
+  sink := (sink + Work(TRUE, fa, fb) * 1000 + Work(FALSE, fa, fb)) MOD 1000000007;
+  gn := MakeTree(2);
+  t3 := (t3 + CountTree(gn)) MOD 1000000007;
+  fa := NEW(FArr);
+  fb := NEW(FArr);
+  FOR i2 := 1 TO 8 DO
+    fa[i2] := i2 * 6;
+    fb[i2] := i2 * 6
+  END;
+  sink := (sink + Work(TRUE, fa, fb) * 1000 + Work(FALSE, fa, fb)) MOD 1000000007;
+  Bump(t3, 47);
+  FOR i3 := 1 TO 6 DO
+    IF t2 MOD 2 = 0 THEN
+      t2 := (t2 + 1) MOD 1000000007
+    ELSE
+      t3 := (t3 + i3) MOD 1000000007
+    END;
+    FOR i4 := 1 TO 5 DO
+      t2 := (t2 + i3 * i4) MOD 1000000007
+    END;
+    FOR i5 := 1 TO 2 DO
+      t1 := (t1 + i3 * i5) MOD 1000000007
+    END;
+    IF t1 MOD 2 = 0 THEN
+      t1 := (t1 + 1) MOD 1000000007
+    ELSE
+      t3 := (t3 + i3) MOD 1000000007
+    END
+  END;
+  FOR i6 := 1 TO 3 DO
+    t1 := (t1 + i6 * 4 + 3) MOD 1000000007;
+    FOR i7 := 1 TO 2 DO
+      t1 := (t1 + i6 * i7) MOD 1000000007
+    END;
+    FOR i8 := 1 TO 2 DO
+      t3 := (t3 + i6 * i8) MOD 1000000007
+    END
+  END;
+  done := TRUE;
+  PutInt((sink + t0 + t1 + t2 + t3) MOD 1000000007);
+  PutChar(32);
+  PutInt(t0 + t1);
+  PutChar(32);
+  PutInt(t2 + t3);
+  PutLn()
+END Fz.

@@ -1,0 +1,125 @@
+MODULE Fz;
+(* generated: mgc-fuzz seed 19 *)
+
+TYPE
+  Cell = REF CellRec;
+  CellRec = RECORD v: INTEGER; next: Cell END;
+  Node = REF NodeRec;
+  Kids = REF ARRAY OF Node;
+  NodeRec = RECORD value: INTEGER; kids: Kids END;
+  IArr = REF ARRAY OF INTEGER;
+  FArr = REF ARRAY [1..8] OF INTEGER;
+  Pair = REF PairRec;
+  PairRec = RECORD a, b: INTEGER; left, right: Pair END;
+
+VAR sink, t0, t1, t2, t3: INTEGER;
+    gl: Cell;
+    ga: IArr;
+    gn: Node;
+    gp: Pair;
+    fa, fb: FArr;
+    done: BOOLEAN;
+
+PROCEDURE BuildList(n: INTEGER): Cell;
+VAR l, c: Cell; i: INTEGER;
+BEGIN
+  l := NIL;
+  FOR i := 1 TO n DO
+    c := NEW(Cell);
+    c^.v := i;
+    c^.next := l;
+    l := c
+  END;
+  RETURN l
+END BuildList;
+
+PROCEDURE MakeTree(d: INTEGER): Node;
+VAR n: Node; i: INTEGER;
+BEGIN
+  n := NEW(Node);
+  n^.value := d;
+  IF d > 0 THEN
+    n^.kids := NEW(Kids, 3);
+    FOR i := 0 TO 2 DO
+      n^.kids[i] := MakeTree(d - 1)
+    END
+  ELSE
+    n^.kids := NIL
+  END;
+  RETURN n
+END MakeTree;
+
+PROCEDURE CountTree(n: Node): INTEGER;
+VAR i, total: INTEGER;
+BEGIN
+  IF n = NIL THEN
+    RETURN 0
+  END;
+  total := 1;
+  IF n^.kids # NIL THEN
+    FOR i := 0 TO NUMBER(n^.kids) - 1 DO
+      total := total + CountTree(n^.kids[i])
+    END
+  END;
+  RETURN total
+END CountTree;
+
+PROCEDURE Use(x: INTEGER): INTEGER;
+VAR junk: FArr;
+BEGIN
+  junk := NEW(FArr);
+  RETURN x
+END Use;
+
+PROCEDURE Work(inv: BOOLEAN; p, q: FArr): INTEGER;
+VAR i, s, v: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 1 TO 8 DO
+    IF inv THEN
+      v := p[i]
+    ELSE
+      v := q[i]
+    END;
+    s := (s + Use(v)) MOD 1000000007
+  END;
+  RETURN s
+END Work;
+
+BEGIN
+  gn := MakeTree(4);
+  t1 := (t1 + CountTree(gn)) MOD 1000000007;
+  FOR i0 := 1 TO 6 DO
+    gl := BuildList(i0);
+    FOR i1 := 1 TO 3 DO
+      t3 := (t3 + i0 * i1) MOD 1000000007
+    END;
+    FOR i2 := 1 TO 5 DO
+      t2 := (t2 + i0 * i2) MOD 1000000007
+    END
+  END;
+  fa := NEW(FArr);
+  fb := NEW(FArr);
+  FOR i3 := 1 TO 8 DO
+    fa[i3] := i3 * 9;
+    fb[i3] := i3 * 8
+  END;
+  sink := (sink + Work(TRUE, fa, fb) * 1000 + Work(FALSE, fa, fb)) MOD 1000000007;
+  fa := NEW(FArr);
+  fb := NEW(FArr);
+  FOR i4 := 1 TO 8 DO
+    fa[i4] := i4 * 2;
+    fb[i4] := i4 * 8
+  END;
+  sink := (sink + Work(TRUE, fa, fb) * 1000 + Work(FALSE, fa, fb)) MOD 1000000007;
+  gn := MakeTree(3);
+  t3 := (t3 + CountTree(gn)) MOD 1000000007;
+  gn := MakeTree(2);
+  t3 := (t3 + CountTree(gn)) MOD 1000000007;
+  PutInt((sink + t0 + t1 + t2 + t3) MOD 1000000007);
+  PutChar(32);
+  PutInt(t0 + t1);
+  PutChar(32);
+  PutInt(t2 + t3);
+  PutLn()
+END Fz.

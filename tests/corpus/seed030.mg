@@ -1,0 +1,220 @@
+MODULE Fz;
+(* generated: mgc-fuzz seed 30 *)
+
+TYPE
+  Cell = REF CellRec;
+  CellRec = RECORD v: INTEGER; next: Cell END;
+  Node = REF NodeRec;
+  Kids = REF ARRAY OF Node;
+  NodeRec = RECORD value: INTEGER; kids: Kids END;
+  IArr = REF ARRAY OF INTEGER;
+  FArr = REF ARRAY [1..8] OF INTEGER;
+  Pair = REF PairRec;
+  PairRec = RECORD a, b: INTEGER; left, right: Pair END;
+
+VAR sink, t0, t1, t2, t3: INTEGER;
+    gl: Cell;
+    ga: IArr;
+    gn: Node;
+    gp: Pair;
+    fa, fb: FArr;
+    done: BOOLEAN;
+
+PROCEDURE BuildList(n: INTEGER): Cell;
+VAR l, c: Cell; i: INTEGER;
+BEGIN
+  l := NIL;
+  FOR i := 1 TO n DO
+    c := NEW(Cell);
+    c^.v := i;
+    c^.next := l;
+    l := c
+  END;
+  RETURN l
+END BuildList;
+
+PROCEDURE SumList(l: Cell): INTEGER;
+VAR s: INTEGER; t: Cell;
+BEGIN
+  s := 0;
+  WHILE l # NIL DO
+    WITH w = l^.v DO
+      t := NEW(Cell);
+      t^.v := w;
+      s := (s + w + t^.v) MOD 1000000007
+    END;
+    l := l^.next
+  END;
+  RETURN s
+END SumList;
+
+PROCEDURE Fill(a: IArr);
+VAR i: INTEGER;
+BEGIN
+  FOR i := 0 TO NUMBER(a) - 1 DO
+    a[i] := i * 3 + 1
+  END
+END Fill;
+
+PROCEDURE SumArr(a: IArr): INTEGER;
+VAR s, i: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 0 TO NUMBER(a) - 1 DO
+    WITH e = a[i] DO
+      gl := NEW(Cell);
+      gl^.v := e;
+      s := (s + e + gl^.v) MOD 1000000007
+    END
+  END;
+  RETURN s
+END SumArr;
+
+PROCEDURE MakeTree(d: INTEGER): Node;
+VAR n: Node; i: INTEGER;
+BEGIN
+  n := NEW(Node);
+  n^.value := d;
+  IF d > 0 THEN
+    n^.kids := NEW(Kids, 2);
+    FOR i := 0 TO 1 DO
+      n^.kids[i] := MakeTree(d - 1)
+    END
+  ELSE
+    n^.kids := NIL
+  END;
+  RETURN n
+END MakeTree;
+
+PROCEDURE CountTree(n: Node): INTEGER;
+VAR i, total: INTEGER;
+BEGIN
+  IF n = NIL THEN
+    RETURN 0
+  END;
+  total := 1;
+  IF n^.kids # NIL THEN
+    FOR i := 0 TO NUMBER(n^.kids) - 1 DO
+      total := total + CountTree(n^.kids[i])
+    END
+  END;
+  RETURN total
+END CountTree;
+
+PROCEDURE LinkPairs(n: INTEGER): Pair;
+VAR h, p: Pair; i: INTEGER;
+BEGIN
+  h := NEW(Pair);
+  h^.a := 1;
+  FOR i := 1 TO n DO
+    p := NEW(Pair);
+    p^.a := i;
+    p^.b := i * 2;
+    p^.left := h^.left;
+    p^.right := h;
+    h^.left := p
+  END;
+  RETURN h
+END LinkPairs;
+
+PROCEDURE WalkPairs(p: Pair): INTEGER;
+VAR s: INTEGER;
+BEGIN
+  s := 0;
+  WHILE p # NIL DO
+    s := (s + p^.a + p^.b) MOD 1000000007;
+    p := p^.left
+  END;
+  RETURN s
+END WalkPairs;
+
+PROCEDURE Bump(VAR x: INTEGER; n: INTEGER);
+VAR c: Cell;
+BEGIN
+  c := NEW(Cell);
+  c^.v := n;
+  x := (x + c^.v) MOD 1000000007
+END Bump;
+
+PROCEDURE Use(x: INTEGER): INTEGER;
+VAR junk: FArr;
+BEGIN
+  junk := NEW(FArr);
+  RETURN x
+END Use;
+
+PROCEDURE Work(inv: BOOLEAN; p, q: FArr): INTEGER;
+VAR i, s, v: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 1 TO 8 DO
+    IF inv THEN
+      v := p[i]
+    ELSE
+      v := q[i]
+    END;
+    s := (s + Use(v)) MOD 1000000007
+  END;
+  RETURN s
+END Work;
+
+PROCEDURE Spin();
+VAR i: INTEGER;
+BEGIN
+  i := 0;
+  WHILE NOT done DO
+    INC(i);
+    IF i > 1000000 THEN
+      i := 0
+    END
+  END
+END Spin;
+
+BEGIN
+  gl := BuildList(9);
+  t0 := (t0 + SumList(gl)) MOD 1000000007;
+  gn := MakeTree(4);
+  t2 := (t2 + CountTree(gn)) MOD 1000000007;
+  gp := LinkPairs(5);
+  t2 := (t2 + WalkPairs(gp)) MOD 1000000007;
+  FOR i0 := 1 TO 3 DO
+    FOR i1 := 1 TO 4 DO
+      t3 := (t3 + i0 * i1) MOD 1000000007
+    END;
+    gl := BuildList(i0);
+    t1 := (t1 + i0 * 13 + 55) MOD 1000000007;
+    gl := BuildList(i0)
+  END;
+  ga := NEW(IArr, 8);
+  Fill(ga);
+  t0 := (t0 + SumArr(ga)) MOD 1000000007;
+  Bump(t1, 27);
+  gn := MakeTree(4);
+  t0 := (t0 + CountTree(gn)) MOD 1000000007;
+  fa := NEW(FArr);
+  fb := NEW(FArr);
+  FOR i2 := 1 TO 8 DO
+    fa[i2] := i2 * 4;
+    fb[i2] := i2 * 1
+  END;
+  sink := (sink + Work(TRUE, fa, fb) * 1000 + Work(FALSE, fa, fb)) MOD 1000000007;
+  FOR i3 := 1 TO 6 DO
+    t2 := (t2 + i3 * 11 + 10) MOD 1000000007;
+    IF t1 MOD 2 = 0 THEN
+      t1 := (t1 + 1) MOD 1000000007
+    ELSE
+      t2 := (t2 + i3) MOD 1000000007
+    END;
+    t2 := (t2 + SumList(gl)) MOD 1000000007;
+    gl := BuildList(i3)
+  END;
+  gl := BuildList(5);
+  t2 := (t2 + SumList(gl)) MOD 1000000007;
+  done := TRUE;
+  PutInt((sink + t0 + t1 + t2 + t3) MOD 1000000007);
+  PutChar(32);
+  PutInt(t0 + t1);
+  PutChar(32);
+  PutInt(t2 + t3);
+  PutLn()
+END Fz.

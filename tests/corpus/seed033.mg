@@ -1,0 +1,125 @@
+MODULE Fz;
+(* generated: mgc-fuzz seed 33 *)
+
+TYPE
+  Cell = REF CellRec;
+  CellRec = RECORD v: INTEGER; next: Cell END;
+  Node = REF NodeRec;
+  Kids = REF ARRAY OF Node;
+  NodeRec = RECORD value: INTEGER; kids: Kids END;
+  IArr = REF ARRAY OF INTEGER;
+  FArr = REF ARRAY [1..8] OF INTEGER;
+  Pair = REF PairRec;
+  PairRec = RECORD a, b: INTEGER; left, right: Pair END;
+
+VAR sink, t0, t1, t2, t3: INTEGER;
+    gl: Cell;
+    ga: IArr;
+    gn: Node;
+    gp: Pair;
+    fa, fb: FArr;
+    done: BOOLEAN;
+
+PROCEDURE BuildList(n: INTEGER): Cell;
+VAR l, c: Cell; i: INTEGER;
+BEGIN
+  l := NIL;
+  FOR i := 1 TO n DO
+    c := NEW(Cell);
+    c^.v := i;
+    c^.next := l;
+    l := c
+  END;
+  RETURN l
+END BuildList;
+
+PROCEDURE Fill(a: IArr);
+VAR i: INTEGER;
+BEGIN
+  FOR i := 0 TO NUMBER(a) - 1 DO
+    a[i] := i * 3 + 1
+  END
+END Fill;
+
+PROCEDURE SumArr(a: IArr): INTEGER;
+VAR s, i: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 0 TO NUMBER(a) - 1 DO
+    WITH e = a[i] DO
+      gl := NEW(Cell);
+      gl^.v := e;
+      s := (s + e + gl^.v) MOD 1000000007
+    END
+  END;
+  RETURN s
+END SumArr;
+
+PROCEDURE LinkPairs(n: INTEGER): Pair;
+VAR h, p: Pair; i: INTEGER;
+BEGIN
+  h := NEW(Pair);
+  h^.a := 1;
+  FOR i := 1 TO n DO
+    p := NEW(Pair);
+    p^.a := i;
+    p^.b := i * 2;
+    p^.left := h^.left;
+    p^.right := h;
+    h^.left := p
+  END;
+  RETURN h
+END LinkPairs;
+
+PROCEDURE WalkPairs(p: Pair): INTEGER;
+VAR s: INTEGER;
+BEGIN
+  s := 0;
+  WHILE p # NIL DO
+    s := (s + p^.a + p^.b) MOD 1000000007;
+    p := p^.left
+  END;
+  RETURN s
+END WalkPairs;
+
+PROCEDURE Bump(VAR x: INTEGER; n: INTEGER);
+VAR c: Cell;
+BEGIN
+  c := NEW(Cell);
+  c^.v := n;
+  x := (x + c^.v) MOD 1000000007
+END Bump;
+
+BEGIN
+  gp := LinkPairs(3);
+  t3 := (t3 + WalkPairs(gp)) MOD 1000000007;
+  FOR i0 := 1 TO 3 DO
+    IF t0 MOD 2 = 0 THEN
+      t0 := (t0 + 1) MOD 1000000007
+    ELSE
+      t1 := (t1 + i0) MOD 1000000007
+    END
+  END;
+  ga := NEW(IArr, 4);
+  Fill(ga);
+  t1 := (t1 + SumArr(ga)) MOD 1000000007;
+  gp := LinkPairs(9);
+  t3 := (t3 + WalkPairs(gp)) MOD 1000000007;
+  Bump(t1, 57);
+  FOR i1 := 1 TO 3 DO
+    FOR i2 := 1 TO 4 DO
+      t1 := (t1 + i1 * i2) MOD 1000000007
+    END;
+    gl := BuildList(i1);
+    gl := BuildList(i1);
+    t1 := (t1 + i1 * 2 + 81) MOD 1000000007
+  END;
+  Bump(t2, 6);
+  Bump(t2, 98);
+  PutInt((sink + t0 + t1 + t2 + t3) MOD 1000000007);
+  PutChar(32);
+  PutInt(t0 + t1);
+  PutChar(32);
+  PutInt(t2 + t3);
+  PutLn()
+END Fz.

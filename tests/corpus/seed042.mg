@@ -1,0 +1,115 @@
+MODULE Fz;
+(* generated: mgc-fuzz seed 42 *)
+
+TYPE
+  Cell = REF CellRec;
+  CellRec = RECORD v: INTEGER; next: Cell END;
+  Node = REF NodeRec;
+  Kids = REF ARRAY OF Node;
+  NodeRec = RECORD value: INTEGER; kids: Kids END;
+  IArr = REF ARRAY OF INTEGER;
+  FArr = REF ARRAY [1..8] OF INTEGER;
+  Pair = REF PairRec;
+  PairRec = RECORD a, b: INTEGER; left, right: Pair END;
+
+VAR sink, t0, t1, t2, t3: INTEGER;
+    gl: Cell;
+    ga: IArr;
+    gn: Node;
+    gp: Pair;
+    fa, fb: FArr;
+    done: BOOLEAN;
+
+PROCEDURE BuildList(n: INTEGER): Cell;
+VAR l, c: Cell; i: INTEGER;
+BEGIN
+  l := NIL;
+  FOR i := 1 TO n DO
+    c := NEW(Cell);
+    c^.v := i;
+    c^.next := l;
+    l := c
+  END;
+  RETURN l
+END BuildList;
+
+PROCEDURE SumList(l: Cell): INTEGER;
+VAR s: INTEGER; t: Cell;
+BEGIN
+  s := 0;
+  WHILE l # NIL DO
+    WITH w = l^.v DO
+      t := NEW(Cell);
+      t^.v := w;
+      s := (s + w + t^.v) MOD 1000000007
+    END;
+    l := l^.next
+  END;
+  RETURN s
+END SumList;
+
+PROCEDURE LinkPairs(n: INTEGER): Pair;
+VAR h, p: Pair; i: INTEGER;
+BEGIN
+  h := NEW(Pair);
+  h^.a := 1;
+  FOR i := 1 TO n DO
+    p := NEW(Pair);
+    p^.a := i;
+    p^.b := i * 2;
+    p^.left := h^.left;
+    p^.right := h;
+    h^.left := p
+  END;
+  RETURN h
+END LinkPairs;
+
+PROCEDURE WalkPairs(p: Pair): INTEGER;
+VAR s: INTEGER;
+BEGIN
+  s := 0;
+  WHILE p # NIL DO
+    s := (s + p^.a + p^.b) MOD 1000000007;
+    p := p^.left
+  END;
+  RETURN s
+END WalkPairs;
+
+BEGIN
+  FOR i0 := 1 TO 4 DO
+    FOR i1 := 1 TO 4 DO
+      t1 := (t1 + i0 * i1) MOD 1000000007
+    END;
+    gl := BuildList(i0)
+  END;
+  FOR i2 := 1 TO 5 DO
+    IF t2 MOD 2 = 0 THEN
+      t2 := (t2 + 1) MOD 1000000007
+    ELSE
+      t1 := (t1 + i2) MOD 1000000007
+    END;
+    IF t3 MOD 2 = 0 THEN
+      t3 := (t3 + 1) MOD 1000000007
+    ELSE
+      t0 := (t0 + i2) MOD 1000000007
+    END;
+    gl := BuildList(i2);
+    IF t1 MOD 2 = 0 THEN
+      t1 := (t1 + 1) MOD 1000000007
+    ELSE
+      t1 := (t1 + i2) MOD 1000000007
+    END
+  END;
+  gp := LinkPairs(4);
+  t1 := (t1 + WalkPairs(gp)) MOD 1000000007;
+  gp := LinkPairs(10);
+  t3 := (t3 + WalkPairs(gp)) MOD 1000000007;
+  gl := BuildList(8);
+  t1 := (t1 + SumList(gl)) MOD 1000000007;
+  PutInt((sink + t0 + t1 + t2 + t3) MOD 1000000007);
+  PutChar(32);
+  PutInt(t0 + t1);
+  PutChar(32);
+  PutInt(t2 + t3);
+  PutLn()
+END Fz.

@@ -59,5 +59,13 @@ MIN_TIME="${BENCH_MIN_TIME:-0.05}"
   --benchmark_out_format=json \
   --benchmark_format=console
 
-echo "check.sh: tier-1 ok (default + gen-gc); benchmarks written to" \
-     "BENCH_decode.json and BENCH_gengc.json"
+# --- Differential fuzz budget --------------------------------------------
+# A fixed-seed campaign through the whole mode matrix; exits non-zero on
+# any divergence or generator defect.  BENCH_fuzz.json records throughput
+# (programs/sec) and feature-coverage fractions as trajectory markers.
+FUZZ_COUNT="${FUZZ_COUNT:-200}"
+./build/tools/mgc-fuzz --seed 1 --count "$FUZZ_COUNT" \
+  --out "$ROOT/fuzz-artifacts" --json "$ROOT/BENCH_fuzz.json"
+
+echo "check.sh: tier-1 ok (default + gen-gc); fuzz ok ($FUZZ_COUNT programs);" \
+     "benchmarks written to BENCH_decode.json, BENCH_gengc.json, BENCH_fuzz.json"

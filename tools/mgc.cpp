@@ -52,7 +52,7 @@ int usage(const char *Argv0) {
                "[--interproc]\n           [--split] [--dump-ir] [--dump-asm] "
                "[--stats] [--stress]\n           [--heap BYTES] [--gen-gc] "
                "[--nursery-bytes BYTES]\n           [--no-map-index] "
-               "[--gc-crosscheck] [--no-run] file.mg\n",
+               "[--gc-crosscheck] [--no-run] [--spawn PROC] file.mg\n",
                Argv0);
   return 2;
 }
@@ -64,6 +64,7 @@ int main(int argc, char **argv) {
   gc::CollectorOptions GCO;
   bool DumpIR = false, DumpAsm = false, Stats = false, Run = true;
   const char *Path = nullptr;
+  const char *SpawnName = nullptr;
 
   for (int A = 1; A < argc; ++A) {
     const char *Arg = argv[A];
@@ -104,6 +105,10 @@ int main(int argc, char **argv) {
       if (++A == argc)
         return usage(argv[0]);
       VO.NurseryBytes = static_cast<size_t>(std::atoll(argv[A]));
+    } else if (!std::strcmp(Arg, "--spawn")) {
+      if (++A == argc)
+        return usage(argv[0]);
+      SpawnName = argv[A];
     } else if (Arg[0] == '-') {
       return usage(argv[0]);
     } else {
@@ -163,6 +168,18 @@ int main(int argc, char **argv) {
 
   vm::VM Machine(Prog, VO);
   gc::installPreciseCollector(Machine, GCO);
+  if (SpawnName) {
+    int Idx = -1;
+    for (unsigned F = 0; F != Prog.Funcs.size(); ++F)
+      if (Prog.Funcs[F].Name == SpawnName)
+        Idx = static_cast<int>(F);
+    if (Idx < 0) {
+      std::fprintf(stderr, "mgc: --spawn: no procedure named %s\n",
+                   SpawnName);
+      return 1;
+    }
+    Machine.spawnThread(static_cast<unsigned>(Idx));
+  }
   bool Ok = Machine.run();
   std::fputs(Machine.Out.c_str(), stdout);
   if (!Ok) {
