@@ -68,5 +68,22 @@ int main() {
   std::printf("(paper: ~45%% -> ~16%%; the shape to check is the "
               "compression factor, ~%0.1fx here vs ~2.8x in the paper)\n",
               SumPlainOpt / SumPPOpt);
+
+  // Observability support, reported separately: the allocation-site table
+  // is not a gc-table scheme and is never added into the columns above —
+  // the paper's table-size-vs-code-size figures stay untouched.
+  std::printf("\nAllocation-site tables (observability; excluded from every "
+              "column above):\n");
+  for (const auto &P : programs::All) {
+    for (int Opt : {0, 2}) {
+      driver::CompilerOptions CO;
+      CO.OptLevel = Opt;
+      auto Prog = compileOrDie(P.Name, P.Source, CO);
+      std::string Name = std::string(P.Name) + (Opt ? "-opt" : "");
+      std::printf("  %-15s %5zuB (%zu sites, %.1f%% of code)\n", Name.c_str(),
+                  Prog->Sizes.SiteTableBytes, Prog->SiteTab.Sites.size(),
+                  pct(Prog->Sizes.SiteTableBytes, Prog->codeSizeBytes()));
+    }
+  }
   return 0;
 }

@@ -516,6 +516,8 @@ void Emitter::emitInstr(const BasicBlock &BB, unsigned Index) {
   case Opcode::NewArray: {
     uint32_t GcIdx = static_cast<uint32_t>(Code.size());
     recordGcPoint(BB, Index, GcIdx);
+    Result.AllocSites.push_back({GcIdx, I.Loc.Line, I.Loc.Col,
+                                 static_cast<uint32_t>(I.Index)});
     MInstr M;
     M.Op = I.Op == Opcode::New ? MOp::NewObj : MOp::NewArr;
     M.D = locOperand(I.Dst);

@@ -20,6 +20,7 @@
 
 #include "codegen/Machine.h"
 #include "gcmaps/GcTables.h"
+#include "gcmaps/SiteTable.h"
 #include "gcsafety/GcSafety.h"
 #include "ir/IR.h"
 
@@ -35,6 +36,15 @@ struct EmitOptions {
   bool CiscFold = false;
 };
 
+/// One allocation instruction's raw site data, before the driver
+/// deduplicates sites program-wide.
+struct RawAllocSite {
+  uint32_t LocalPC = 0; ///< Function-local index of the NewObj/NewArr.
+  uint32_t Line = 0;    ///< Source position of the NEW (0 = synthesized).
+  uint32_t Col = 0;
+  uint32_t Desc = 0;    ///< Heap type descriptor index.
+};
+
 struct EmitResult {
   /// Function-local code; Jump/Branch targets are local instruction
   /// indices, rebased by the linker.
@@ -42,6 +52,9 @@ struct EmitResult {
   vm::CompiledFunction Meta;
   /// Raw gc tables; RetPCs are local instruction indices.
   gcmaps::FuncTableData Tables;
+  /// One entry per emitted NewObj/NewArr, in code order; the driver turns
+  /// these into the program-wide allocation-site table.
+  std::vector<RawAllocSite> AllocSites;
   unsigned CiscFoldsApplied = 0;
   unsigned CiscFoldsBlocked = 0;
 };

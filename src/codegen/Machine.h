@@ -135,11 +135,20 @@ struct MOperand {
   }
 };
 
+/// Sentinel allocation-site id: the instruction has no attribution (set
+/// only before the driver links the site table, or on hand-built code).
+constexpr uint32_t NoAllocSite = 0xFFFFFFFFu;
+
 struct MInstr {
   MOp Op;
   MOperand D, A, B;
   int Index = -1;          ///< Callee / descriptor / intrinsic / trap code.
   uint32_t Target0 = 0, Target1 = 0; ///< Global instruction indices.
+  /// NewObj/NewArr: allocation-site id into Program::SiteTab, assigned by
+  /// the driver from the decoded site table.  Carried in the in-memory
+  /// instruction only; the byte image excludes it (the encoded site table
+  /// accounts for the full cost of site attribution).
+  uint32_t Site = NoAllocSite;
   uint16_t ArgBase = 0;    ///< Call/CallRt: first outgoing arg slot.
   uint16_t NArgs = 0;
   /// §5.3 interprocedural refinement: the callee can never trigger a

@@ -16,6 +16,7 @@
 #include "ir/Verifier.h"
 #include "opt/Passes.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace mgc;
@@ -145,6 +146,13 @@ CompileResult driver::compile(const std::string &Source,
   EO.CiscFold = Options.CiscFold;
 
   std::vector<gcmaps::FuncTableData> RawTables;
+  // (Func, global PC, raw site) triples, accumulated across functions and
+  // turned into the deduplicated program-wide site table below.
+  struct PendingSite {
+    uint32_t PC;
+    gcmaps::AllocSite Site;
+  };
+  std::vector<PendingSite> PendingSites;
   for (size_t I = 0; I != M->Functions.size(); ++I) {
     codegen::EmitResult ER =
         codegen::emitFunction(*M->Functions[I], Safety[I], EO);
@@ -161,10 +169,48 @@ CompileResult driver::compile(const std::string &Source,
     }
     for (gcmaps::GcPointData &P : ER.Tables.Points)
       P.RetPC += Entry;
+    for (const codegen::RawAllocSite &RS : ER.AllocSites) {
+      gcmaps::AllocSite S;
+      S.Func = static_cast<uint32_t>(I);
+      S.Line = RS.Line;
+      S.Col = RS.Col;
+      S.Desc = RS.Desc;
+      PendingSites.push_back({Entry + RS.LocalPC, S});
+    }
     Prog->Funcs.push_back(ER.Meta);
     RawTables.push_back(std::move(ER.Tables));
     Prog->CiscFoldsApplied += ER.CiscFoldsApplied;
     Prog->CiscFoldsBlocked += ER.CiscFoldsBlocked;
+  }
+
+  // Build the program-wide allocation-site table.  Sites deduplicate on
+  // (Func, Line, Col, Desc) and are sorted, so ids are deterministic and
+  // stable across optimization levels: when the optimizer duplicates a NEW
+  // (e.g. loop unswitching), both copies attribute to the one source site.
+  {
+    gcmaps::SiteTable Raw;
+    for (const PendingSite &P : PendingSites)
+      Raw.Sites.push_back(P.Site);
+    std::sort(Raw.Sites.begin(), Raw.Sites.end());
+    Raw.Sites.erase(std::unique(Raw.Sites.begin(), Raw.Sites.end()),
+                    Raw.Sites.end());
+    for (const PendingSite &P : PendingSites) {
+      auto It = std::lower_bound(Raw.Sites.begin(), Raw.Sites.end(), P.Site);
+      assert(It != Raw.Sites.end() && *It == P.Site);
+      Raw.Attrs.push_back(
+          {P.PC, static_cast<uint32_t>(It - Raw.Sites.begin())});
+    }
+    // Attrs are already in ascending PC order (functions are emitted in
+    // entry order, sites in code order within each).
+    std::vector<uint8_t> Blob = gcmaps::encodeSiteTable(Raw);
+    Prog->Sizes.SiteTableBytes = Blob.size();
+    // Install the *decoded* table and patch instruction attributions from
+    // it, so every compile round-trips the codec.
+    Prog->SiteTab = gcmaps::decodeSiteTable(Blob);
+    for (const gcmaps::SiteAttribution &A : Prog->SiteTab.Attrs) {
+      assert(A.PC < Prog->Code.size());
+      Prog->Code[A.PC].Site = A.Site;
+    }
   }
 
   for (const gcmaps::FuncTableData &T : RawTables)

@@ -8,6 +8,7 @@
 
 #include "gcmaps/GcTables.h"
 #include "gcmaps/MapIndex.h"
+#include "obs/Trace.h"
 
 #include <cassert>
 #include <chrono>
@@ -24,6 +25,12 @@ using namespace mgc::vm;
 namespace {
 
 constexpr uint32_t SentinelPC = 0xFFFFFFFFu;
+
+// The tracer resolves first-collection survival by reading the forwarding
+// tag out of from-space headers (obs::Tracer::sweepSurvivors hardcodes
+// bit 0 to stay below the vm layer); pin the correspondence here.
+static_assert(Heap::ForwardBit == 1,
+              "obs survival sweep assumes the forwarding tag is bit 0");
 
 /// One resolved derived-value entry: the target word and its base words
 /// with signs (bases were required live, so they have resolved homes too).
@@ -64,6 +71,9 @@ private:
                 ThreadContext &T, Word **RegHome);
 
   CollectorOptions Opts;
+  /// The in-flight observability event (null when tracing is off); set at
+  /// the top of collect() so traceMinor can time the remset rebuild.
+  obs::GcEvent *CurEv = nullptr;
   gcmaps::DecodedPointCache Cache;
   uint64_t CacheHitsReported = 0;
   uint64_t CacheMissesReported = 0;
@@ -241,6 +251,10 @@ void PreciseCollector::traceFull(VM &M) {
   }
 
   M.Stats.BytesCopied += H.toAlloc() - H.scanStart();
+  // Survival attribution: from-space headers (and nursery headers in
+  // generational mode) remain readable until the swap below.
+  if (M.Tracer)
+    M.Tracer->sweepSurvivors();
   H.endCollection();
 }
 
@@ -317,21 +331,35 @@ void PreciseCollector::traceMinor(VM &M) {
       OldScan += ScanObject(OldScan, /*InOldObject=*/true);
   }
 
-  // Surviving entries of the old remembered set: the slot still holds a
-  // young pointer once its target moved to the survivor half.
-  for (Word Slot : H.remSet()) {
-    Word V = *reinterpret_cast<const Word *>(Slot);
-    if (H.inNurseryTo(V))
-      NewRem.insert(Slot);
-  }
-
   M.Stats.BytesCopied += (H.nurToAlloc() - H.nurScanStart()) +
                          (H.oldAllocPtr() - H.oldScanStart());
 
   if (Opts.CrossCheck)
     crosscheckAfterMinor(M);
 
+  // Remembered-set rebuild (timed as its own phase): surviving entries of
+  // the old set — slots still holding a young pointer once their target
+  // moved to the survivor half — join the edges recorded during the scan.
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point RemT0;
+  if (CurEv)
+    RemT0 = Clock::now();
+  for (Word Slot : H.remSet()) {
+    Word V = *reinterpret_cast<const Word *>(Slot);
+    if (H.inNurseryTo(V))
+      NewRem.insert(Slot);
+  }
   H.remSet().swap(NewRem);
+  if (CurEv)
+    CurEv->Phases.RemsetRebuild = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             RemT0)
+            .count());
+
+  // Survival attribution: evacuated nursery-half headers remain readable
+  // until the swap below.
+  if (M.Tracer)
+    M.Tracer->sweepSurvivors();
   H.endMinorCollection();
 }
 
@@ -379,7 +407,16 @@ void PreciseCollector::crosscheckAfterMinor(VM &M) {
 
 void PreciseCollector::collect(VM &M) {
   using Clock = std::chrono::steady_clock;
+  auto Nanos = [](Clock::time_point A, Clock::time_point B) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(B - A).count());
+  };
   auto T0 = Clock::now();
+
+  // The VM begins the observability event before invoking us; fill in the
+  // per-phase breakdown as each phase completes.  Extra clock reads happen
+  // only while an event is in flight.
+  CurEv = M.Tracer ? M.Tracer->current() : nullptr;
 
   bool Minor = M.TheHeap.generational() && M.RequestedGc == GcKind::Minor;
 
@@ -402,6 +439,9 @@ void PreciseCollector::collect(VM &M) {
     TidyRoots.push_back(&M.Globals[W]);
 
   auto T1 = Clock::now();
+  if (CurEv)
+    CurEv->Phases.StackTrace = Nanos(T0, T1);
+  auto Mark = T1;
 
   // --- Phase 1 (§3): un-derive, innermost frames first, leaving E in each
   // derived location.
@@ -414,11 +454,25 @@ void PreciseCollector::collect(VM &M) {
     ++M.Stats.DerivedAdjusted;
   }
 
+  if (CurEv) {
+    auto Now = Clock::now();
+    CurEv->Phases.Underive = Nanos(Mark, Now);
+    Mark = Now;
+  }
+
   if (Minor) {
     ++M.Stats.MinorCollections;
     traceMinor(M);
   } else {
     traceFull(M);
+  }
+
+  if (CurEv) {
+    auto Now = Clock::now();
+    // traceMinor timed its remset rebuild separately; the rest of the
+    // evacuation span is the copy phase.
+    CurEv->Phases.Copy = Nanos(Mark, Now) - CurEv->Phases.RemsetRebuild;
+    Mark = Now;
   }
 
   // --- Phase 2 of the update (§3): re-derive from the new base values, in
@@ -432,13 +486,15 @@ void PreciseCollector::collect(VM &M) {
   }
 
   auto T2 = Clock::now();
-  M.Stats.StackTraceNanos += static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0).count());
-  uint64_t Nanos = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(T2 - T0).count());
-  M.Stats.GcNanos += Nanos;
+  if (CurEv) {
+    CurEv->Phases.Rederive = Nanos(Mark, T2);
+    CurEv = nullptr; // The VM commits the event after we return.
+  }
+  M.Stats.StackTraceNanos += Nanos(T0, T1);
+  uint64_t Total = Nanos(T0, T2);
+  M.Stats.GcNanos += Total;
   if (Minor)
-    M.Stats.MinorGcNanos += Nanos;
+    M.Stats.MinorGcNanos += Total;
 }
 
 } // namespace

@@ -118,6 +118,10 @@ struct SchemeSizes {
   size_t DeltaPack = 0;  ///< Packed, no previous compression.
   size_t DeltaPP = 0;    ///< Packed + previous (the operational format).
   size_t PcMapBytes = 0; ///< 2-byte gc-point distances + module anchor.
+  /// Encoded allocation-site table (SiteTable.h).  Observability support,
+  /// NOT part of any gc-table scheme: it is reported on its own line and
+  /// never added into the Table 2 columns above.
+  size_t SiteTableBytes = 0;
 };
 
 /// Table 1 statistics.

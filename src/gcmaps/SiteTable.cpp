@@ -1,0 +1,88 @@
+//===- gcmaps/SiteTable.cpp -----------------------------------------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcmaps/SiteTable.h"
+
+#include "support/ByteCodec.h"
+
+#include <cassert>
+
+using namespace mgc;
+using namespace mgc::gcmaps;
+
+// Layout (every word Figure-3 byte-packed):
+//
+//   nsites
+//   per site, delta-encoded on the sorted (Func, Line, Col, Desc) key:
+//     dFunc            (0 = same function as the previous site)
+//     line or dLine    (absolute when dFunc != 0, else delta)
+//     col              (absolute; columns do not compress usefully)
+//     desc             (absolute descriptor index)
+//   nattrs
+//   per attribution, in pc order:
+//     dPC              (delta from the previous attribution's pc)
+//     site             (absolute site id)
+
+std::vector<uint8_t> gcmaps::encodeSiteTable(const SiteTable &Table) {
+  PackedWriter W;
+  W.writePacked(static_cast<int32_t>(Table.Sites.size()));
+  uint32_t PrevFunc = 0, PrevLine = 0;
+  for (const AllocSite &S : Table.Sites) {
+    uint32_t DFunc = S.Func - PrevFunc;
+    W.writePacked(static_cast<int32_t>(DFunc));
+    if (DFunc != 0)
+      W.writePacked(static_cast<int32_t>(S.Line));
+    else
+      W.writePacked(static_cast<int32_t>(S.Line - PrevLine));
+    W.writePacked(static_cast<int32_t>(S.Col));
+    W.writePacked(static_cast<int32_t>(S.Desc));
+    PrevFunc = S.Func;
+    PrevLine = S.Line;
+  }
+  W.writePacked(static_cast<int32_t>(Table.Attrs.size()));
+  uint32_t PrevPC = 0;
+  for (const SiteAttribution &A : Table.Attrs) {
+    assert(A.PC >= PrevPC && "attributions must be sorted by pc");
+    W.writePacked(static_cast<int32_t>(A.PC - PrevPC));
+    W.writePacked(static_cast<int32_t>(A.Site));
+    PrevPC = A.PC;
+  }
+  return W.takeBytes();
+}
+
+SiteTable gcmaps::decodeSiteTable(const std::vector<uint8_t> &Blob) {
+  SiteTable Table;
+  if (Blob.empty())
+    return Table;
+  PackedReader R(Blob);
+  uint32_t NSites = static_cast<uint32_t>(R.readPackedWord());
+  Table.Sites.reserve(NSites);
+  uint32_t PrevFunc = 0, PrevLine = 0;
+  for (uint32_t I = 0; I != NSites; ++I) {
+    AllocSite S;
+    uint32_t DFunc = static_cast<uint32_t>(R.readPackedWord());
+    S.Func = PrevFunc + DFunc;
+    uint32_t LineWord = static_cast<uint32_t>(R.readPackedWord());
+    S.Line = DFunc != 0 ? LineWord : PrevLine + LineWord;
+    S.Col = static_cast<uint32_t>(R.readPackedWord());
+    S.Desc = static_cast<uint32_t>(R.readPackedWord());
+    PrevFunc = S.Func;
+    PrevLine = S.Line;
+    Table.Sites.push_back(S);
+  }
+  uint32_t NAttrs = static_cast<uint32_t>(R.readPackedWord());
+  Table.Attrs.reserve(NAttrs);
+  uint32_t PrevPC = 0;
+  for (uint32_t I = 0; I != NAttrs; ++I) {
+    SiteAttribution A;
+    A.PC = PrevPC + static_cast<uint32_t>(R.readPackedWord());
+    A.Site = static_cast<uint32_t>(R.readPackedWord());
+    PrevPC = A.PC;
+    Table.Attrs.push_back(A);
+  }
+  assert(R.position() == Blob.size() && "trailing bytes in site-table blob");
+  return Table;
+}

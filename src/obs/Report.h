@@ -1,0 +1,94 @@
+//===- obs/Report.h - Trace file reading and aggregation --------*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reads the JSONL trace stream written by obs::Tracer back into structured
+/// form and renders the human-readable report (tools/mgc-report).  The
+/// parser handles exactly the flat-object subset the tracer emits; any
+/// deviation is a parse error, which the round-trip tests require to be
+/// zero on every corpus program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_OBS_REPORT_H
+#define MGC_OBS_REPORT_H
+
+#include "obs/Trace.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mgc {
+namespace obs {
+
+/// One parsed JSONL record: flat string->scalar maps.
+struct TraceRecord {
+  std::string Type;
+  std::map<std::string, int64_t> Ints;
+  std::map<std::string, std::string> Strs;
+
+  int64_t getInt(const std::string &Key, int64_t Default = 0) const {
+    auto It = Ints.find(Key);
+    return It == Ints.end() ? Default : It->second;
+  }
+  std::string getStr(const std::string &Key) const {
+    auto It = Strs.find(Key);
+    return It == Strs.end() ? std::string() : It->second;
+  }
+};
+
+/// Parses one JSONL line (a flat JSON object of string/integer values).
+/// Returns false and sets \p Err on malformed input.
+bool parseTraceLine(const std::string &Line, TraceRecord &Rec,
+                    std::string &Err);
+
+/// A fully-read trace file.
+struct TraceReport {
+  // meta
+  std::string Program;
+  bool GenGc = false;
+  uint64_t SiteTableBytes = 0;
+
+  struct Site {
+    uint32_t Id = 0;
+    std::string Func;
+    uint32_t Line = 0;
+    uint32_t Col = 0;
+    uint32_t Desc = 0;
+    // From the trailing site_stats records (zero when never allocated).
+    uint64_t Count = 0;
+    uint64_t Bytes = 0;
+    uint64_t Survived = 0;
+    uint64_t SurvivedBytes = 0;
+  };
+  std::vector<Site> Sites; ///< Indexed by site id.
+
+  std::vector<GcEvent> Events; ///< Every gc record, in order.
+
+  bool HasRun = false; ///< A trailing run record was present.
+  bool RunOk = false;
+  std::string RunError;
+  TraceRecord Run; ///< The raw run record (summary counters).
+
+  size_t LinesRead = 0;
+};
+
+/// Reads a whole trace stream.  Returns false on the first parse error
+/// (\p Err names the offending line).
+bool readTrace(std::istream &In, TraceReport &Report, std::string &Err);
+
+/// Renders the human-readable report: per-phase pause breakdown with
+/// percentiles, top sites by bytes and by survival, decode-cache
+/// efficiency.  \p TopN bounds the site tables.
+std::string renderReport(const TraceReport &Report, size_t TopN = 10);
+
+} // namespace obs
+} // namespace mgc
+
+#endif // MGC_OBS_REPORT_H

@@ -1,0 +1,267 @@
+//===- obs/Trace.cpp ------------------------------------------------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+using namespace mgc;
+using namespace mgc::obs;
+
+void obs::appendJsonString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        static const char Hex[] = "0123456789abcdef";
+        Out += "\\u00";
+        Out += Hex[(C >> 4) & 0xf];
+        Out += Hex[C & 0xf];
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+namespace {
+
+void field(std::string &Out, const char *Key, uint64_t V, bool First = false) {
+  if (!First)
+    Out += ',';
+  Out += '"';
+  Out += Key;
+  Out += "\":";
+  Out += std::to_string(V);
+}
+
+void fieldStr(std::string &Out, const char *Key, const std::string &V,
+              bool First = false) {
+  if (!First)
+    Out += ',';
+  Out += '"';
+  Out += Key;
+  Out += "\":";
+  appendJsonString(Out, V);
+}
+
+} // namespace
+
+Tracer::Tracer(TracerConfig C) : Config(std::move(C)) {
+  if (Config.Sites)
+    Counters.resize(Config.Sites->Sites.size());
+  Pending.reserve(Config.PendingCapacity);
+  Ring.resize(std::max<size_t>(Config.RingCapacity, 1));
+  PausesMinor.reserve(1024);
+  PausesFull.reserve(1024);
+}
+
+void Tracer::enable(std::ostream *S) {
+  Enabled = true;
+  Stream = S;
+  if (Stream)
+    writeHeader();
+}
+
+void Tracer::writeHeader() {
+  std::string L = "{\"type\":\"meta\"";
+  fieldStr(L, "program", Config.ProgramName);
+  field(L, "gen_gc", Config.GenGc ? 1 : 0);
+  field(L, "sites", Counters.size());
+  field(L, "site_table_bytes", Config.SiteTableBytes);
+  L += "}\n";
+  *Stream << L;
+  if (!Config.Sites)
+    return;
+  for (size_t I = 0; I != Config.Sites->Sites.size(); ++I) {
+    const gcmaps::AllocSite &S = Config.Sites->Sites[I];
+    std::string Line = "{\"type\":\"site\"";
+    field(Line, "id", I);
+    fieldStr(Line, "func",
+             S.Func < Config.FuncNames.size() ? Config.FuncNames[S.Func]
+                                              : std::to_string(S.Func));
+    field(Line, "line", S.Line);
+    field(Line, "col", S.Col);
+    field(Line, "desc", S.Desc);
+    Line += "}\n";
+    *Stream << Line;
+  }
+}
+
+GcEvent &Tracer::beginEvent(uint64_t Seq, bool Minor, uint32_t TriggerSite) {
+  assert(!CurActive && "nested collection events");
+  Cur = GcEvent();
+  Cur.Seq = Seq;
+  Cur.Minor = Minor;
+  Cur.TriggerSite = TriggerSite;
+  CurActive = true;
+  return Cur;
+}
+
+void Tracer::sweepSurvivors() {
+  if (!Enabled) {
+    Pending.clear();
+    return;
+  }
+  for (const PendingAlloc &P : Pending) {
+    // Bit 0 of the (still-readable) from-space header is the forwarding
+    // tag: set iff the object was evacuated, i.e. survived.
+    if (*reinterpret_cast<const uint64_t *>(P.Addr) & 1) {
+      if (P.Site < Counters.size()) {
+        ++Counters[P.Site].Survived;
+        Counters[P.Site].SurvivedBytes += P.Bytes;
+      }
+    }
+  }
+  // Every pending allocation has now experienced its first collection.
+  Pending.clear();
+}
+
+void Tracer::commitEvent() {
+  assert(CurActive && "commit without a begun event");
+  CurActive = false;
+  Ring[static_cast<size_t>(TotalEvents % Ring.size())] = Cur;
+  ++TotalEvents;
+  (Cur.Minor ? PausesMinor : PausesFull).push_back(Cur.TotalNanos);
+  if (Stream)
+    writeEvent(Cur);
+}
+
+void Tracer::writeEvent(const GcEvent &Ev) {
+  std::string L = "{\"type\":\"gc\"";
+  field(L, "seq", Ev.Seq);
+  fieldStr(L, "kind", Ev.Minor ? "minor" : "full");
+  L += ",\"trigger_site\":";
+  L += Ev.TriggerSite == NoSite
+           ? std::string("-1")
+           : std::to_string(Ev.TriggerSite);
+  field(L, "rendezvous_ns", Ev.Phases.Rendezvous);
+  field(L, "stack_trace_ns", Ev.Phases.StackTrace);
+  field(L, "underive_ns", Ev.Phases.Underive);
+  field(L, "copy_ns", Ev.Phases.Copy);
+  field(L, "remset_ns", Ev.Phases.RemsetRebuild);
+  field(L, "rederive_ns", Ev.Phases.Rederive);
+  field(L, "total_ns", Ev.TotalNanos);
+  field(L, "heap_before", Ev.HeapBeforeBytes);
+  field(L, "heap_after", Ev.HeapAfterBytes);
+  field(L, "frames", Ev.FramesTraced);
+  field(L, "roots", Ev.RootsTraced);
+  field(L, "objects_copied", Ev.ObjectsCopied);
+  field(L, "bytes_copied", Ev.BytesCopied);
+  field(L, "objects_promoted", Ev.ObjectsPromoted);
+  field(L, "bytes_promoted", Ev.BytesPromoted);
+  field(L, "derived_adjusted", Ev.DerivedAdjusted);
+  field(L, "rendezvous_steps", Ev.RendezvousSteps);
+  field(L, "cache_hits", Ev.CacheHits);
+  field(L, "cache_misses", Ev.CacheMisses);
+  L += "}\n";
+  *Stream << L;
+}
+
+std::vector<GcEvent> Tracer::retainedEvents() const {
+  std::vector<GcEvent> Out;
+  uint64_t N = std::min<uint64_t>(TotalEvents, Ring.size());
+  Out.reserve(static_cast<size_t>(N));
+  for (uint64_t I = TotalEvents - N; I != TotalEvents; ++I)
+    Out.push_back(Ring[static_cast<size_t>(I % Ring.size())]);
+  return Out;
+}
+
+static uint64_t percentileOf(std::vector<uint64_t> Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  size_t Idx = static_cast<size_t>(P * static_cast<double>(Sorted.size() - 1) +
+                                   0.5);
+  return Sorted[std::min(Idx, Sorted.size() - 1)];
+}
+
+Tracer::Percentiles Tracer::pausePercentiles(int Kind) const {
+  std::vector<uint64_t> V;
+  if (Kind == 0 || Kind == 1)
+    V.insert(V.end(), PausesMinor.begin(), PausesMinor.end());
+  if (Kind == 0 || Kind == 2)
+    V.insert(V.end(), PausesFull.begin(), PausesFull.end());
+  std::sort(V.begin(), V.end());
+  Percentiles R;
+  R.Count = V.size();
+  if (!V.empty()) {
+    R.P50 = percentileOf(V, 0.50);
+    R.P95 = percentileOf(V, 0.95);
+    R.Max = V.back();
+  }
+  return R;
+}
+
+std::string Tracer::summaryJsonFields() const {
+  std::string Out;
+  field(Out, "events", TotalEvents, /*First=*/true);
+  field(Out, "events_retained",
+        std::min<uint64_t>(TotalEvents, Ring.size()));
+  field(Out, "events_dropped_from_ring", eventsDropped());
+  field(Out, "pending_dropped", DroppedPending);
+  field(Out, "unattributed_allocs", UnattributedCount);
+  field(Out, "unattributed_bytes", UnattributedBytes);
+  Percentiles All = pausePercentiles(0);
+  field(Out, "pause_p50_ns", All.P50);
+  field(Out, "pause_p95_ns", All.P95);
+  field(Out, "pause_max_ns", All.Max);
+  Percentiles Minor = pausePercentiles(1);
+  field(Out, "minor_pause_p50_ns", Minor.P50);
+  field(Out, "minor_pause_p95_ns", Minor.P95);
+  field(Out, "minor_pause_max_ns", Minor.Max);
+  Percentiles Full = pausePercentiles(2);
+  field(Out, "full_pause_p50_ns", Full.P50);
+  field(Out, "full_pause_p95_ns", Full.P95);
+  field(Out, "full_pause_max_ns", Full.Max);
+  return Out;
+}
+
+void Tracer::finish(bool Ok, const std::string &Error) {
+  if (Finished || !Stream)
+    return;
+  Finished = true;
+  for (size_t I = 0; I != Counters.size(); ++I) {
+    const SiteCounters &C = Counters[I];
+    if (C.Count == 0)
+      continue;
+    std::string L = "{\"type\":\"site_stats\"";
+    field(L, "id", I);
+    field(L, "count", C.Count);
+    field(L, "bytes", C.Bytes);
+    field(L, "survived", C.Survived);
+    field(L, "survived_bytes", C.SurvivedBytes);
+    L += "}\n";
+    *Stream << L;
+  }
+  std::string L = "{\"type\":\"run\"";
+  fieldStr(L, "exit", Ok ? "ok" : "error");
+  if (!Ok)
+    fieldStr(L, "error", Error);
+  L += ',';
+  L += summaryJsonFields();
+  L += "}\n";
+  *Stream << L;
+  Stream->flush();
+}

@@ -1,0 +1,238 @@
+//===- obs/Trace.h - GC event tracing and allocation profiling --*- C++ -*-===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime observability subsystem: a preallocated ring-buffer event
+/// tracer the VM and collector feed, plus per-allocation-site counters
+/// keyed by the compiler-emitted site table (gcmaps/SiteTable.h).
+///
+/// Design constraints:
+///
+///  - The tracer is always compiled in; when disabled it must cost the
+///    mutator a single predicted branch per allocation (the overhead gate
+///    in bench/trace_overhead.cpp enforces <1% attached-disabled, <3%
+///    enabled on bench/gengc).
+///  - The enabled allocation hot path allocates nothing: site counters are
+///    a flat preallocated vector indexed by site id, and first-collection
+///    survival tracking appends to a preallocated vector of (address,
+///    site, bytes) records — bump allocation makes addresses unique
+///    between collections, so no hashing is needed.  On overflow records
+///    are dropped and counted, never silently.
+///  - Collections are rare relative to allocations, so event commit (ring
+///    store + optional JSONL stream write) may format text.
+///
+/// Event lifecycle: the VM begins an event after the rendezvous completes
+/// (so committed events correspond 1:1 with VMStats::Collections), the
+/// collector fills in the per-phase breakdown and sweeps survivors before
+/// the heap swaps spaces, and the VM commits the event with before/after
+/// stat deltas once the collector returns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MGC_OBS_TRACE_H
+#define MGC_OBS_TRACE_H
+
+#include "gcmaps/SiteTable.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mgc {
+namespace obs {
+
+/// Sentinel site id: no attribution (collections triggered by an explicit
+/// GcCollect call, or allocation instructions that predate site linking).
+constexpr uint32_t NoSite = 0xFFFFFFFFu;
+
+/// Per-phase nanosecond breakdown of one collection, in pipeline order.
+struct PhaseNanos {
+  uint64_t Rendezvous = 0;    ///< §5.3 thread rendezvous (VM side).
+  uint64_t StackTrace = 0;    ///< Table locate + decode + root gathering.
+  uint64_t Underive = 0;      ///< §3 phase 1: subtract base values.
+  uint64_t Copy = 0;          ///< Cheney evacuation and scan.
+  uint64_t RemsetRebuild = 0; ///< Minor only: surviving-entry sweep + swap.
+  uint64_t Rederive = 0;      ///< §3 phase 2: re-add new base values.
+};
+
+/// One collection, as recorded in the ring / JSONL stream.
+struct GcEvent {
+  uint64_t Seq = 0;   ///< 1-based; equals VMStats::Collections at commit.
+  bool Minor = false; ///< Minor (nursery-only) vs full collection.
+  /// Allocation site whose NEW triggered this collection (NoSite for
+  /// explicit GcCollect requests).
+  uint32_t TriggerSite = NoSite;
+  PhaseNanos Phases;
+  uint64_t TotalNanos = 0; ///< Rendezvous + collector time.
+  uint64_t HeapBeforeBytes = 0;
+  uint64_t HeapAfterBytes = 0;
+  // Deltas over this collection.
+  uint64_t FramesTraced = 0;
+  uint64_t RootsTraced = 0;
+  uint64_t ObjectsCopied = 0;
+  uint64_t BytesCopied = 0;
+  uint64_t ObjectsPromoted = 0;
+  uint64_t BytesPromoted = 0;
+  uint64_t DerivedAdjusted = 0;
+  uint64_t RendezvousSteps = 0;
+  uint64_t CacheHits = 0;   ///< Decoded-point cache hits this collection.
+  uint64_t CacheMisses = 0; ///< Decoded-point cache misses this collection.
+};
+
+/// Cumulative counters for one allocation site.
+struct SiteCounters {
+  uint64_t Count = 0;         ///< Allocations attributed to the site.
+  uint64_t Bytes = 0;         ///< Bytes allocated (header included).
+  uint64_t Survived = 0;      ///< Allocations that survived their first gc.
+  uint64_t SurvivedBytes = 0;
+};
+
+/// Static configuration captured when the tracer is attached to a VM.
+struct TracerConfig {
+  /// The program's allocation-site table; may be null (counters off).
+  const gcmaps::SiteTable *Sites = nullptr;
+  /// Function names, indexed by AllocSite::Func (for JSONL site records).
+  std::vector<std::string> FuncNames;
+  std::string ProgramName;
+  bool GenGc = false;
+  size_t SiteTableBytes = 0;
+  size_t RingCapacity = 1024;
+  /// Capacity of the first-collection survival buffer: allocations between
+  /// consecutive collections beyond this are dropped (and counted).
+  size_t PendingCapacity = 1u << 15;
+};
+
+class Tracer {
+public:
+  explicit Tracer(TracerConfig Config);
+
+  //===--- Control ---------------------------------------------------------===
+
+  /// Enables recording.  \p Stream, when non-null, receives the JSONL
+  /// trace: meta + site records immediately, one gc record per committed
+  /// event, and site_stats + run records at finish().  The stream must
+  /// outlive the tracer or a finish() call.
+  void enable(std::ostream *Stream);
+  bool enabled() const { return Enabled; }
+
+  /// Writes the trailing site_stats and run records (idempotent; no-op
+  /// without a stream).  Call after the VM run ends — including on error
+  /// paths, where \p Error carries the VM's message: a mid-collection
+  /// failure must still flush the partial trace.
+  void finish(bool Ok, const std::string &Error);
+
+  //===--- Mutator hot path ------------------------------------------------===
+
+  /// Records one allocation.  \p TrackSurvival is false for allocations the
+  /// next collection will not move (direct-to-old in generational mode).
+  void recordAlloc(uint32_t Site, uint64_t Addr, uint64_t Bytes,
+                   bool TrackSurvival) {
+    if (!Enabled)
+      return;
+    if (Site < Counters.size()) {
+      ++Counters[Site].Count;
+      Counters[Site].Bytes += Bytes;
+    } else {
+      ++UnattributedCount;
+      UnattributedBytes += Bytes;
+      TrackSurvival = false;
+    }
+    if (TrackSurvival) {
+      if (Pending.size() < Config.PendingCapacity)
+        Pending.push_back({Addr, Site, Bytes});
+      else
+        ++DroppedPending;
+    }
+  }
+
+  //===--- Collection lifecycle (VM / collector) ---------------------------===
+
+  /// Begins event \p Seq.  Returns the event for the collector to fill;
+  /// valid until commitEvent().
+  GcEvent &beginEvent(uint64_t Seq, bool Minor, uint32_t TriggerSite);
+
+  /// The in-flight event, or null when none (tracer disabled, or no
+  /// collection running).  The collector writes phase timings through this.
+  GcEvent *current() { return CurActive ? &Cur : nullptr; }
+
+  /// Resolves first-collection survival: called by the collector after the
+  /// evacuation completes but *before* the heap swaps spaces, while
+  /// from-space headers are still readable.  An object survived iff its
+  /// header carries the forwarding tag (bit 0 — vm/Heap.h's ForwardBit;
+  /// Collector.cpp static_asserts the correspondence).
+  void sweepSurvivors();
+
+  /// Commits the in-flight event: ring store, pause bookkeeping, and JSONL
+  /// stream write.
+  void commitEvent();
+
+  //===--- Results ---------------------------------------------------------===
+
+  const TracerConfig &config() const { return Config; }
+  const std::vector<SiteCounters> &siteCounters() const { return Counters; }
+  uint64_t unattributedCount() const { return UnattributedCount; }
+  uint64_t unattributedBytes() const { return UnattributedBytes; }
+  uint64_t droppedPending() const { return DroppedPending; }
+
+  /// Committed events, oldest first (at most RingCapacity retained; the
+  /// stream, when attached, saw every event).
+  uint64_t eventCount() const { return TotalEvents; }
+  uint64_t eventsDropped() const {
+    return TotalEvents > Ring.size() ? TotalEvents - Ring.size() : 0;
+  }
+  std::vector<GcEvent> retainedEvents() const;
+
+  struct Percentiles {
+    uint64_t P50 = 0, P95 = 0, Max = 0;
+    uint64_t Count = 0;
+  };
+  /// Pause percentiles over every committed event (not just the retained
+  /// ring).  Kind: 0 = all, 1 = minor only, 2 = full only.
+  Percentiles pausePercentiles(int Kind = 0) const;
+
+  /// The aggregate counters as one JSON object body (no surrounding
+  /// braces), for embedding in --stats-json.
+  std::string summaryJsonFields() const;
+
+private:
+  void writeHeader();
+  void writeEvent(const GcEvent &Ev);
+
+  TracerConfig Config;
+  bool Enabled = false;
+  std::ostream *Stream = nullptr;
+  bool Finished = false;
+
+  std::vector<SiteCounters> Counters; ///< Indexed by site id.
+  uint64_t UnattributedCount = 0;
+  uint64_t UnattributedBytes = 0;
+
+  struct PendingAlloc {
+    uint64_t Addr;
+    uint32_t Site;
+    uint64_t Bytes;
+  };
+  std::vector<PendingAlloc> Pending; ///< Preallocated; cleared each sweep.
+  uint64_t DroppedPending = 0;
+
+  GcEvent Cur;
+  bool CurActive = false;
+
+  std::vector<GcEvent> Ring; ///< Preallocated; slot = (Seq-1) % capacity.
+  uint64_t TotalEvents = 0;
+
+  std::vector<uint64_t> PausesMinor; ///< TotalNanos of every minor event.
+  std::vector<uint64_t> PausesFull;  ///< TotalNanos of every full event.
+};
+
+/// Appends one JSON string literal (quoted, escaped) to \p Out.
+void appendJsonString(std::string &Out, const std::string &S);
+
+} // namespace obs
+} // namespace mgc
+
+#endif // MGC_OBS_TRACE_H

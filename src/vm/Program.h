@@ -18,6 +18,7 @@
 #include "codegen/Serialize.h"
 #include "gcmaps/GcTables.h"
 #include "gcmaps/MapIndex.h"
+#include "gcmaps/SiteTable.h"
 #include "ir/IR.h"
 
 #include <cassert>
@@ -44,6 +45,12 @@ struct Program {
   std::vector<gcmaps::FuncMapIndex> MapIndexes;
   gcmaps::SchemeSizes Sizes;
   gcmaps::TableStats Stats;
+
+  /// The allocation-site table (observability): deduplicated sites plus the
+  /// pc -> site attributions, installed from the decoded blob so every
+  /// compile exercises the codec.  Sizes.SiteTableBytes holds the encoded
+  /// size; each NewObj/NewArr's MInstr::Site indexes SiteTab.Sites.
+  gcmaps::SiteTable SiteTab;
 
   codegen::CodeImage Image;
 

@@ -6,7 +6,10 @@
 
 #include "vm/VM.h"
 
+#include "obs/Trace.h"
+
 #include <cassert>
+#include <chrono>
 #include <cinttypes>
 
 using namespace mgc;
@@ -153,17 +156,29 @@ Word VM::allocate(unsigned DescIdx, int64_t Length, uint32_t RetPC) {
       return 0;
   }
 
+  // Observability: one predicted branch when no tracer is attached.  The
+  // next collection will move any nursery/from-space object, so survival
+  // tracking is sound everywhere except direct-to-old allocations (which a
+  // minor collection leaves in place).
+  auto Record = [&](Word Obj, bool TrackSurvival) {
+    if (Tracer)
+      Tracer->recordAlloc(CurAllocSite, Obj, Bytes, TrackSurvival);
+    return Obj;
+  };
+
   if (!TheHeap.generational()) {
     Word Obj = TheHeap.allocate(DescIdx, Length);
     if (Obj != 0)
-      return Obj;
+      return Record(Obj, /*TrackSurvival=*/true);
     if (!collect(RetPC))
       return 0;
     Obj = TheHeap.allocate(DescIdx, Length);
-    if (Obj == 0)
+    if (Obj == 0) {
       fail("heap exhausted: " + std::to_string(TheHeap.usedBytes()) +
            " bytes live of " + std::to_string(TheHeap.capacityBytes()));
-    return Obj;
+      return 0;
+    }
+    return Record(Obj, /*TrackSurvival=*/true);
   }
 
   // Generational mode.  Objects too large for the nursery go straight to
@@ -172,33 +187,37 @@ Word VM::allocate(unsigned DescIdx, int64_t Length, uint32_t RetPC) {
   if (Bytes > TheHeap.nurseryCapacityBytes()) {
     Word Obj = TheHeap.allocateOld(DescIdx, Length);
     if (Obj != 0)
-      return Obj;
+      return Record(Obj, /*TrackSurvival=*/false);
     if (!collect(RetPC, GcKind::Full))
       return 0;
     Obj = TheHeap.allocateOld(DescIdx, Length);
-    if (Obj == 0)
+    if (Obj == 0) {
       fail("heap exhausted: " + std::to_string(TheHeap.usedBytes()) +
            " bytes live of " + std::to_string(TheHeap.capacityBytes()));
-    return Obj;
+      return 0;
+    }
+    return Record(Obj, /*TrackSurvival=*/false);
   }
 
   Word Obj = TheHeap.allocate(DescIdx, Length);
   if (Obj != 0)
-    return Obj;
+    return Record(Obj, /*TrackSurvival=*/true);
   if (TheHeap.minorHeadroomOk()) {
     if (!collect(RetPC, GcKind::Minor))
       return 0;
     Obj = TheHeap.allocate(DescIdx, Length);
     if (Obj != 0)
-      return Obj;
+      return Record(Obj, /*TrackSurvival=*/true);
   }
   if (!collect(RetPC, GcKind::Full))
     return 0;
   Obj = TheHeap.allocate(DescIdx, Length);
-  if (Obj == 0)
+  if (Obj == 0) {
     fail("heap exhausted: " + std::to_string(TheHeap.usedBytes()) +
          " bytes live of " + std::to_string(TheHeap.capacityBytes()));
-  return Obj;
+    return 0;
+  }
+  return Record(Obj, /*TrackSurvival=*/true);
 }
 
 bool VM::collect(uint32_t TriggerRetPC, GcKind Kind) {
@@ -209,6 +228,13 @@ bool VM::collect(uint32_t TriggerRetPC, GcKind Kind) {
   RequestedGc = Kind;
   if (TheHeap.remSet().size() > Stats.RemSetPeak)
     Stats.RemSetPeak = TheHeap.remSet().size();
+
+  using Clock = std::chrono::steady_clock;
+  bool Tracing = Tracer && Tracer->enabled();
+  Clock::time_point RendT0;
+  if (Tracing)
+    RendT0 = Clock::now();
+  uint64_t RendStepsBefore = Stats.RendezvousSteps;
 
   // Rendezvous (§5.3): every other live thread runs until it is about to
   // execute a gc-point instruction; its table pc is that instruction's
@@ -241,7 +267,42 @@ bool VM::collect(uint32_t TriggerRetPC, GcKind Kind) {
   }
 
   ++Stats.Collections;
+  // A failed rendezvous returns above without an event, so committed
+  // events correspond 1:1 with Stats.Collections.
+  VMStats Snap;
+  uint64_t PromObjSnap = 0, PromBytesSnap = 0;
+  if (Tracing) {
+    obs::GcEvent &Ev = Tracer->beginEvent(
+        Stats.Collections, Kind == GcKind::Minor,
+        CurAllocSite == NoAllocSite ? obs::NoSite : CurAllocSite);
+    Ev.Phases.Rendezvous =
+        static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                  Clock::now() - RendT0)
+                                  .count());
+    Ev.HeapBeforeBytes = TheHeap.usedBytes();
+    Snap = Stats;
+    PromObjSnap = TheHeap.ObjectsPromoted;
+    PromBytesSnap = TheHeap.BytesPromoted;
+  }
+  Stats.StackTraceStartInstrs = Stats.Instrs;
   Collector(*this);
+  if (Tracing) {
+    obs::GcEvent *Ev = Tracer->current();
+    assert(Ev && "collection event vanished during the collector");
+    Ev->HeapAfterBytes = TheHeap.usedBytes();
+    Ev->FramesTraced = Stats.FramesTraced - Snap.FramesTraced;
+    Ev->RootsTraced = Stats.RootsTraced - Snap.RootsTraced;
+    Ev->ObjectsCopied = Stats.ObjectsCopied - Snap.ObjectsCopied;
+    Ev->BytesCopied = Stats.BytesCopied - Snap.BytesCopied;
+    Ev->ObjectsPromoted = TheHeap.ObjectsPromoted - PromObjSnap;
+    Ev->BytesPromoted = TheHeap.BytesPromoted - PromBytesSnap;
+    Ev->DerivedAdjusted = Stats.DerivedAdjusted - Snap.DerivedAdjusted;
+    Ev->RendezvousSteps = Stats.RendezvousSteps - RendStepsBefore;
+    Ev->CacheHits = Stats.DecodeCacheHits - Snap.DecodeCacheHits;
+    Ev->CacheMisses = Stats.DecodeCacheMisses - Snap.DecodeCacheMisses;
+    Ev->TotalNanos = Ev->Phases.Rendezvous + (Stats.GcNanos - Snap.GcNanos);
+    Tracer->commitEvent();
+  }
   InCollect = false;
   return Error.empty();
 }
@@ -344,7 +405,9 @@ bool VM::step(ThreadContext &T) {
                       : 0;
     if (I.Op == MOp::NewArr && Len < 0)
       return fail("negative open array length");
+    CurAllocSite = I.Site;
     Word Obj = allocate(static_cast<unsigned>(I.Index), Len, T.PC + 1);
+    CurAllocSite = NoAllocSite;
     if (Obj == 0)
       return false;
     writeOperand(T, I.D, Obj);

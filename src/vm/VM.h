@@ -34,6 +34,9 @@
 #include <vector>
 
 namespace mgc {
+namespace obs {
+class Tracer;
+} // namespace obs
 namespace vm {
 
 struct VMOptions {
@@ -84,6 +87,9 @@ struct VMStats {
   uint64_t DecodeBytesSkipped = 0; ///< Blob bytes the index let us skip.
   /// Instruction count at the start of the current collection's stack
   /// trace, for the §6.3 "instructions per frame" figure.
+  uint64_t StackTraceStartInstrs = 0;
+  /// Instructions the *other* threads executed during rendezvous, running
+  /// forward to their next gc-point (§5.3; bounded by RendezvousBudget).
   uint64_t RendezvousSteps = 0;
 };
 
@@ -145,6 +151,16 @@ public:
   /// The installed collector: invoked with the VM; every live thread is
   /// suspended at a gc-point (SuspendPCs).  Installed by the gc library.
   std::function<void(VM &)> Collector;
+
+  /// Optional observability tracer (obs/Trace.h): null in ordinary runs.
+  /// When attached, the allocation path pays one extra branch; when also
+  /// enabled, allocations and collections are recorded.  Not owned.
+  obs::Tracer *Tracer = nullptr;
+
+  /// Site id of the allocation instruction currently in allocate() — the
+  /// trigger attribution for collections it causes.  NoAllocSite between
+  /// allocations (so explicit GcCollect collections carry no site).
+  uint32_t CurAllocSite = NoAllocSite;
 
 private:
   ThreadContext &ctx() { return *Threads[CurThread]; }

@@ -7,10 +7,12 @@
 # default two-space configuration and once with MGC_TEST_GEN_GC=1, which
 # re-runs every gc-tables test through generational mode (nursery + write
 # barriers + minor collections) with the remembered-set cross-check on —
-# then the decode microbenchmarks (BENCH_decode.json) and the generational
-# pause benchmarks (BENCH_gengc.json) so successive PRs leave a perf
-# trajectory.  The gengc binary exits non-zero on any cross-check or
-# output divergence between the two modes.
+# then the decode microbenchmarks (BENCH_decode.json), the generational
+# pause benchmarks (BENCH_gengc.json), and the observability overhead gate
+# (BENCH_trace.json) so successive PRs leave a perf trajectory.  The gengc
+# binary exits non-zero on any cross-check or output divergence between
+# the two modes; trace_overhead exits non-zero when the tracer costs the
+# mutator more than the issue gates allow.
 #
 #   tools/check.sh [--skip-tests]
 #
@@ -59,6 +61,14 @@ MIN_TIME="${BENCH_MIN_TIME:-0.05}"
   --benchmark_out_format=json \
   --benchmark_format=console
 
+# --- Observability overhead gate -----------------------------------------
+# Runs the gengc workloads with the tracer absent / attached-disabled /
+# enabled and exits non-zero when the generational-mode overhead exceeds
+# the issue gates (1% disabled, 3% enabled), failing this script.  Also
+# records pause p50/p95 per collector mode.  MGC_TRACE_RUNS tunes the
+# timing repetitions.
+(cd "$ROOT" && ./build/bench/trace_overhead)
+
 # --- Differential fuzz budget --------------------------------------------
 # A fixed-seed campaign through the whole mode matrix; exits non-zero on
 # any divergence or generator defect.  BENCH_fuzz.json records throughput
@@ -67,5 +77,6 @@ FUZZ_COUNT="${FUZZ_COUNT:-200}"
 ./build/tools/mgc-fuzz --seed 1 --count "$FUZZ_COUNT" \
   --out "$ROOT/fuzz-artifacts" --json "$ROOT/BENCH_fuzz.json"
 
-echo "check.sh: tier-1 ok (default + gen-gc); fuzz ok ($FUZZ_COUNT programs);" \
-     "benchmarks written to BENCH_decode.json, BENCH_gengc.json, BENCH_fuzz.json"
+echo "check.sh: tier-1 ok (default + gen-gc); trace overhead ok; fuzz ok" \
+     "($FUZZ_COUNT programs); benchmarks written to BENCH_decode.json," \
+     "BENCH_gengc.json, BENCH_trace.json, BENCH_fuzz.json"

@@ -18,6 +18,10 @@
 ///   --dump-ir        print the optimized IR and exit
 ///   --dump-asm       print machine code with decoded tables and exit
 ///   --stats          print compilation and collection statistics
+///   --trace FILE     stream a JSONL gc trace (see obs/Trace.h; render
+///                    with mgc-report)
+///   --stats-json FILE
+///                    write machine-readable run statistics as JSON
 ///   --stress         collect before every allocation
 ///   --heap BYTES     semispace size (default 4 MiB)
 ///   --gen-gc         generational mode: nursery + write barriers +
@@ -36,11 +40,13 @@
 #include "codegen/Disasm.h"
 #include "driver/Compiler.h"
 #include "gc/Collector.h"
+#include "obs/Trace.h"
 #include "vm/VM.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 using namespace mgc;
@@ -50,11 +56,23 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--noopt] [--no-gc-tables] [--cisc] [--threads] "
                "[--interproc]\n           [--split] [--dump-ir] [--dump-asm] "
-               "[--stats] [--stress]\n           [--heap BYTES] [--gen-gc] "
-               "[--nursery-bytes BYTES]\n           [--no-map-index] "
-               "[--gc-crosscheck] [--no-run] [--spawn PROC] file.mg\n",
+               "[--stats] [--stress]\n           [--trace FILE] "
+               "[--stats-json FILE] [--heap BYTES] [--gen-gc]\n           "
+               "[--nursery-bytes BYTES] [--no-map-index] "
+               "[--gc-crosscheck]\n           [--no-run] [--spawn PROC] "
+               "file.mg\n",
                Argv0);
   return 2;
+}
+
+void jsonField(std::string &Out, const char *Key, unsigned long long V,
+               bool First = false) {
+  if (!First)
+    Out += ',';
+  Out += '"';
+  Out += Key;
+  Out += "\":";
+  Out += std::to_string(V);
 }
 } // namespace
 
@@ -65,6 +83,8 @@ int main(int argc, char **argv) {
   bool DumpIR = false, DumpAsm = false, Stats = false, Run = true;
   const char *Path = nullptr;
   const char *SpawnName = nullptr;
+  const char *TracePath = nullptr;
+  const char *StatsJsonPath = nullptr;
 
   for (int A = 1; A < argc; ++A) {
     const char *Arg = argv[A];
@@ -86,6 +106,14 @@ int main(int argc, char **argv) {
       DumpAsm = true;
     } else if (!std::strcmp(Arg, "--stats")) {
       Stats = true;
+    } else if (!std::strcmp(Arg, "--trace")) {
+      if (++A == argc)
+        return usage(argv[0]);
+      TracePath = argv[A];
+    } else if (!std::strcmp(Arg, "--stats-json")) {
+      if (++A == argc)
+        return usage(argv[0]);
+      StatsJsonPath = argv[A];
     } else if (!std::strcmp(Arg, "--stress")) {
       VO.GcStress = true;
     } else if (!std::strcmp(Arg, "--no-map-index")) {
@@ -154,6 +182,11 @@ int main(int argc, char **argv) {
                 "%zuB, pc-map %zuB\n",
                 Prog.Sizes.DeltaPP, Prog.Sizes.DeltaPlain,
                 Prog.Sizes.FullPack, Prog.Sizes.PcMapBytes);
+    // Observability cost on its own line: the site table is NOT a gc-table
+    // scheme and never inflates the Table 2 figures above.
+    std::printf("site table: %zuB, %zu sites (observability; excluded from "
+                "gc-table sizes)\n",
+                Prog.Sizes.SiteTableBytes, Prog.SiteTab.Sites.size());
     if (Prog.PathVars)
       std::printf("path variables: %u (%u assignments)\n", Prog.PathVars,
                   Prog.PathAssigns);
@@ -168,6 +201,29 @@ int main(int argc, char **argv) {
 
   vm::VM Machine(Prog, VO);
   gc::installPreciseCollector(Machine, GCO);
+
+  std::ofstream TraceOut;
+  std::unique_ptr<obs::Tracer> Tracer;
+  if (TracePath || StatsJsonPath) {
+    obs::TracerConfig TC;
+    TC.Sites = &Prog.SiteTab;
+    for (const vm::CompiledFunction &F : Prog.Funcs)
+      TC.FuncNames.push_back(F.Name);
+    TC.ProgramName = Prog.Name;
+    TC.GenGc = VO.GenGc;
+    TC.SiteTableBytes = Prog.Sizes.SiteTableBytes;
+    Tracer = std::make_unique<obs::Tracer>(std::move(TC));
+    if (TracePath) {
+      TraceOut.open(TracePath);
+      if (!TraceOut) {
+        std::fprintf(stderr, "mgc: cannot open trace file %s\n", TracePath);
+        return 1;
+      }
+    }
+    Tracer->enable(TracePath ? &TraceOut : nullptr);
+    Machine.Tracer = Tracer.get();
+  }
+
   if (SpawnName) {
     int Idx = -1;
     for (unsigned F = 0; F != Prog.Funcs.size(); ++F)
@@ -182,9 +238,15 @@ int main(int argc, char **argv) {
   }
   bool Ok = Machine.run();
   std::fputs(Machine.Out.c_str(), stdout);
+  // A failed run still flushes everything below: the partial trace (the
+  // run record carries the error) and the statistics gathered so far are
+  // exactly what a mid-collection failure needs for diagnosis.
+  if (Tracer)
+    Tracer->finish(Ok, Machine.Error);
   if (!Ok) {
     std::fprintf(stderr, "mgc: runtime error: %s\n", Machine.Error.c_str());
-    return 1;
+    if (Stats)
+      std::printf("run FAILED; statistics below are partial\n");
   }
   if (Stats) {
     const vm::VMStats &S = Machine.Stats;
@@ -219,5 +281,53 @@ int main(int argc, char **argv) {
                                           S.DecodeCacheMisses),
                   static_cast<unsigned long long>(S.DecodeBytesSkipped));
   }
-  return 0;
+
+  if (StatsJsonPath) {
+    const vm::VMStats &S = Machine.Stats;
+    std::string J = "{";
+    J += "\"program\":";
+    obs::appendJsonString(J, Prog.Name);
+    J += ",\"exit\":";
+    obs::appendJsonString(J, Ok ? "ok" : "error");
+    if (!Ok) {
+      J += ",\"error\":";
+      obs::appendJsonString(J, Machine.Error);
+    }
+    jsonField(J, "gen_gc", VO.GenGc ? 1 : 0);
+    jsonField(J, "code_bytes", Prog.codeSizeBytes());
+    jsonField(J, "table_bytes_delta_pp", Prog.Sizes.DeltaPP);
+    jsonField(J, "pc_map_bytes", Prog.Sizes.PcMapBytes);
+    jsonField(J, "site_table_bytes", Prog.Sizes.SiteTableBytes);
+    jsonField(J, "sites", Prog.SiteTab.Sites.size());
+    jsonField(J, "instrs", S.Instrs);
+    jsonField(J, "collections", S.Collections);
+    jsonField(J, "minor_collections", S.MinorCollections);
+    jsonField(J, "frames_traced", S.FramesTraced);
+    jsonField(J, "roots_traced", S.RootsTraced);
+    jsonField(J, "objects_copied", S.ObjectsCopied);
+    jsonField(J, "bytes_copied", S.BytesCopied);
+    jsonField(J, "objects_promoted", Machine.TheHeap.ObjectsPromoted);
+    jsonField(J, "bytes_promoted", Machine.TheHeap.BytesPromoted);
+    jsonField(J, "derived_adjusted", S.DerivedAdjusted);
+    jsonField(J, "write_barriers_run", S.WriteBarriersRun);
+    jsonField(J, "remset_records", S.RemSetRecords);
+    jsonField(J, "remset_peak", S.RemSetPeak);
+    jsonField(J, "decode_cache_hits", S.DecodeCacheHits);
+    jsonField(J, "decode_cache_misses", S.DecodeCacheMisses);
+    jsonField(J, "decode_bytes_skipped", S.DecodeBytesSkipped);
+    jsonField(J, "rendezvous_steps", S.RendezvousSteps);
+    jsonField(J, "gc_ns", S.GcNanos);
+    jsonField(J, "minor_gc_ns", S.MinorGcNanos);
+    jsonField(J, "stack_trace_ns", S.StackTraceNanos);
+    J += ',';
+    J += Tracer->summaryJsonFields();
+    J += "}\n";
+    std::ofstream JOut(StatsJsonPath);
+    if (!JOut) {
+      std::fprintf(stderr, "mgc: cannot open stats file %s\n", StatsJsonPath);
+      return 1;
+    }
+    JOut << J;
+  }
+  return Ok ? 0 : 1;
 }
