@@ -6,6 +6,9 @@
 
 #include "fuzz/Oracle.h"
 
+#include "gc/Snapshot.h"
+#include "obs/HeapSnapshot.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -168,6 +171,23 @@ RunOutcome executeInProcess(const vm::Program &Prog, const RunSpec &Spec) {
   O.BytesCopied = M.Stats.BytesCopied;
   O.ObjectsCopied = M.Stats.ObjectsCopied;
   O.Instrs = M.Stats.Instrs;
+  if (Ok) {
+    // At-exit snapshot: every thread is dead, so the root set is exactly
+    // the globals and the reachable graph is independent of the collection
+    // schedule — comparable across every matrix cell.  The snapshot is
+    // validated in-process against a precise recount and the conservative
+    // superset before its totals are trusted.
+    obs::HeapSnapshot Snap;
+    std::string Err;
+    if (!gc::captureHeapSnapshot(M, Snap, /*WalkStacks=*/true, Err) ||
+        !gc::crosscheckSnapshot(M, Snap, /*WalkStacks=*/true, Err)) {
+      O.SnapViolation = true;
+      O.SnapError = Err;
+    } else {
+      O.SnapNodes = Snap.Nodes.size();
+      O.SnapBytes = Snap.totalBytes();
+    }
+  }
   if (Ok && Spec.ConservativeCheck) {
     // The ambiguous-roots baseline must reach at least every object the
     // precise collector finds live: scan first (nothing moves), then
@@ -207,6 +227,9 @@ std::string serialize(const RunOutcome &O) {
     << O.ObjectsCopied << " " << O.Instrs << "\n";
   P << "C " << (O.ConservativeViolation ? 1 : 0) << " "
     << O.ConservativeReached << " " << O.PreciseLive << "\n";
+  P << "N " << (O.SnapViolation ? 1 : 0) << " " << O.SnapNodes << " "
+    << O.SnapBytes << "\n";
+  P << "Y " << O.SnapError.size() << "\n" << O.SnapError << "\n";
   P << "D\n";
   return P.str();
 }
@@ -264,6 +287,17 @@ bool parsePayload(const std::string &Buf, RunOutcome &O) {
       return false;
     O.ConservativeViolation = Viol != 0;
   }
+  if (!Line(L) || L.rfind("N ", 0) != 0)
+    return false;
+  {
+    int Viol = 0;
+    std::istringstream In(L.substr(2));
+    if (!(In >> Viol >> O.SnapNodes >> O.SnapBytes))
+      return false;
+    O.SnapViolation = Viol != 0;
+  }
+  if (!Sized('Y', O.SnapError))
+    return false;
   return Line(L) && L == "D";
 }
 
@@ -448,6 +482,13 @@ OracleResult fuzz::checkSource(const std::string &Source, bool HasSpin,
         if (FailFast)
           break;
       }
+      if (O.SnapViolation) {
+        R << "  [" << Specs[I].Name << "] snapshot cross-check failed: "
+          << escape(O.SnapError) << "\n";
+        Fail(I);
+        if (FailFast)
+          break;
+      }
       continue;
     }
     const RunOutcome &Ref = Outs[0];
@@ -463,6 +504,17 @@ OracleResult fuzz::checkSource(const std::string &Source, bool HasSpin,
     } else if (O.Out != Ref.Out) {
       R << "  [" << Specs[I].Name << "] output mismatch: ref \""
         << escape(Ref.Out) << "\" vs \"" << escape(O.Out) << "\"\n";
+      Fail(I);
+    } else if (O.SnapViolation) {
+      R << "  [" << Specs[I].Name << "] snapshot cross-check failed: "
+        << escape(O.SnapError) << "\n";
+      Fail(I);
+    } else if (!Ref.SnapViolation &&
+               (O.SnapNodes != Ref.SnapNodes ||
+                O.SnapBytes != Ref.SnapBytes)) {
+      R << "  [" << Specs[I].Name << "] exit snapshot mismatch: ref "
+        << Ref.SnapNodes << " nodes / " << Ref.SnapBytes << " bytes vs "
+        << O.SnapNodes << " nodes / " << O.SnapBytes << " bytes\n";
       Fail(I);
     }
     if (Res.Diverged && FailFast)

@@ -67,6 +67,14 @@ struct RunOutcome {
   // Conservative superset check (reference run only).
   bool ConservativeViolation = false;
   uint64_t ConservativeReached = 0, PreciseLive = 0;
+  // At-exit heap snapshot (every Ok run): the snapshot is captured and
+  // validated in-process (precise recount + conservative superset, see
+  // gc/Snapshot.h), and its node/byte totals must agree across every cell
+  // of the matrix — exit-reachable state is collection-schedule
+  // independent.
+  bool SnapViolation = false;
+  uint64_t SnapNodes = 0, SnapBytes = 0;
+  std::string SnapError;
 };
 
 /// Runs \p Prog under \p Spec in a forked child and collects the outcome.

@@ -251,10 +251,10 @@ void PreciseCollector::traceFull(VM &M) {
   }
 
   M.Stats.BytesCopied += H.toAlloc() - H.scanStart();
-  // Survival attribution: from-space headers (and nursery headers in
-  // generational mode) remain readable until the swap below.
+  // Survival + attribution sweep: from-space headers (and nursery headers
+  // in generational mode) remain readable until the swap below.
   if (M.Tracer)
-    M.Tracer->sweepSurvivors();
+    M.Tracer->sweepSurvivors(H, /*Minor=*/false);
   H.endCollection();
 }
 
@@ -356,10 +356,10 @@ void PreciseCollector::traceMinor(VM &M) {
                                                              RemT0)
             .count());
 
-  // Survival attribution: evacuated nursery-half headers remain readable
-  // until the swap below.
+  // Survival + attribution sweep: evacuated nursery-half headers remain
+  // readable until the swap below.
   if (M.Tracer)
-    M.Tracer->sweepSurvivors();
+    M.Tracer->sweepSurvivors(H, /*Minor=*/true);
   H.endMinorCollection();
 }
 
@@ -511,7 +511,8 @@ void gc::installPreciseCollector(VM &M, const CollectorOptions &Opts) {
 // Conservative (ambiguous roots) baseline
 //===----------------------------------------------------------------------===//
 
-ConservativeStats gc::conservativeTrace(VM &M) {
+ConservativeStats gc::conservativeTrace(VM &M,
+                                        std::unordered_set<Word> *MarkedOut) {
   using Clock = std::chrono::steady_clock;
   auto T0 = Clock::now();
   ConservativeStats S;
@@ -574,5 +575,7 @@ ConservativeStats gc::conservativeTrace(VM &M) {
   auto T1 = Clock::now();
   S.Nanos = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0).count());
+  if (MarkedOut)
+    *MarkedOut = std::move(Marked);
   return S;
 }

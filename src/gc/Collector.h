@@ -29,6 +29,7 @@
 #include "vm/VM.h"
 
 #include <cstdint>
+#include <unordered_set>
 
 namespace mgc {
 namespace gc {
@@ -61,8 +62,12 @@ struct ConservativeStats {
 
 /// Scans every word of all thread stacks, register files, and globals as a
 /// potential pointer and marks transitively reachable objects, without
-/// moving anything.  Returns counts and timing.
-ConservativeStats conservativeTrace(vm::VM &M);
+/// moving anything.  Returns counts and timing.  When \p MarkedOut is
+/// non-null the reached object addresses are also copied into it (the
+/// snapshot cross-check's superset test).
+ConservativeStats conservativeTrace(vm::VM &M,
+                                    std::unordered_set<vm::Word> *MarkedOut =
+                                        nullptr);
 
 } // namespace gc
 } // namespace mgc

@@ -1,0 +1,845 @@
+//===- obs/HeapSnapshot.cpp -----------------------------------------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/HeapSnapshot.h"
+
+#include "support/ByteCodec.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+using namespace mgc;
+using namespace mgc::obs;
+
+//===----------------------------------------------------------------------===//
+// Codec
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char SnapMagic[4] = {'M', 'G', 'H', 'S'};
+
+void writeU32(std::vector<uint8_t> &Out, uint32_t V) {
+  appendPacked(Out, static_cast<int32_t>(V));
+}
+
+void writeU64(std::vector<uint8_t> &Out, uint64_t V) {
+  writeU32(Out, static_cast<uint32_t>(V));
+  writeU32(Out, static_cast<uint32_t>(V >> 32));
+}
+
+void writeStr(std::vector<uint8_t> &Out, const std::string &S) {
+  writeU32(Out, static_cast<uint32_t>(S.size()));
+  Out.insert(Out.end(), S.begin(), S.end());
+}
+
+/// Bounds-checked varint reader: readPacked (ByteCodec.h) asserts on
+/// truncation, but a snapshot decoder faces untrusted files and must fail
+/// cleanly instead.
+class SafeReader {
+public:
+  explicit SafeReader(const std::vector<uint8_t> &B) : B(B) {}
+
+  bool failed() const { return Fail; }
+  size_t position() const { return Pos; }
+  size_t remaining() const { return Fail ? 0 : B.size() - Pos; }
+
+  uint8_t byte() {
+    if (Pos >= B.size()) {
+      Fail = true;
+      return 0;
+    }
+    return B[Pos++];
+  }
+
+  int32_t word() {
+    uint8_t First = byte();
+    if (Fail)
+      return 0;
+    // Sign-extend the first byte's 7 payload bits (Figure 3).
+    int64_t V = static_cast<int8_t>(static_cast<uint8_t>(First << 1)) >> 1;
+    unsigned Groups = 1;
+    while (First & 0x80) {
+      if (++Groups > 5) {
+        Fail = true;
+        return 0;
+      }
+      First = byte();
+      if (Fail)
+        return 0;
+      V = (V << 7) | (First & 0x7f);
+    }
+    return static_cast<int32_t>(V);
+  }
+
+  uint32_t u32() { return static_cast<uint32_t>(word()); }
+
+  uint64_t u64() {
+    uint64_t Lo = u32();
+    uint64_t Hi = u32();
+    return (Hi << 32) | Lo;
+  }
+
+  std::string str() {
+    int32_t Len = word();
+    if (Len < 0 || static_cast<size_t>(Len) > remaining()) {
+      Fail = true;
+      return {};
+    }
+    std::string S(reinterpret_cast<const char *>(B.data()) + Pos,
+                  static_cast<size_t>(Len));
+    Pos += static_cast<size_t>(Len);
+    return S;
+  }
+
+  /// A count of items each at least one byte long can never exceed the
+  /// remaining bytes; reject early so hostile counts cannot force huge
+  /// allocations.
+  bool countOk(uint32_t N) {
+    if (Fail || N > remaining()) {
+      Fail = true;
+      return false;
+    }
+    return true;
+  }
+
+private:
+  const std::vector<uint8_t> &B;
+  size_t Pos = 0;
+  bool Fail = false;
+};
+
+} // namespace
+
+void obs::encodeSnapshot(const HeapSnapshot &S, std::vector<uint8_t> &Out) {
+  Out.insert(Out.end(), SnapMagic, SnapMagic + 4);
+  writeU32(Out, SnapshotVersion);
+  writeStr(Out, S.Program);
+  Out.push_back(static_cast<uint8_t>((S.GenGc ? 1 : 0) |
+                                     (S.StacksWalked ? 2 : 0)));
+  writeU64(Out, S.Collections);
+
+  writeU32(Out, static_cast<uint32_t>(S.FuncNames.size()));
+  for (const std::string &F : S.FuncNames)
+    writeStr(Out, F);
+  writeU32(Out, static_cast<uint32_t>(S.TypeNames.size()));
+  for (const std::string &T : S.TypeNames)
+    writeStr(Out, T);
+  writeU32(Out, static_cast<uint32_t>(S.Sites.size()));
+  for (const HeapSnapshot::Site &St : S.Sites) {
+    writeU32(Out, St.Func);
+    writeU32(Out, St.Line);
+    writeU32(Out, St.Col);
+    writeU32(Out, St.Desc);
+  }
+
+  writeU32(Out, static_cast<uint32_t>(S.Nodes.size()));
+  for (const HeapSnapshot::Node &N : S.Nodes) {
+    Out.push_back(N.Gen);
+    writeU64(Out, N.OffsetWords);
+    writeU32(Out, N.Desc);
+    writeU32(Out, N.Site); // NoSite packs as -1: a single byte.
+    writeU32(Out, N.Age);
+    writeU32(Out, N.ShallowBytes);
+    writeU32(Out, N.NumEdges);
+    for (uint32_t E = 0; E != N.NumEdges; ++E) {
+      writeU32(Out, S.Edges[N.FirstEdge + E].Slot);
+      writeU32(Out, S.Edges[N.FirstEdge + E].Target);
+    }
+  }
+
+  writeU32(Out, static_cast<uint32_t>(S.Roots.size()));
+  for (const HeapSnapshot::Root &R : S.Roots) {
+    Out.push_back(static_cast<uint8_t>(R.Kind));
+    writeU32(Out, R.Thread);
+    writeU32(Out, R.Frame);
+    writeU32(Out, R.Func); // NoFunc packs as -1.
+    appendPacked(Out, R.Index);
+    writeU32(Out, R.Node);
+  }
+}
+
+bool obs::decodeSnapshot(const std::vector<uint8_t> &Blob, HeapSnapshot &S,
+                         std::string &Err) {
+  S.clear();
+  auto Bad = [&](const char *Msg) {
+    Err = std::string("snapshot decode: ") + Msg;
+    S.clear();
+    return false;
+  };
+
+  SafeReader R(Blob);
+  for (char M : SnapMagic)
+    if (R.byte() != static_cast<uint8_t>(M))
+      return Bad("bad magic (not a heap snapshot)");
+  uint32_t Version = R.u32();
+  if (R.failed())
+    return Bad("truncated header");
+  if (Version != SnapshotVersion)
+    return Bad("unsupported snapshot version");
+
+  S.Program = R.str();
+  uint8_t Flags = R.byte();
+  S.GenGc = (Flags & 1) != 0;
+  S.StacksWalked = (Flags & 2) != 0;
+  S.Collections = R.u64();
+
+  uint32_t NFuncs = R.u32();
+  if (!R.countOk(NFuncs))
+    return Bad("bad function-name count");
+  S.FuncNames.reserve(NFuncs);
+  for (uint32_t I = 0; I != NFuncs; ++I)
+    S.FuncNames.push_back(R.str());
+  uint32_t NTypes = R.u32();
+  if (!R.countOk(NTypes))
+    return Bad("bad type-name count");
+  S.TypeNames.reserve(NTypes);
+  for (uint32_t I = 0; I != NTypes; ++I)
+    S.TypeNames.push_back(R.str());
+  uint32_t NSites = R.u32();
+  if (!R.countOk(NSites))
+    return Bad("bad site count");
+  S.Sites.reserve(NSites);
+  for (uint32_t I = 0; I != NSites; ++I) {
+    HeapSnapshot::Site St;
+    St.Func = R.u32();
+    St.Line = R.u32();
+    St.Col = R.u32();
+    St.Desc = R.u32();
+    S.Sites.push_back(St);
+  }
+
+  uint32_t NNodes = R.u32();
+  if (!R.countOk(NNodes))
+    return Bad("bad node count");
+  S.Nodes.reserve(NNodes);
+  for (uint32_t I = 0; I != NNodes; ++I) {
+    HeapSnapshot::Node N;
+    N.Gen = R.byte();
+    N.OffsetWords = R.u64();
+    N.Desc = R.u32();
+    N.Site = R.u32();
+    N.Age = R.u32();
+    N.ShallowBytes = R.u32();
+    N.NumEdges = R.u32();
+    N.FirstEdge = static_cast<uint32_t>(S.Edges.size());
+    if (!R.countOk(N.NumEdges))
+      return Bad("bad edge count");
+    for (uint32_t E = 0; E != N.NumEdges; ++E) {
+      HeapSnapshot::Edge Ed;
+      Ed.Slot = R.u32();
+      Ed.Target = R.u32();
+      S.Edges.push_back(Ed);
+    }
+    if (R.failed())
+      return Bad("truncated node table");
+    if (N.Gen > 1)
+      return Bad("node generation out of range");
+    if (N.Desc >= NTypes)
+      return Bad("node type descriptor out of range");
+    if (N.Site != NoSite && N.Site >= NSites)
+      return Bad("node site out of range");
+    S.Nodes.push_back(N);
+  }
+  for (const HeapSnapshot::Edge &E : S.Edges)
+    if (E.Target >= NNodes)
+      return Bad("edge target out of range");
+
+  uint32_t NRoots = R.u32();
+  if (!R.countOk(NRoots))
+    return Bad("bad root count");
+  S.Roots.reserve(NRoots);
+  for (uint32_t I = 0; I != NRoots; ++I) {
+    HeapSnapshot::Root Rt;
+    uint8_t Kind = R.byte();
+    if (Kind > static_cast<uint8_t>(HeapSnapshot::RootKind::Derived))
+      return Bad("root kind out of range");
+    Rt.Kind = static_cast<HeapSnapshot::RootKind>(Kind);
+    Rt.Thread = R.u32();
+    Rt.Frame = R.u32();
+    Rt.Func = R.u32();
+    Rt.Index = R.word();
+    Rt.Node = R.u32();
+    if (R.failed())
+      return Bad("truncated root table");
+    if (Rt.Node >= NNodes)
+      return Bad("root node out of range");
+    if (Rt.Func != NoFunc && Rt.Func >= NFuncs)
+      return Bad("root function out of range");
+    S.Roots.push_back(Rt);
+  }
+
+  if (R.failed())
+    return Bad("truncated snapshot");
+  if (R.remaining() != 0)
+    return Bad("trailing bytes after snapshot");
+  return true;
+}
+
+bool obs::writeSnapshotFile(const std::string &Path, const HeapSnapshot &S,
+                            std::string &Err) {
+  std::vector<uint8_t> Blob;
+  encodeSnapshot(S, Blob);
+  std::ofstream F(Path, std::ios::binary | std::ios::trunc);
+  if (!F) {
+    Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  F.write(reinterpret_cast<const char *>(Blob.data()),
+          static_cast<std::streamsize>(Blob.size()));
+  F.flush();
+  if (!F) {
+    Err = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+bool obs::readSnapshotFile(const std::string &Path, HeapSnapshot &S,
+                           std::string &Err) {
+  std::ifstream F(Path, std::ios::binary);
+  if (!F) {
+    Err = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::vector<uint8_t> Blob((std::istreambuf_iterator<char>(F)),
+                            std::istreambuf_iterator<char>());
+  return decodeSnapshot(Blob, S, Err);
+}
+
+//===----------------------------------------------------------------------===//
+// Dominators and retained sizes
+//===----------------------------------------------------------------------===//
+
+std::vector<int32_t> obs::computeIdoms(const HeapSnapshot &S) {
+  size_t N = S.Nodes.size();
+  std::vector<int32_t> Idom(N, IdomUnreachable);
+  if (N == 0)
+    return Idom;
+
+  std::vector<char> IsEntry(N, 0);
+  for (const HeapSnapshot::Root &R : S.Roots)
+    IsEntry[R.Node] = 1;
+
+  // Post-order over the reachable subgraph by iterative DFS from every
+  // entry node (the super-root's successors), then reversed: RPO number 0
+  // is the super-root, reachable nodes get 1..K.
+  std::vector<uint32_t> Post;
+  Post.reserve(N);
+  std::vector<char> State(N, 0); // 0 new, 1 open, 2 done
+  struct DfsFrame {
+    uint32_t Node;
+    uint32_t EdgeI;
+  };
+  std::vector<DfsFrame> Stack;
+  for (uint32_t E = 0; E != N; ++E) {
+    if (!IsEntry[E] || State[E])
+      continue;
+    State[E] = 1;
+    Stack.push_back({E, 0});
+    while (!Stack.empty()) {
+      DfsFrame &F = Stack.back();
+      const HeapSnapshot::Node &Nd = S.Nodes[F.Node];
+      if (F.EdgeI < Nd.NumEdges) {
+        uint32_t T = S.Edges[Nd.FirstEdge + F.EdgeI++].Target;
+        if (!State[T]) {
+          State[T] = 1;
+          Stack.push_back({T, 0});
+        }
+      } else {
+        Post.push_back(F.Node);
+        State[F.Node] = 2;
+        Stack.pop_back();
+      }
+    }
+  }
+
+  size_t K = Post.size();
+  std::vector<uint32_t> RpoNum(N, 0); // 0 = unreachable.
+  std::vector<uint32_t> ByRpo(K + 1, 0);
+  for (size_t I = 0; I != K; ++I) {
+    uint32_t Node = Post[K - 1 - I];
+    RpoNum[Node] = static_cast<uint32_t>(I + 1);
+    ByRpo[I + 1] = Node;
+  }
+
+  // Predecessor lists in RPO space; entry nodes gain the super-root (0).
+  std::vector<std::vector<uint32_t>> Preds(K + 1);
+  for (uint32_t Id = 0; Id != N; ++Id) {
+    uint32_t Rn = RpoNum[Id];
+    if (Rn == 0)
+      continue;
+    if (IsEntry[Id])
+      Preds[Rn].push_back(0);
+    const HeapSnapshot::Node &Nd = S.Nodes[Id];
+    for (uint32_t E = 0; E != Nd.NumEdges; ++E)
+      Preds[RpoNum[S.Edges[Nd.FirstEdge + E].Target]].push_back(Rn);
+  }
+
+  // Cooper-Harvey-Kennedy iteration ("A Simple, Fast Dominance
+  // Algorithm"): converges in a couple of passes on reducible graphs and
+  // is robust on the cycles heaps routinely contain.
+  constexpr uint32_t Undef = 0xFFFFFFFFu;
+  std::vector<uint32_t> Doms(K + 1, Undef);
+  Doms[0] = 0;
+  auto Intersect = [&Doms](uint32_t A, uint32_t B) {
+    while (A != B) {
+      while (A > B)
+        A = Doms[A];
+      while (B > A)
+        B = Doms[B];
+    }
+    return A;
+  };
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t Rn = 1; Rn <= K; ++Rn) {
+      uint32_t NewIdom = Undef;
+      for (uint32_t P : Preds[Rn]) {
+        if (Doms[P] == Undef)
+          continue;
+        NewIdom = NewIdom == Undef ? P : Intersect(P, NewIdom);
+      }
+      if (NewIdom != Undef && Doms[Rn] != NewIdom) {
+        Doms[Rn] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+
+  for (uint32_t Rn = 1; Rn <= K; ++Rn)
+    Idom[ByRpo[Rn]] = Doms[Rn] == 0
+                          ? IdomRoot
+                          : static_cast<int32_t>(ByRpo[Doms[Rn]]);
+  return Idom;
+}
+
+std::vector<uint64_t> obs::retainedSizes(const HeapSnapshot &S,
+                                         const std::vector<int32_t> &Idom) {
+  size_t N = S.Nodes.size();
+  std::vector<uint64_t> Ret(N, 0);
+  std::vector<uint32_t> PendingKids(N, 0);
+  for (size_t I = 0; I != N; ++I) {
+    if (Idom[I] == IdomUnreachable)
+      continue;
+    Ret[I] = S.Nodes[I].ShallowBytes;
+    if (Idom[I] >= 0)
+      ++PendingKids[static_cast<size_t>(Idom[I])];
+  }
+  // Accumulate leaves-up over the dominator tree (Kahn-style, no
+  // recursion): a node joins its dominator once all its own dominatees
+  // have joined it.
+  std::vector<uint32_t> Ready;
+  for (size_t I = 0; I != N; ++I)
+    if (Idom[I] != IdomUnreachable && PendingKids[I] == 0)
+      Ready.push_back(static_cast<uint32_t>(I));
+  while (!Ready.empty()) {
+    uint32_t I = Ready.back();
+    Ready.pop_back();
+    int32_t D = Idom[I];
+    if (D < 0)
+      continue;
+    Ret[static_cast<size_t>(D)] += Ret[I];
+    if (--PendingKids[static_cast<size_t>(D)] == 0)
+      Ready.push_back(static_cast<uint32_t>(D));
+  }
+  return Ret;
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string typeName(const HeapSnapshot &S, uint32_t Desc) {
+  if (Desc < S.TypeNames.size() && !S.TypeNames[Desc].empty())
+    return S.TypeNames[Desc];
+  return "desc" + std::to_string(Desc);
+}
+
+std::string nodeLabel(const HeapSnapshot &S, uint32_t Id) {
+  const HeapSnapshot::Node &N = S.Nodes[Id];
+  std::string L = "#" + std::to_string(Id) + " " + typeName(S, N.Desc) + " " +
+                  std::to_string(N.ShallowBytes) + "B age=" +
+                  std::to_string(N.Age);
+  L += N.Gen ? " gen=nursery" : " gen=old";
+  return L;
+}
+
+std::string funcName(const HeapSnapshot &S, uint32_t Func) {
+  if (Func == NoFunc)
+    return "(none)";
+  if (Func < S.FuncNames.size())
+    return S.FuncNames[Func];
+  return "func" + std::to_string(Func);
+}
+
+std::string rootLabel(const HeapSnapshot &S, const HeapSnapshot::Root &R) {
+  char Buf[160];
+  switch (R.Kind) {
+  case HeapSnapshot::RootKind::Global:
+    std::snprintf(Buf, sizeof(Buf), "global word %d", R.Index);
+    break;
+  case HeapSnapshot::RootKind::FpSlot:
+    std::snprintf(Buf, sizeof(Buf), "%s frame %u fp[%d] (thread %u)",
+                  funcName(S, R.Func).c_str(), R.Frame, R.Index, R.Thread);
+    break;
+  case HeapSnapshot::RootKind::ApSlot:
+    std::snprintf(Buf, sizeof(Buf), "%s frame %u ap[%d] (thread %u)",
+                  funcName(S, R.Func).c_str(), R.Frame, R.Index, R.Thread);
+    break;
+  case HeapSnapshot::RootKind::Reg:
+    std::snprintf(Buf, sizeof(Buf), "%s frame %u r%d (thread %u)",
+                  funcName(S, R.Func).c_str(), R.Frame, R.Index, R.Thread);
+    break;
+  case HeapSnapshot::RootKind::Derived:
+    std::snprintf(Buf, sizeof(Buf), "%s frame %u derived value (thread %u)",
+                  funcName(S, R.Func).c_str(), R.Frame, R.Thread);
+    break;
+  }
+  return Buf;
+}
+
+struct GroupAgg {
+  uint64_t Objects = 0;
+  uint64_t Shallow = 0;
+  uint64_t Retained = 0;
+};
+
+/// Marks nodes dominated (transitively) by another node of the same group:
+/// their retained bytes are already inside that ancestor's, so a group
+/// total must not add them again.  One DFS over the dominator forest with
+/// a per-group active counter.
+std::vector<char> coveredBySameGroup(const HeapSnapshot &S,
+                                     const std::vector<int32_t> &Idom,
+                                     const std::vector<uint32_t> &GroupOf,
+                                     size_t NumGroups) {
+  size_t N = S.Nodes.size();
+  std::vector<char> Covered(N, 0);
+  std::vector<std::vector<uint32_t>> Kids(N);
+  std::vector<uint32_t> Tops;
+  for (uint32_t I = 0; I != N; ++I) {
+    if (Idom[I] == IdomRoot)
+      Tops.push_back(I);
+    else if (Idom[I] >= 0)
+      Kids[static_cast<size_t>(Idom[I])].push_back(I);
+  }
+  std::vector<uint32_t> Active(NumGroups, 0);
+  struct Frame {
+    uint32_t Node;
+    uint32_t KidI;
+  };
+  std::vector<Frame> Stack;
+  for (uint32_t T : Tops) {
+    ++Active[GroupOf[T]];
+    Stack.push_back({T, 0});
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      if (F.KidI < Kids[F.Node].size()) {
+        uint32_t C = Kids[F.Node][F.KidI++];
+        Covered[C] = Active[GroupOf[C]] > 0;
+        ++Active[GroupOf[C]];
+        Stack.push_back({C, 0});
+      } else {
+        --Active[GroupOf[F.Node]];
+        Stack.pop_back();
+      }
+    }
+  }
+  return Covered;
+}
+
+/// Renders one "top groups" table sorted by the chosen column.
+void renderGroupTable(std::string &O, const char *Title,
+                      const std::vector<GroupAgg> &Aggs,
+                      const std::vector<std::string> &Labels, bool ByRetained,
+                      size_t TopN) {
+  std::vector<uint32_t> Order;
+  for (uint32_t G = 0; G != Aggs.size(); ++G)
+    if (Aggs[G].Objects != 0)
+      Order.push_back(G);
+  std::stable_sort(Order.begin(), Order.end(), [&](uint32_t A, uint32_t B) {
+    uint64_t Ka = ByRetained ? Aggs[A].Retained : Aggs[A].Shallow;
+    uint64_t Kb = ByRetained ? Aggs[B].Retained : Aggs[B].Shallow;
+    if (Ka != Kb)
+      return Ka > Kb;
+    return A < B;
+  });
+  if (Order.size() > TopN)
+    Order.resize(TopN);
+  O += Title;
+  O += "\n    retained     shallow  objects\n";
+  char Buf[64];
+  for (uint32_t G : Order) {
+    std::snprintf(Buf, sizeof(Buf), "  %10llu  %10llu  %7llu  ",
+                  static_cast<unsigned long long>(Aggs[G].Retained),
+                  static_cast<unsigned long long>(Aggs[G].Shallow),
+                  static_cast<unsigned long long>(Aggs[G].Objects));
+    O += Buf;
+    O += Labels[G];
+    O += "\n";
+  }
+}
+
+} // namespace
+
+std::string obs::siteLabel(const HeapSnapshot &S, uint32_t Site) {
+  if (Site >= S.Sites.size())
+    return "(no site)";
+  const HeapSnapshot::Site &St = S.Sites[Site];
+  std::string L = funcName(S, St.Func) + ":" + std::to_string(St.Line) + ":" +
+                  std::to_string(St.Col) + " (" + typeName(S, St.Desc) + ")";
+  return L;
+}
+
+std::string obs::renderSnapshot(const HeapSnapshot &S, size_t TopN) {
+  std::string O;
+  char Buf[256];
+  uint64_t Total = S.totalBytes();
+  std::snprintf(Buf, sizeof(Buf),
+                "snapshot: program '%s', %s collector, after %llu "
+                "collection(s)\n"
+                "  %zu nodes, %zu edges, %zu roots, %llu live bytes\n",
+                S.Program.c_str(), S.GenGc ? "generational" : "two-space",
+                static_cast<unsigned long long>(S.Collections),
+                S.Nodes.size(), S.Edges.size(), S.Roots.size(),
+                static_cast<unsigned long long>(Total));
+  O += Buf;
+  if (!S.StacksWalked)
+    O += "  (post-mortem capture: stacks not walked, roots are globals "
+         "only)\n";
+
+  size_t NGlobal = 0, NSlot = 0, NReg = 0, NDerived = 0;
+  for (const HeapSnapshot::Root &R : S.Roots)
+    switch (R.Kind) {
+    case HeapSnapshot::RootKind::Global:
+      ++NGlobal;
+      break;
+    case HeapSnapshot::RootKind::FpSlot:
+    case HeapSnapshot::RootKind::ApSlot:
+      ++NSlot;
+      break;
+    case HeapSnapshot::RootKind::Reg:
+      ++NReg;
+      break;
+    case HeapSnapshot::RootKind::Derived:
+      ++NDerived;
+      break;
+    }
+  std::snprintf(Buf, sizeof(Buf),
+                "  roots: %zu globals, %zu stack slots, %zu registers, "
+                "%zu derived\n",
+                NGlobal, NSlot, NReg, NDerived);
+  O += Buf;
+  if (S.Nodes.empty())
+    return O;
+
+  std::vector<int32_t> Idom = computeIdoms(S);
+  std::vector<uint64_t> Ret = retainedSizes(S, Idom);
+  uint64_t RootRetained = 0;
+  for (size_t I = 0; I != S.Nodes.size(); ++I)
+    if (Idom[I] == IdomRoot)
+      RootRetained += Ret[I];
+  std::snprintf(Buf, sizeof(Buf),
+                "  root-retained total: %llu bytes (%s live bytes)\n",
+                static_cast<unsigned long long>(RootRetained),
+                RootRetained == Total ? "equals" : "DOES NOT EQUAL");
+  O += Buf;
+
+  // --- Grouping by site.  NoSite objects pool in the trailing group.
+  size_t SiteGroups = S.Sites.size() + 1;
+  std::vector<uint32_t> SiteOf(S.Nodes.size());
+  for (size_t I = 0; I != S.Nodes.size(); ++I)
+    SiteOf[I] = S.Nodes[I].Site < S.Sites.size()
+                    ? S.Nodes[I].Site
+                    : static_cast<uint32_t>(S.Sites.size());
+  std::vector<char> SiteCovered =
+      coveredBySameGroup(S, Idom, SiteOf, SiteGroups);
+  std::vector<GroupAgg> BySite(SiteGroups);
+  for (size_t I = 0; I != S.Nodes.size(); ++I) {
+    GroupAgg &A = BySite[SiteOf[I]];
+    ++A.Objects;
+    A.Shallow += S.Nodes[I].ShallowBytes;
+    if (!SiteCovered[I] && Idom[I] != IdomUnreachable)
+      A.Retained += Ret[I];
+  }
+  std::vector<std::string> SiteLabels(SiteGroups);
+  for (uint32_t G = 0; G != SiteGroups; ++G)
+    SiteLabels[G] = siteLabel(S, G < S.Sites.size() ? G : NoSite);
+
+  // --- Grouping by type descriptor.
+  size_t TypeGroups = S.TypeNames.size();
+  std::vector<uint32_t> TypeOf(S.Nodes.size());
+  for (size_t I = 0; I != S.Nodes.size(); ++I)
+    TypeOf[I] = S.Nodes[I].Desc;
+  std::vector<char> TypeCovered =
+      coveredBySameGroup(S, Idom, TypeOf, TypeGroups);
+  std::vector<GroupAgg> ByType(TypeGroups);
+  for (size_t I = 0; I != S.Nodes.size(); ++I) {
+    GroupAgg &A = ByType[TypeOf[I]];
+    ++A.Objects;
+    A.Shallow += S.Nodes[I].ShallowBytes;
+    if (!TypeCovered[I] && Idom[I] != IdomUnreachable)
+      A.Retained += Ret[I];
+  }
+  std::vector<std::string> TypeLabels(TypeGroups);
+  for (uint32_t G = 0; G != TypeGroups; ++G)
+    TypeLabels[G] = typeName(S, G);
+
+  O += "\n";
+  renderGroupTable(O, "top sites by retained bytes:", BySite, SiteLabels,
+                   /*ByRetained=*/true, TopN);
+  O += "\n";
+  renderGroupTable(O, "top sites by shallow bytes:", BySite, SiteLabels,
+                   /*ByRetained=*/false, TopN);
+  O += "\n";
+  renderGroupTable(O, "top types by retained bytes:", ByType, TypeLabels,
+                   /*ByRetained=*/true, TopN);
+  O += "\n";
+  renderGroupTable(O, "top types by shallow bytes:", ByType, TypeLabels,
+                   /*ByRetained=*/false, TopN);
+
+  // --- Age histogram (collection-count ages from the attribution table).
+  std::map<uint32_t, GroupAgg> Ages;
+  for (const HeapSnapshot::Node &N : S.Nodes) {
+    GroupAgg &A = Ages[N.Age];
+    ++A.Objects;
+    A.Shallow += N.ShallowBytes;
+  }
+  O += "\nage histogram (collections survived):\n";
+  for (const auto &[Age, A] : Ages) {
+    std::snprintf(Buf, sizeof(Buf), "  age %3u: %7llu objects, %10llu bytes\n",
+                  Age, static_cast<unsigned long long>(A.Objects),
+                  static_cast<unsigned long long>(A.Shallow));
+    O += Buf;
+  }
+  return O;
+}
+
+std::string obs::renderPathTo(const HeapSnapshot &S, uint32_t Node) {
+  if (Node >= S.Nodes.size())
+    return "path: node #" + std::to_string(Node) + " out of range (" +
+           std::to_string(S.Nodes.size()) + " nodes)\n";
+
+  // Multi-source BFS from every rooted node, recording (parent, edge).
+  constexpr uint32_t NoParent = 0xFFFFFFFFu;
+  std::vector<uint32_t> Parent(S.Nodes.size(), NoParent);
+  std::vector<uint32_t> ViaEdge(S.Nodes.size(), 0);
+  std::vector<char> Seen(S.Nodes.size(), 0);
+  std::vector<uint32_t> Queue;
+  for (const HeapSnapshot::Root &R : S.Roots)
+    if (!Seen[R.Node]) {
+      Seen[R.Node] = 1;
+      Queue.push_back(R.Node);
+    }
+  for (size_t Head = 0; Head != Queue.size(); ++Head) {
+    uint32_t I = Queue[Head];
+    if (I == Node)
+      break;
+    const HeapSnapshot::Node &N = S.Nodes[I];
+    for (uint32_t E = 0; E != N.NumEdges; ++E) {
+      uint32_t T = S.Edges[N.FirstEdge + E].Target;
+      if (Seen[T])
+        continue;
+      Seen[T] = 1;
+      Parent[T] = I;
+      ViaEdge[T] = N.FirstEdge + E;
+      Queue.push_back(T);
+    }
+  }
+  if (!Seen[Node])
+    return "path: node #" + std::to_string(Node) +
+           " is not reachable from any root\n";
+
+  std::vector<uint32_t> Path{Node};
+  while (Parent[Path.back()] != NoParent)
+    Path.push_back(Parent[Path.back()]);
+  std::reverse(Path.begin(), Path.end());
+
+  std::string O = "path to " + nodeLabel(S, Node) + " (" +
+                  std::to_string(Path.size() - 1) + " hop(s)):\n";
+  // The BFS source is a rooted node: show its first root record.
+  for (const HeapSnapshot::Root &R : S.Roots)
+    if (R.Node == Path[0]) {
+      O += "  root: " + rootLabel(S, R) + "\n";
+      break;
+    }
+  O += "  " + nodeLabel(S, Path[0]) + "\n";
+  for (size_t I = 1; I != Path.size(); ++I) {
+    const HeapSnapshot::Edge &E = S.Edges[ViaEdge[Path[I]]];
+    O += "    -[word " + std::to_string(E.Slot) + "]-> " +
+         nodeLabel(S, Path[I]) + "\n";
+  }
+  return O;
+}
+
+std::string obs::diffSnapshots(const HeapSnapshot &Old, const HeapSnapshot &New,
+                               size_t TopN) {
+  // Aggregate per site *label* so snapshots from different processes of the
+  // same program line up even if site ids were assigned differently.
+  struct Delta {
+    int64_t Objects = 0;
+    int64_t Bytes = 0;
+    uint64_t NewObjects = 0;
+    uint64_t NewBytes = 0;
+  };
+  std::map<std::string, Delta> Per;
+  for (const HeapSnapshot::Node &N : Old.Nodes) {
+    Delta &D = Per[siteLabel(Old, N.Site)];
+    --D.Objects;
+    D.Bytes -= N.ShallowBytes;
+  }
+  for (const HeapSnapshot::Node &N : New.Nodes) {
+    Delta &D = Per[siteLabel(New, N.Site)];
+    ++D.Objects;
+    D.Bytes += N.ShallowBytes;
+    ++D.NewObjects;
+    D.NewBytes += N.ShallowBytes;
+  }
+
+  std::vector<const std::pair<const std::string, Delta> *> Order;
+  for (const auto &KV : Per)
+    Order.push_back(&KV);
+  std::stable_sort(Order.begin(), Order.end(), [](const auto *A, const auto *B) {
+    if (A->second.Bytes != B->second.Bytes)
+      return A->second.Bytes > B->second.Bytes;
+    return A->first < B->first;
+  });
+
+  char Buf[256];
+  std::string O;
+  std::snprintf(Buf, sizeof(Buf),
+                "heap diff: %llu -> %llu live bytes (%+lld), %zu -> %zu "
+                "objects (%+lld)\n"
+                "per-site growth (new - old), by byte delta:\n"
+                "     d-bytes   d-objects   now-bytes  site\n",
+                static_cast<unsigned long long>(Old.totalBytes()),
+                static_cast<unsigned long long>(New.totalBytes()),
+                static_cast<long long>(static_cast<int64_t>(New.totalBytes()) -
+                                       static_cast<int64_t>(Old.totalBytes())),
+                Old.Nodes.size(), New.Nodes.size(),
+                static_cast<long long>(
+                    static_cast<int64_t>(New.Nodes.size()) -
+                    static_cast<int64_t>(Old.Nodes.size())));
+  O += Buf;
+  size_t Shown = 0;
+  for (const auto *KV : Order) {
+    if (Shown++ == TopN)
+      break;
+    std::snprintf(Buf, sizeof(Buf), "  %+10lld  %+10lld  %10llu  ",
+                  static_cast<long long>(KV->second.Bytes),
+                  static_cast<long long>(KV->second.Objects),
+                  static_cast<unsigned long long>(KV->second.NewBytes));
+    O += Buf;
+    O += KV->first;
+    O += "\n";
+  }
+  return O;
+}

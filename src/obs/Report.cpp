@@ -248,6 +248,23 @@ bool obs::readTrace(std::istream &In, TraceReport &R, std::string &Err) {
       S.Bytes = static_cast<uint64_t>(Rec.getInt("bytes"));
       S.Survived = static_cast<uint64_t>(Rec.getInt("survived"));
       S.SurvivedBytes = static_cast<uint64_t>(Rec.getInt("survived_bytes"));
+    } else if (Rec.Type == "site_live") {
+      int64_t Id = Rec.getInt("id", -1);
+      if (Id >= 0 && static_cast<size_t>(Id) >= R.Sites.size()) {
+        Err = "line " + std::to_string(LineNo) + ": site_live id out of range";
+        return false;
+      }
+      TraceReport::LiveSite L;
+      L.Id = Id;
+      L.Objects = static_cast<uint64_t>(Rec.getInt("objects"));
+      L.Bytes = static_cast<uint64_t>(Rec.getInt("bytes"));
+      R.LiveSites.push_back(L);
+    } else if (Rec.Type == "age_hist") {
+      TraceReport::AgeBucket B;
+      B.Age = static_cast<uint32_t>(Rec.getInt("age"));
+      B.Objects = static_cast<uint64_t>(Rec.getInt("objects"));
+      B.Bytes = static_cast<uint64_t>(Rec.getInt("bytes"));
+      R.AgeHist.push_back(B);
     } else if (Rec.Type == "run") {
       R.HasRun = true;
       R.RunOk = Rec.getStr("exit") == "ok";
@@ -464,6 +481,53 @@ std::string obs::renderReport(const TraceReport &R, size_t TopN) {
         [](const TraceReport::Site &S) { return S.Bytes; });
   Table("top sites by bytes surviving first collection",
         [](const TraceReport::Site &S) { return S.SurvivedBytes; });
+
+  // --- Live objects at trace finish by site (persistent attribution).
+  if (!R.LiveSites.empty()) {
+    std::vector<const TraceReport::LiveSite *> Live;
+    for (const TraceReport::LiveSite &L : R.LiveSites)
+      Live.push_back(&L);
+    std::sort(Live.begin(), Live.end(),
+              [](const TraceReport::LiveSite *A,
+                 const TraceReport::LiveSite *B) {
+                if (A->Bytes != B->Bytes)
+                  return A->Bytes > B->Bytes;
+                return A->Id < B->Id;
+              });
+    Out += "\n-- live at finish by site --\n";
+    std::snprintf(Buf, sizeof(Buf), "  %-28s %12s %12s\n", "site", "objects",
+                  "bytes");
+    Out += Buf;
+    size_t N = std::min(TopN, Live.size());
+    for (size_t I = 0; I != N; ++I) {
+      const TraceReport::LiveSite &L = *Live[I];
+      std::string Label =
+          L.Id < 0 ? "(no site)"
+                   : siteLabel(R.Sites[static_cast<size_t>(L.Id)]);
+      std::snprintf(Buf, sizeof(Buf), "  %-28s %12llu %12s\n", Label.c_str(),
+                    static_cast<unsigned long long>(L.Objects),
+                    fmtBytes(L.Bytes).c_str());
+      Out += Buf;
+    }
+  }
+
+  // --- Age histogram: how many collections did the live objects survive?
+  if (!R.AgeHist.empty()) {
+    uint64_t MaxObjects = 1;
+    for (const TraceReport::AgeBucket &B : R.AgeHist)
+      MaxObjects = std::max(MaxObjects, B.Objects);
+    Out += "\n-- live object ages (collections survived) --\n";
+    for (const TraceReport::AgeBucket &B : R.AgeHist) {
+      size_t Bar = static_cast<size_t>(
+          30.0 * static_cast<double>(B.Objects) /
+          static_cast<double>(MaxObjects));
+      std::snprintf(Buf, sizeof(Buf), "  age %3u %10llu obj %12s  %s\n",
+                    B.Age, static_cast<unsigned long long>(B.Objects),
+                    fmtBytes(B.Bytes).c_str(),
+                    std::string(Bar, '#').c_str());
+      Out += Buf;
+    }
+  }
 
   return Out;
 }

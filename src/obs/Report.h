@@ -71,6 +71,25 @@ struct TraceReport {
 
   std::vector<GcEvent> Events; ///< Every gc record, in order.
 
+  /// Trailing site_live records: objects still live at trace finish,
+  /// attributed by allocation site (Id == -1 pools the NoSite objects).
+  /// Present only when the tracer ran with persistent attribution.
+  struct LiveSite {
+    int64_t Id = -1;
+    uint64_t Objects = 0;
+    uint64_t Bytes = 0;
+  };
+  std::vector<LiveSite> LiveSites;
+
+  /// Trailing age_hist records: live objects bucketed by the number of
+  /// collections they were evacuated through.
+  struct AgeBucket {
+    uint32_t Age = 0;
+    uint64_t Objects = 0;
+    uint64_t Bytes = 0;
+  };
+  std::vector<AgeBucket> AgeHist;
+
   bool HasRun = false; ///< A trailing run record was present.
   bool RunOk = false;
   std::string RunError;

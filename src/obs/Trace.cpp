@@ -6,6 +6,8 @@
 
 #include "obs/Trace.h"
 
+#include "vm/Heap.h"
+
 #include <algorithm>
 #include <cassert>
 #include <ostream>
@@ -120,23 +122,110 @@ GcEvent &Tracer::beginEvent(uint64_t Seq, bool Minor, uint32_t TriggerSite) {
   return Cur;
 }
 
-void Tracer::sweepSurvivors() {
-  if (!Enabled) {
-    Pending.clear();
-    return;
-  }
-  for (const PendingAlloc &P : Pending) {
-    // Bit 0 of the (still-readable) from-space header is the forwarding
-    // tag: set iff the object was evacuated, i.e. survived.
-    if (*reinterpret_cast<const uint64_t *>(P.Addr) & 1) {
-      if (P.Site < Counters.size()) {
-        ++Counters[P.Site].Survived;
-        Counters[P.Site].SurvivedBytes += P.Bytes;
+namespace {
+
+/// Bit 0 of the (still-readable) from-space header is the forwarding tag:
+/// set iff the object was evacuated, i.e. survived — and then the rest of
+/// the word is its new address.  Returns 0 for objects that died.
+uint64_t forwardedTo(uint64_t Addr) {
+  uint64_t Hd = *reinterpret_cast<const uint64_t *>(Addr);
+  return (Hd & 1) ? (Hd & ~uint64_t(1)) : 0;
+}
+
+} // namespace
+
+void Tracer::sweepSurvivors(const vm::Heap &H, bool Minor) {
+  (void)H;
+  (void)Minor;
+  if (Enabled) {
+    for (const PendingAlloc &P : Pending) {
+      if (forwardedTo(P.Addr) != 0) {
+        if (P.Site < Counters.size()) {
+          ++Counters[P.Site].Survived;
+          Counters[P.Site].SurvivedBytes += P.Bytes;
+        }
       }
     }
   }
   // Every pending allocation has now experienced its first collection.
   Pending.clear();
+}
+
+std::vector<LiveAgg> Tracer::liveBySite(const vm::Heap &H,
+                                        LiveAgg &NoSiteAgg) const {
+  std::vector<LiveAgg> Per(Counters.size());
+  NoSiteAgg = LiveAgg();
+  H.forEachObject([&](uint64_t P) {
+    uint64_t Hd = *reinterpret_cast<const uint64_t *>(P);
+    uint32_t Site = vm::Heap::headerSite(Hd);
+    uint64_t Bytes = H.objectWords(P) * sizeof(uint64_t);
+    LiveAgg &A = Site < Per.size() ? Per[Site] : NoSiteAgg;
+    ++A.Objects;
+    A.Bytes += Bytes;
+  });
+  return Per;
+}
+
+std::vector<LiveAgg> Tracer::ageHistogram(const vm::Heap &H) const {
+  std::vector<LiveAgg> Hist;
+  H.forEachObject([&](uint64_t P) {
+    uint64_t Hd = *reinterpret_cast<const uint64_t *>(P);
+    unsigned Age = vm::Heap::headerAge(Hd);
+    if (Age >= Hist.size())
+      Hist.resize(Age + 1);
+    ++Hist[Age].Objects;
+    Hist[Age].Bytes += H.objectWords(P) * sizeof(uint64_t);
+  });
+  return Hist;
+}
+
+std::string Tracer::liveJsonFields(const vm::Heap &H) const {
+  LiveAgg NoSiteAgg;
+  std::vector<LiveAgg> Per = liveBySite(H, NoSiteAgg);
+  auto Object = [&](std::string &Out, const char *Key, bool Bytes) {
+    Out += '"';
+    Out += Key;
+    Out += "\":{";
+    bool First = true;
+    for (size_t I = 0; I != Per.size(); ++I) {
+      if (Per[I].Objects == 0)
+        continue;
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += '"';
+      Out += std::to_string(I);
+      Out += "\":";
+      Out += std::to_string(Bytes ? Per[I].Bytes : Per[I].Objects);
+    }
+    if (NoSiteAgg.Objects != 0) {
+      if (!First)
+        Out += ',';
+      Out += "\"nosite\":";
+      Out += std::to_string(Bytes ? NoSiteAgg.Bytes : NoSiteAgg.Objects);
+    }
+    Out += '}';
+  };
+  std::string Out;
+  Object(Out, "live_objects_by_site", /*Bytes=*/false);
+  Out += ',';
+  Object(Out, "live_bytes_by_site", /*Bytes=*/true);
+  Out += ",\"live_age_hist\":{";
+  std::vector<LiveAgg> Hist = ageHistogram(H);
+  bool First = true;
+  for (size_t Age = 0; Age != Hist.size(); ++Age) {
+    if (Hist[Age].Objects == 0)
+      continue;
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"';
+    Out += std::to_string(Age);
+    Out += "\":";
+    Out += std::to_string(Hist[Age].Bytes);
+  }
+  Out += '}';
+  return Out;
 }
 
 void Tracer::commitEvent() {
@@ -238,7 +327,7 @@ std::string Tracer::summaryJsonFields() const {
   return Out;
 }
 
-void Tracer::finish(bool Ok, const std::string &Error) {
+void Tracer::finish(bool Ok, const std::string &Error, const vm::Heap *H) {
   if (Finished || !Stream)
     return;
   Finished = true;
@@ -254,6 +343,38 @@ void Tracer::finish(bool Ok, const std::string &Error) {
     field(L, "survived_bytes", C.SurvivedBytes);
     L += "}\n";
     *Stream << L;
+  }
+  if (Config.Attribution && H) {
+    // End-of-run view of the header-borne attribution: what is still live
+    // (per site, and per collection-count age), from a final heap walk.
+    // Flat records so the strict JSONL re-parser in obs/Report.h can
+    // consume them.
+    LiveAgg NoSiteAgg;
+    std::vector<LiveAgg> Per = liveBySite(*H, NoSiteAgg);
+    auto WriteSiteLive = [&](int64_t Id, const LiveAgg &A) {
+      if (A.Objects == 0)
+        return;
+      std::string L = "{\"type\":\"site_live\",\"id\":";
+      L += std::to_string(Id);
+      field(L, "objects", A.Objects);
+      field(L, "bytes", A.Bytes);
+      L += "}\n";
+      *Stream << L;
+    };
+    for (size_t I = 0; I != Per.size(); ++I)
+      WriteSiteLive(static_cast<int64_t>(I), Per[I]);
+    WriteSiteLive(-1, NoSiteAgg);
+    std::vector<LiveAgg> Hist = ageHistogram(*H);
+    for (size_t Age = 0; Age != Hist.size(); ++Age) {
+      if (Hist[Age].Objects == 0)
+        continue;
+      std::string L = "{\"type\":\"age_hist\"";
+      field(L, "age", Age);
+      field(L, "objects", Hist[Age].Objects);
+      field(L, "bytes", Hist[Age].Bytes);
+      L += "}\n";
+      *Stream << L;
+    }
   }
   std::string L = "{\"type\":\"run\"";
   fieldStr(L, "exit", Ok ? "ok" : "error");

@@ -43,6 +43,9 @@
 #include <vector>
 
 namespace mgc {
+namespace vm {
+class Heap;
+} // namespace vm
 namespace obs {
 
 /// Sentinel site id: no attribution (collections triggered by an explicit
@@ -91,6 +94,17 @@ struct SiteCounters {
   uint64_t SurvivedBytes = 0;
 };
 
+/// One (objects, bytes) aggregate of the heap's per-object attribution —
+/// per site for liveBySite(), per age for ageHistogram().  The attribution
+/// itself lives in each object's header (vm/Heap.h: site id and
+/// evacuation-count age ride the header through every copy), so there is
+/// no side table to maintain; these aggregates are computed by walking the
+/// heap on demand.
+struct LiveAgg {
+  uint64_t Objects = 0;
+  uint64_t Bytes = 0;
+};
+
 /// Static configuration captured when the tracer is attached to a VM.
 struct TracerConfig {
   /// The program's allocation-site table; may be null (counters off).
@@ -104,6 +118,14 @@ struct TracerConfig {
   /// Capacity of the first-collection survival buffer: allocations between
   /// consecutive collections beyond this are dropped (and counted).
   size_t PendingCapacity = 1u << 15;
+  /// Report per-object attribution: emit the live-by-site and age-histogram
+  /// trailer records at finish() and the live_*_by_site fields in
+  /// --stats-json.  The attribution data itself is header-borne (vm/Heap.h)
+  /// and always present; this flag only adds the O(live objects) heap walk
+  /// at reporting time.  Collection-time maintenance is the header age
+  /// bump inside the existing copy — bench/snapshot_overhead gates the
+  /// flag's collection-time delta ≤2% (measured ≈0).
+  bool Attribution = false;
 };
 
 class Tracer {
@@ -122,26 +144,33 @@ public:
   /// Writes the trailing site_stats and run records (idempotent; no-op
   /// without a stream).  Call after the VM run ends — including on error
   /// paths, where \p Error carries the VM's message: a mid-collection
-  /// failure must still flush the partial trace.
-  void finish(bool Ok, const std::string &Error);
+  /// failure must still flush the partial trace.  \p H, when non-null and
+  /// Config.Attribution is set, supplies the heap walked for the site_live
+  /// and age_hist trailer records.
+  void finish(bool Ok, const std::string &Error,
+              const vm::Heap *H = nullptr);
 
   //===--- Mutator hot path ------------------------------------------------===
 
-  /// Records one allocation.  \p TrackSurvival is false for allocations the
-  /// next collection will not move (direct-to-old in generational mode).
+  /// Records one allocation.  \p Movable is false for allocations the next
+  /// collection will not move (direct-to-old in generational mode); those
+  /// never enter the first-collection survival sweep.
   void recordAlloc(uint32_t Site, uint64_t Addr, uint64_t Bytes,
-                   bool TrackSurvival) {
+                   bool Movable) {
     if (!Enabled)
       return;
-    if (Site < Counters.size()) {
+    bool Counted = Site < Counters.size();
+    if (Counted) {
       ++Counters[Site].Count;
       Counters[Site].Bytes += Bytes;
     } else {
+      // Unattributed allocations (no site table, or instructions predating
+      // site linking) skip the per-site counters; snapshots still see them
+      // via the NoSite id carried in the object header.
       ++UnattributedCount;
       UnattributedBytes += Bytes;
-      TrackSurvival = false;
     }
-    if (TrackSurvival) {
+    if (Counted && Movable) {
       if (Pending.size() < Config.PendingCapacity)
         Pending.push_back({Addr, Site, Bytes});
       else
@@ -163,8 +192,10 @@ public:
   /// evacuation completes but *before* the heap swaps spaces, while
   /// from-space headers are still readable.  An object survived iff its
   /// header carries the forwarding tag (bit 0 — vm/Heap.h's ForwardBit;
-  /// Collector.cpp static_asserts the correspondence).
-  void sweepSurvivors();
+  /// Collector.cpp static_asserts the correspondence).  Per-object
+  /// site/age attribution needs no sweep at all: it rides in the header
+  /// through the copy itself.
+  void sweepSurvivors(const vm::Heap &H, bool Minor);
 
   /// Commits the in-flight event: ring store, pause bookkeeping, and JSONL
   /// stream write.
@@ -197,6 +228,29 @@ public:
   /// The aggregate counters as one JSON object body (no surrounding
   /// braces), for embedding in --stats-json.
   std::string summaryJsonFields() const;
+
+  //===--- Live attribution aggregates (header-borne; heap walks) ----------===
+
+  /// (objects, bytes) per site id over a walk of \p H's allocated regions,
+  /// reading each object's header-borne site; NoSiteHdr objects (and site
+  /// ids past the linked table) aggregate into \p NoSiteAgg.  "Live" means:
+  /// allocated and not yet reclaimed by a collection that covered the
+  /// object's space — old-space objects dead since the last *full*
+  /// collection are still counted (snapshots are exact, this is not).
+  /// Must not be called mid-collection.
+  std::vector<LiveAgg> liveBySite(const vm::Heap &H,
+                                  LiveAgg &NoSiteAgg) const;
+
+  /// (objects, bytes) per header-borne evacuation-count age over the same
+  /// walk; index = age, trailing empty buckets trimmed.
+  std::vector<LiveAgg> ageHistogram(const vm::Heap &H) const;
+
+  /// The liveBySite/ageHistogram aggregates as JSON object fields
+  /// ("live_objects_by_site":{...},"live_bytes_by_site":{...},
+  /// "live_age_hist":{...}), for --stats-json.  NOT part of
+  /// summaryJsonFields: the values are nested objects, which the strict
+  /// flat JSONL re-parser (obs/Report.h) must never see in a run record.
+  std::string liveJsonFields(const vm::Heap &H) const;
 
 private:
   void writeHeader();

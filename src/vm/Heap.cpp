@@ -37,6 +37,8 @@ Heap::Heap(size_t SemispaceBytes, const std::vector<ir::TypeDesc> &Descs,
            bool Generational, size_t NurseryBytes)
     : SpaceBytes((SemispaceBytes + 7) & ~size_t(7)), Gen(Generational),
       Descs(Descs) {
+  assert(Descs.size() <= DescMask + 1 &&
+         "type descriptor index overflows the header field");
   Space0.reset(new uint8_t[SpaceBytes]);
   Space1.reset(new uint8_t[SpaceBytes]);
   FromBase = reinterpret_cast<Word>(Space0.get());
@@ -100,7 +102,7 @@ const ir::TypeDesc &Heap::descOf(Word Obj) const {
 }
 
 Word Heap::bumpAllocate(Word &Bump, Word Limit, unsigned DescIdx,
-                        int64_t Length) {
+                        int64_t Length, uint32_t Site) {
   const ir::TypeDesc &D = Descs[DescIdx];
   size_t Bytes = allocationBytes(DescIdx, Length);
   // Overflowed or oversized requests fail like an exhausted space; the VM
@@ -112,7 +114,7 @@ Word Heap::bumpAllocate(Word &Bump, Word Limit, unsigned DescIdx,
   Word Obj = Bump;
   Bump += Bytes;
   std::memset(reinterpret_cast<void *>(Obj), 0, Bytes);
-  setHeader(Obj, makeHeader(DescIdx, 0));
+  setHeader(Obj, makeHeader(DescIdx, 0, Site));
   if (D.IsOpenArray)
     reinterpret_cast<Word *>(Obj)[1] = static_cast<Word>(Length);
   BytesAllocated += Bytes;
@@ -120,7 +122,7 @@ Word Heap::bumpAllocate(Word &Bump, Word Limit, unsigned DescIdx,
   return Obj;
 }
 
-Word Heap::allocate(unsigned DescIdx, int64_t Length) {
+Word Heap::allocate(unsigned DescIdx, int64_t Length, uint32_t Site) {
   assert(DescIdx < Descs.size());
   if (Gen) {
     // Invariant: old-used + nursery-used never exceeds a semispace, so a
@@ -131,15 +133,15 @@ Word Heap::allocate(unsigned DescIdx, int64_t Length) {
     Word Limit = NurAlloc + Budget;
     if (Limit > NurFromBase + NurHalfBytes)
       Limit = NurFromBase + NurHalfBytes;
-    return bumpAllocate(NurAlloc, Limit, DescIdx, Length);
+    return bumpAllocate(NurAlloc, Limit, DescIdx, Length, Site);
   }
-  return bumpAllocate(AllocPtr, FromBase + SpaceBytes, DescIdx, Length);
+  return bumpAllocate(AllocPtr, FromBase + SpaceBytes, DescIdx, Length, Site);
 }
 
-Word Heap::allocateOld(unsigned DescIdx, int64_t Length) {
+Word Heap::allocateOld(unsigned DescIdx, int64_t Length, uint32_t Site) {
   assert(Gen && "allocateOld is a generational-mode path");
   assert(DescIdx < Descs.size());
-  return bumpAllocate(AllocPtr, OldLimit, DescIdx, Length);
+  return bumpAllocate(AllocPtr, OldLimit, DescIdx, Length, Site);
 }
 
 Word Heap::forward(Word Obj) {
@@ -154,9 +156,11 @@ Word Heap::forward(Word Obj) {
   ToAlloc += Words * sizeof(Word);
   std::memcpy(reinterpret_cast<void *>(New),
               reinterpret_cast<const void *>(Obj), Words * sizeof(Word));
-  // A full collection tenures everything it copies; survival counts only
-  // matter while an object is young.
-  setHeader(New, makeHeader(headerDesc(H), 0));
+  // The header (site, descriptor, age) rides the copy; the age bump is the
+  // whole of attribution maintenance.  Ages are monotonic across the
+  // object's lifetime — the promotion policy only ever consults nursery
+  // objects, whose ages restart at 0 on allocation.
+  setHeader(New, agedHeader(H));
   setHeader(Obj, New | ForwardBit);
   return New;
 }
@@ -188,7 +192,6 @@ Word Heap::forwardYoung(Word Obj) {
     AllocPtr += Bytes;
     ++ObjectsPromoted;
     BytesPromoted += Bytes;
-    Age = 0;
   } else {
     New = NurToAlloc;
     assert(New + Bytes <= NurToBase + NurHalfBytes &&
@@ -197,7 +200,10 @@ Word Heap::forwardYoung(Word Obj) {
   }
   std::memcpy(reinterpret_cast<void *>(New),
               reinterpret_cast<const void *>(Obj), Bytes);
-  setHeader(New, makeHeader(headerDesc(H), Age));
+  // Ages are never reset on promotion: they keep counting evacuations for
+  // the snapshot age attribution, and promoted objects (age >= PromoteAge,
+  // now in old space) are out of forwardYoung's reach for good.
+  setHeader(New, agedHeader(H));
   setHeader(Obj, New | ForwardBit);
   return New;
 }
@@ -218,6 +224,12 @@ bool Heap::plausibleObject(Word P) const {
     return false;
   Word H = headerOf(P);
   if (H & ForwardBit)
+    return false;
+  // The site field restores most of the entropy the desc-field mask gave
+  // up: a random word only passes when both its descriptor index and its
+  // site id are in range.
+  uint32_t Site = headerSite(H);
+  if (Site != NoSiteHdr && Site >= SiteCount)
     return false;
   return headerDesc(H) < Descs.size();
 }

@@ -14,9 +14,15 @@
 ///     [header][payload words...]                 fixed-shape objects
 ///     [header][length][elements...]              open arrays
 ///
-/// Header word: bit 0 is the forwarding tag, bits 1..2 hold the object's
-/// survival count (generational mode), and the descriptor index sits in
-/// the remaining bits.
+/// Header word: bit 0 is the forwarding tag; bits 1..16 hold the object's
+/// age — the number of collections it has been evacuated through,
+/// saturating, consulted both by the generational promotion policy and by
+/// the heap-snapshot age attribution; bits 17..40 hold the descriptor
+/// index; bits 41..63 hold the allocation-site id (gcmaps/SiteTable.h;
+/// all-ones = unattributed).  Site and age ride the header through every
+/// copy, so per-object attribution survives collections with no side
+/// table and no cost beyond the copy itself (the ≤2%-of-collection-time
+/// gate in bench/snapshot_overhead.cpp).
 ///
 /// The heap runs in one of two modes:
 ///
@@ -58,18 +64,42 @@ public:
   /// Header encoding (shared with the collector's scan loop).
   static constexpr Word ForwardBit = 1;
   static constexpr unsigned AgeShift = 1;
-  static constexpr Word AgeMask = 3;
-  static constexpr unsigned DescShift = 3;
+  static constexpr Word AgeMask = 0xFFFF; ///< 16 bits: evacuation count.
+  static constexpr unsigned DescShift = 17;
+  static constexpr Word DescMask = 0xFFFFFF; ///< 24 bits: descriptor index.
+  static constexpr unsigned SiteShift = 41;
+  static constexpr Word SiteMask = 0x7FFFFF; ///< 23 bits: allocation site.
+  /// The site field's all-ones pattern: no attribution (no site table, or
+  /// an allocation instruction predating site linking).  The obs layer's
+  /// obs::NoSite (32-bit all-ones) maps to this on the way in and back out.
+  static constexpr uint32_t NoSiteHdr = static_cast<uint32_t>(SiteMask);
   /// Survivals of a minor collection before promotion to old space.
   static constexpr unsigned PromoteAge = 2;
 
-  static size_t headerDesc(Word H) { return static_cast<size_t>(H >> DescShift); }
+  static size_t headerDesc(Word H) {
+    return static_cast<size_t>((H >> DescShift) & DescMask);
+  }
   static unsigned headerAge(Word H) {
     return static_cast<unsigned>((H >> AgeShift) & AgeMask);
   }
-  static Word makeHeader(size_t DescIdx, unsigned Age) {
-    return (static_cast<Word>(DescIdx) << DescShift) |
+  static uint32_t headerSite(Word H) {
+    return static_cast<uint32_t>((H >> SiteShift) & SiteMask);
+  }
+  static Word makeHeader(size_t DescIdx, unsigned Age,
+                         uint32_t Site = NoSiteHdr) {
+    return (static_cast<Word>(Site) << SiteShift) |
+           (static_cast<Word>(DescIdx) << DescShift) |
            (static_cast<Word>(Age) << AgeShift);
+  }
+  /// \p H with its age bumped by one evacuation (saturating): the whole of
+  /// attribution maintenance during a collection.
+  static Word agedHeader(Word H) {
+    return headerAge(H) == AgeMask ? H : H + (Word(1) << AgeShift);
+  }
+  /// Narrows a 32-bit site id (e.g. codegen's NoAllocSite) to the header
+  /// field: anything that does not fit reads as unattributed.
+  static uint32_t clampSite(uint32_t Site) {
+    return Site >= NoSiteHdr ? NoSiteHdr : Site;
   }
 
   /// \p NurseryBytes is the size of *each* nursery half; 0 selects a
@@ -95,12 +125,14 @@ public:
   /// for open arrays).  Returns 0 when the allocation space (nursery in
   /// generational mode, from-space otherwise) is exhausted or the size
   /// computation overflows — the caller must collect and retry.  Payload
-  /// words are zeroed (all-NIL).
-  Word allocate(unsigned DescIdx, int64_t Length);
+  /// words are zeroed (all-NIL).  \p Site is stamped into the header (the
+  /// snapshot/profiling attribution; NoSiteHdr = unattributed).
+  Word allocate(unsigned DescIdx, int64_t Length, uint32_t Site = NoSiteHdr);
 
   /// Generational mode: allocates directly in old space (objects too large
   /// for the nursery).  Returns 0 when old space is exhausted.
-  Word allocateOld(unsigned DescIdx, int64_t Length);
+  Word allocateOld(unsigned DescIdx, int64_t Length,
+                   uint32_t Site = NoSiteHdr);
 
   /// Total words of an object, header included.
   size_t objectWords(Word Obj) const;
@@ -131,6 +163,12 @@ public:
   bool inOld(Word P) const {
     return Gen && P >= FromBase && P < AllocPtr;
   }
+
+  /// Space base addresses, for address→(space, offset) normalization in
+  /// heap snapshots (offsets are deterministic across runs; addresses are
+  /// not).
+  Word fromSpaceBase() const { return FromBase; }
+  Word nurseryBase() const { return NurFromBase; }
 
   size_t usedBytes() const {
     size_t Used = AllocPtr - FromBase;
@@ -211,13 +249,36 @@ public:
   /// and the conservative baseline collector).
   bool plausibleObject(Word P) const;
 
+  /// Number of allocation sites in the running program, for the header
+  /// site-field plausibility check (a valid header's site is either
+  /// NoSiteHdr or below this).  The VM sets it from the program's site
+  /// table at construction.
+  void setSiteCount(uint32_t N) { SiteCount = N; }
+
+  /// Applies \p Fn to the tidy pointer of every allocated object, in
+  /// address order: the old/from space first, then (generational mode) the
+  /// active nursery half.  Callers own the liveness caveat: between
+  /// collections these regions also hold objects that have died since the
+  /// last collection swept their space.  Must not run mid-collection
+  /// (headers would carry forwarding overlays).
+  template <typename FnT> void forEachObject(FnT Fn) const {
+    for (Word P = FromBase; P < AllocPtr; P += objectWords(P) * sizeof(Word))
+      Fn(P);
+    if (Gen)
+      for (Word P = NurFromBase; P < NurAlloc;
+           P += objectWords(P) * sizeof(Word))
+        Fn(P);
+  }
+
   uint64_t BytesAllocated = 0;
   uint64_t ObjectsAllocated = 0;
 
 private:
-  Word bumpAllocate(Word &Bump, Word Limit, unsigned DescIdx, int64_t Length);
+  Word bumpAllocate(Word &Bump, Word Limit, unsigned DescIdx, int64_t Length,
+                    uint32_t Site);
 
   size_t SpaceBytes;
+  uint32_t SiteCount = 0;
   bool Gen;
   size_t NurHalfBytes = 0;
   std::unique_ptr<uint8_t[]> Space0, Space1;

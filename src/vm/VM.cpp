@@ -26,6 +26,7 @@ VM::VM(const Program &Prog, VMOptions Opts)
     : Prog(Prog), Opts(Opts),
       TheHeap(Opts.HeapBytes, Prog.TypeDescs, Opts.GenGc, Opts.NurseryBytes),
       Globals(Prog.GlobalAreaWords, 0) {
+  TheHeap.setSiteCount(static_cast<uint32_t>(Prog.SiteTab.Sites.size()));
   spawnThread(Prog.MainFunc);
 }
 
@@ -156,6 +157,12 @@ Word VM::allocate(unsigned DescIdx, int64_t Length, uint32_t RetPC) {
       return 0;
   }
 
+  // The allocation instruction's site id rides in the object header from
+  // birth (codegen's NoAllocSite narrows to the header's NoSiteHdr), where
+  // every subsequent copy preserves it — heap snapshots and live-by-site
+  // stats read attribution straight off the heap, tracer or not.
+  uint32_t HdrSite = Heap::clampSite(CurAllocSite);
+
   // Observability: one predicted branch when no tracer is attached.  The
   // next collection will move any nursery/from-space object, so survival
   // tracking is sound everywhere except direct-to-old allocations (which a
@@ -167,12 +174,12 @@ Word VM::allocate(unsigned DescIdx, int64_t Length, uint32_t RetPC) {
   };
 
   if (!TheHeap.generational()) {
-    Word Obj = TheHeap.allocate(DescIdx, Length);
+    Word Obj = TheHeap.allocate(DescIdx, Length, HdrSite);
     if (Obj != 0)
       return Record(Obj, /*TrackSurvival=*/true);
     if (!collect(RetPC))
       return 0;
-    Obj = TheHeap.allocate(DescIdx, Length);
+    Obj = TheHeap.allocate(DescIdx, Length, HdrSite);
     if (Obj == 0) {
       fail("heap exhausted: " + std::to_string(TheHeap.usedBytes()) +
            " bytes live of " + std::to_string(TheHeap.capacityBytes()));
@@ -185,12 +192,12 @@ Word VM::allocate(unsigned DescIdx, int64_t Length, uint32_t RetPC) {
   // old space; everything else bump-allocates in the nursery, escalating
   // nursery-exhaustion to a minor collection and only then to a full one.
   if (Bytes > TheHeap.nurseryCapacityBytes()) {
-    Word Obj = TheHeap.allocateOld(DescIdx, Length);
+    Word Obj = TheHeap.allocateOld(DescIdx, Length, HdrSite);
     if (Obj != 0)
       return Record(Obj, /*TrackSurvival=*/false);
     if (!collect(RetPC, GcKind::Full))
       return 0;
-    Obj = TheHeap.allocateOld(DescIdx, Length);
+    Obj = TheHeap.allocateOld(DescIdx, Length, HdrSite);
     if (Obj == 0) {
       fail("heap exhausted: " + std::to_string(TheHeap.usedBytes()) +
            " bytes live of " + std::to_string(TheHeap.capacityBytes()));
@@ -199,19 +206,19 @@ Word VM::allocate(unsigned DescIdx, int64_t Length, uint32_t RetPC) {
     return Record(Obj, /*TrackSurvival=*/false);
   }
 
-  Word Obj = TheHeap.allocate(DescIdx, Length);
+  Word Obj = TheHeap.allocate(DescIdx, Length, HdrSite);
   if (Obj != 0)
     return Record(Obj, /*TrackSurvival=*/true);
   if (TheHeap.minorHeadroomOk()) {
     if (!collect(RetPC, GcKind::Minor))
       return 0;
-    Obj = TheHeap.allocate(DescIdx, Length);
+    Obj = TheHeap.allocate(DescIdx, Length, HdrSite);
     if (Obj != 0)
       return Record(Obj, /*TrackSurvival=*/true);
   }
   if (!collect(RetPC, GcKind::Full))
     return 0;
-  Obj = TheHeap.allocate(DescIdx, Length);
+  Obj = TheHeap.allocate(DescIdx, Length, HdrSite);
   if (Obj == 0) {
     fail("heap exhausted: " + std::to_string(TheHeap.usedBytes()) +
          " bytes live of " + std::to_string(TheHeap.capacityBytes()));
@@ -303,6 +310,8 @@ bool VM::collect(uint32_t TriggerRetPC, GcKind Kind) {
     Ev->TotalNanos = Ev->Phases.Rendezvous + (Stats.GcNanos - Snap.GcNanos);
     Tracer->commitEvent();
   }
+  if (PostGcHook && Error.empty())
+    PostGcHook(*this);
   InCollect = false;
   return Error.empty();
 }

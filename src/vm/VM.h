@@ -157,6 +157,13 @@ public:
   /// enabled, allocations and collections are recorded.  Not owned.
   obs::Tracer *Tracer = nullptr;
 
+  /// Invoked after each successful collection, once the collector has
+  /// returned and the event is committed but before the mutator resumes:
+  /// every live thread is still suspended at a gc-point (SuspendPCs valid)
+  /// and the heap is freshly compacted — the safe moment to capture a heap
+  /// snapshot (mgc --snapshot-every).  Must not allocate from this heap.
+  std::function<void(VM &)> PostGcHook;
+
   /// Site id of the allocation instruction currently in allocate() — the
   /// trigger attribution for collections it causes.  NoAllocSite between
   /// allocations (so explicit GcCollect collections carry no site).

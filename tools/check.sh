@@ -9,10 +9,16 @@
 # barriers + minor collections) with the remembered-set cross-check on —
 # then the decode microbenchmarks (BENCH_decode.json), the generational
 # pause benchmarks (BENCH_gengc.json), and the observability overhead gate
-# (BENCH_trace.json) so successive PRs leave a perf trajectory.  The gengc
-# binary exits non-zero on any cross-check or output divergence between
-# the two modes; trace_overhead exits non-zero when the tracer costs the
-# mutator more than the issue gates allow.
+# (BENCH_trace.json), and the heap-snapshot cost gate (BENCH_snapshot.json)
+# so successive PRs leave a perf trajectory.  The gengc binary exits
+# non-zero on any cross-check or output divergence between the two modes;
+# trace_overhead exits non-zero when the tracer costs the mutator more
+# than the issue gates allow; snapshot_overhead exits non-zero when
+# attribution maintenance exceeds 2% of collection time or a capture
+# costs more than one full-collection pause.  Snapshots are then captured
+# (cross-checked against an independent precise re-trace) and analyzed
+# for the four §6 benchmark programs and the frozen corpus in both
+# collector modes.
 #
 #   tools/check.sh [--skip-tests]
 #
@@ -69,6 +75,36 @@ MIN_TIME="${BENCH_MIN_TIME:-0.05}"
 # timing repetitions.
 (cd "$ROOT" && ./build/bench/trace_overhead)
 
+# --- Heap snapshot gate + capture/analysis sweep -------------------------
+# snapshot_overhead gates attribution maintenance (<= 2% of collection
+# time; it is header-borne, so the measured delta is ~0) and capture cost
+# (<= one full-collection pause) on the gengc workloads, cross-checks the
+# at-exit snapshots of the four §6 benchmark programs, writes them to
+# $SNAPDIR for analysis, and emits BENCH_snapshot.json.
+SNAPDIR="$ROOT/build/snapshots"
+mkdir -p "$SNAPDIR"
+(cd "$ROOT" && MGC_SNAP_DIR="$SNAPDIR" ./build/bench/snapshot_overhead)
+for Snap in "$SNAPDIR"/*.snap; do
+  ./build/tools/mgc-heapsnap --top 5 "$Snap" > /dev/null
+done
+
+# The frozen corpus through the CLI pipeline, two-space and generational:
+# capture an at-exit snapshot with the capture-vs-recount-vs-conservative
+# cross-check on, analyze it, and diff the two modes' snapshots (same
+# program, so per-site growth is well-defined; exercises mgc-heapsnap
+# --diff end to end).
+for Mg in "$ROOT"/tests/corpus/*.mg; do
+  Base="$SNAPDIR/$(basename "$Mg" .mg)"
+  ./build/tools/mgc --gc-crosscheck --heap-snapshot "$Base.snap" \
+      "$Mg" > /dev/null
+  ./build/tools/mgc --gen-gc --gc-crosscheck \
+      --heap-snapshot "$Base.gen.snap" "$Mg" > /dev/null
+  ./build/tools/mgc-heapsnap --top 5 "$Base.snap" > /dev/null
+  ./build/tools/mgc-heapsnap --top 5 "$Base.gen.snap" > /dev/null
+  ./build/tools/mgc-heapsnap --diff "$Base.snap" "$Base.gen.snap" \
+      > /dev/null
+done
+
 # --- Differential fuzz budget --------------------------------------------
 # A fixed-seed campaign through the whole mode matrix; exits non-zero on
 # any divergence or generator defect.  BENCH_fuzz.json records throughput
@@ -77,6 +113,7 @@ FUZZ_COUNT="${FUZZ_COUNT:-200}"
 ./build/tools/mgc-fuzz --seed 1 --count "$FUZZ_COUNT" \
   --out "$ROOT/fuzz-artifacts" --json "$ROOT/BENCH_fuzz.json"
 
-echo "check.sh: tier-1 ok (default + gen-gc); trace overhead ok; fuzz ok" \
-     "($FUZZ_COUNT programs); benchmarks written to BENCH_decode.json," \
-     "BENCH_gengc.json, BENCH_trace.json, BENCH_fuzz.json"
+echo "check.sh: tier-1 ok (default + gen-gc); trace overhead ok;" \
+     "snapshot gate ok; fuzz ok ($FUZZ_COUNT programs); benchmarks" \
+     "written to BENCH_decode.json, BENCH_gengc.json, BENCH_trace.json," \
+     "BENCH_snapshot.json, BENCH_fuzz.json"

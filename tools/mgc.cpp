@@ -22,6 +22,14 @@
 ///                    with mgc-report)
 ///   --stats-json FILE
 ///                    write machine-readable run statistics as JSON
+///   --heap-snapshot FILE
+///                    write a precise heap snapshot at exit (analyze with
+///                    mgc-heapsnap); with --gc-crosscheck the snapshot is
+///                    validated against an independent precise re-trace
+///                    and the conservative superset
+///   --snapshot-every N
+///                    additionally write FILE.1, FILE.2, ... after every
+///                    Nth collection (requires --heap-snapshot)
 ///   --stress         collect before every allocation
 ///   --heap BYTES     semispace size (default 4 MiB)
 ///   --gen-gc         generational mode: nursery + write barriers +
@@ -40,8 +48,11 @@
 #include "codegen/Disasm.h"
 #include "driver/Compiler.h"
 #include "gc/Collector.h"
+#include "gc/Snapshot.h"
 #include "obs/Trace.h"
 #include "vm/VM.h"
+
+#include <cstdlib>
 
 #include <cstdio>
 #include <cstring>
@@ -57,7 +68,9 @@ int usage(const char *Argv0) {
                "usage: %s [--noopt] [--no-gc-tables] [--cisc] [--threads] "
                "[--interproc]\n           [--split] [--dump-ir] [--dump-asm] "
                "[--stats] [--stress]\n           [--trace FILE] "
-               "[--stats-json FILE] [--heap BYTES] [--gen-gc]\n           "
+               "[--stats-json FILE] [--heap-snapshot FILE] "
+               "[--snapshot-every N]\n           [--heap BYTES] "
+               "[--gen-gc]\n           "
                "[--nursery-bytes BYTES] [--no-map-index] "
                "[--gc-crosscheck]\n           [--no-run] [--spawn PROC] "
                "file.mg\n",
@@ -85,6 +98,8 @@ int main(int argc, char **argv) {
   const char *SpawnName = nullptr;
   const char *TracePath = nullptr;
   const char *StatsJsonPath = nullptr;
+  const char *SnapPath = nullptr;
+  unsigned long long SnapEvery = 0;
 
   for (int A = 1; A < argc; ++A) {
     const char *Arg = argv[A];
@@ -114,6 +129,14 @@ int main(int argc, char **argv) {
       if (++A == argc)
         return usage(argv[0]);
       StatsJsonPath = argv[A];
+    } else if (!std::strcmp(Arg, "--heap-snapshot")) {
+      if (++A == argc)
+        return usage(argv[0]);
+      SnapPath = argv[A];
+    } else if (!std::strcmp(Arg, "--snapshot-every")) {
+      if (++A == argc)
+        return usage(argv[0]);
+      SnapEvery = static_cast<unsigned long long>(std::atoll(argv[A]));
     } else if (!std::strcmp(Arg, "--stress")) {
       VO.GcStress = true;
     } else if (!std::strcmp(Arg, "--no-map-index")) {
@@ -145,6 +168,10 @@ int main(int argc, char **argv) {
   }
   if (!Path)
     return usage(argv[0]);
+  if (SnapEvery && !SnapPath) {
+    std::fprintf(stderr, "mgc: --snapshot-every requires --heap-snapshot\n");
+    return 2;
+  }
 
   std::ifstream In(Path);
   if (!In) {
@@ -204,9 +231,12 @@ int main(int argc, char **argv) {
 
   std::ofstream TraceOut;
   std::unique_ptr<obs::Tracer> Tracer;
-  if (TracePath || StatsJsonPath) {
+  if (TracePath || StatsJsonPath || SnapPath) {
     obs::TracerConfig TC;
     TC.Sites = &Prog.SiteTab;
+    // Snapshots and the live-by-site stats need the persistent per-object
+    // attribution side table, not just first-survival counters.
+    TC.Attribution = true;
     for (const vm::CompiledFunction &F : Prog.Funcs)
       TC.FuncNames.push_back(F.Name);
     TC.ProgramName = Prog.Name;
@@ -236,17 +266,66 @@ int main(int argc, char **argv) {
     }
     Machine.spawnThread(static_cast<unsigned>(Idx));
   }
+  unsigned long long SnapSeq = 0;
+  bool SnapFailed = false;
+  if (SnapPath && SnapEvery) {
+    Machine.PostGcHook = [&](vm::VM &M) {
+      if (M.Stats.Collections % SnapEvery != 0)
+        return;
+      obs::HeapSnapshot Snap;
+      std::string Err;
+      if (!gc::captureHeapSnapshot(M, Snap, /*WalkStacks=*/true, Err)) {
+        std::fprintf(stderr, "mgc: %s\n", Err.c_str());
+        SnapFailed = true;
+        return;
+      }
+      if (GCO.CrossCheck &&
+          !gc::crosscheckSnapshot(M, Snap, /*WalkStacks=*/true, Err)) {
+        // Mirror the decode cross-check: a validation mismatch is a
+        // collector bug, not a recoverable condition.
+        std::fprintf(stderr, "mgc: %s\n", Err.c_str());
+        std::abort();
+      }
+      std::string File =
+          std::string(SnapPath) + "." + std::to_string(++SnapSeq);
+      if (!obs::writeSnapshotFile(File, Snap, Err)) {
+        std::fprintf(stderr, "mgc: %s\n", Err.c_str());
+        SnapFailed = true;
+      }
+    };
+  }
+
   bool Ok = Machine.run();
   std::fputs(Machine.Out.c_str(), stdout);
   // A failed run still flushes everything below: the partial trace (the
   // run record carries the error) and the statistics gathered so far are
   // exactly what a mid-collection failure needs for diagnosis.
   if (Tracer)
-    Tracer->finish(Ok, Machine.Error);
+    Tracer->finish(Ok, Machine.Error, &Machine.TheHeap);
   if (!Ok) {
     std::fprintf(stderr, "mgc: runtime error: %s\n", Machine.Error.c_str());
     if (Stats)
       std::printf("run FAILED; statistics below are partial\n");
+  }
+
+  if (SnapPath) {
+    // At-exit capture.  After a clean run every thread is dead, so the
+    // stack walk degenerates to globals anyway; after an error the stacks
+    // are not at gc-points and must not be walked.
+    obs::HeapSnapshot Snap;
+    std::string Err;
+    if (!gc::captureHeapSnapshot(Machine, Snap, /*WalkStacks=*/Ok, Err)) {
+      std::fprintf(stderr, "mgc: %s\n", Err.c_str());
+      SnapFailed = true;
+    } else if (GCO.CrossCheck &&
+               !gc::crosscheckSnapshot(Machine, Snap, /*WalkStacks=*/Ok,
+                                       Err)) {
+      std::fprintf(stderr, "mgc: %s\n", Err.c_str());
+      SnapFailed = true;
+    } else if (!obs::writeSnapshotFile(SnapPath, Snap, Err)) {
+      std::fprintf(stderr, "mgc: %s\n", Err.c_str());
+      SnapFailed = true;
+    }
   }
   if (Stats) {
     const vm::VMStats &S = Machine.Stats;
@@ -321,6 +400,8 @@ int main(int argc, char **argv) {
     jsonField(J, "stack_trace_ns", S.StackTraceNanos);
     J += ',';
     J += Tracer->summaryJsonFields();
+    J += ',';
+    J += Tracer->liveJsonFields(Machine.TheHeap);
     J += "}\n";
     std::ofstream JOut(StatsJsonPath);
     if (!JOut) {
@@ -329,5 +410,7 @@ int main(int argc, char **argv) {
     }
     JOut << J;
   }
+  if (SnapFailed)
+    return 1;
   return Ok ? 0 : 1;
 }
