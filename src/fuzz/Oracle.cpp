@@ -43,14 +43,18 @@ std::vector<RunSpec> fuzz::buildMatrix(bool HasSpin) {
 
   // Reference: unoptimized, roomy heap, no stress — collections are rare,
   // so even a program compiled with broken tables usually completes here.
-  // Also carries the conservative-trace superset check.
+  // Also carries the conservative-trace superset check.  The reference
+  // deliberately runs the *switch* dispatch tier while every other cell
+  // keeps the threaded default, so each output/snapshot comparison below
+  // is also a cross-tier check.
   {
     RunSpec S = Base("ref-O0-two");
     S.CO.OptLevel = 0;
     S.VO.HeapBytes = 8u << 20;
+    S.VO.Dispatch = vm::DispatchTier::Switch;
     S.ConservativeCheck = true;
     S.IsRef = true;
-    S.CliFlags = "--noopt --heap 8388608 --gc-crosscheck";
+    S.CliFlags = "--noopt --heap 8388608 --gc-crosscheck --dispatch=switch";
     M.push_back(S);
   }
   // Stressed cells: collect before every allocation.  Same-opt two-space /
@@ -76,6 +80,13 @@ std::vector<RunSpec> fuzz::buildMatrix(bool HasSpin) {
     S.StatsGroup = 0;
     S.CliFlags = "--noopt --heap 1048576 --stress --gen-gc --gc-crosscheck";
     M.push_back(S);
+    // Dispatch twin: identical configuration under the switch tier.  The
+    // tiers must agree bit-identically — output, Instrs, every stat.
+    S.Name = "O0-gen-stress-switch";
+    S.VO.Dispatch = vm::DispatchTier::Switch;
+    S.TwinOf = "O0-gen-stress";
+    S.CliFlags += " --dispatch=switch";
+    M.push_back(S);
   }
   {
     RunSpec S = Base("O2-two-stress");
@@ -83,6 +94,12 @@ std::vector<RunSpec> fuzz::buildMatrix(bool HasSpin) {
     S.VO.GcStress = true;
     S.StatsGroup = 1;
     S.CliFlags = "--heap 1048576 --stress --gc-crosscheck";
+    M.push_back(S);
+    // Dispatch twin (see O0-gen-stress-switch).
+    S.Name = "O2-two-stress-switch";
+    S.VO.Dispatch = vm::DispatchTier::Switch;
+    S.TwinOf = "O2-two-stress";
+    S.CliFlags += " --dispatch=switch";
     M.push_back(S);
   }
   {
@@ -551,6 +568,38 @@ OracleResult fuzz::checkSource(const std::string &Source, bool HasSpin,
     }
     if (!Any)
       break;
+  }
+
+  // Dispatch twins: the two execution tiers must be bit-identical on
+  // everything the VM can observe — output, instruction count, and every
+  // table-driven statistic — not merely schedule-equivalent.
+  for (size_t I = 0; I != Specs.size(); ++I) {
+    if (Specs[I].TwinOf.empty())
+      continue;
+    size_t P = Specs.size();
+    for (size_t J = 0; J != Specs.size(); ++J)
+      if (Specs[J].Name == Specs[I].TwinOf)
+        P = J;
+    if (P == Specs.size())
+      continue;
+    const RunOutcome &A = Outs[P], &B = Outs[I];
+    if (A.St != RunOutcome::Ok || B.St != RunOutcome::Ok)
+      continue; // already reported above
+    if (A.Out != B.Out || A.Instrs != B.Instrs ||
+        A.Collections != B.Collections ||
+        A.MinorCollections != B.MinorCollections ||
+        A.RootsTraced != B.RootsTraced ||
+        A.DerivedAdjusted != B.DerivedAdjusted ||
+        A.FramesTraced != B.FramesTraced ||
+        A.WriteBarriersRun != B.WriteBarriersRun ||
+        A.BytesCopied != B.BytesCopied ||
+        A.ObjectsCopied != B.ObjectsCopied ||
+        A.SnapNodes != B.SnapNodes || A.SnapBytes != B.SnapBytes) {
+      R << "  [dispatch twin] " << Specs[P].Name << " {i=" << A.Instrs
+        << " " << statsBrief(A) << "} != " << Specs[I].Name
+        << " {i=" << B.Instrs << " " << statsBrief(B) << "}\n";
+      Fail(I);
+    }
   }
 
   Res.Report = R.str();

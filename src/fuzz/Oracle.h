@@ -7,11 +7,19 @@
 /// \file
 /// Compiles one generated program at -O0 and -O2 and runs it under the
 /// whole mode matrix — two-space, --gen-gc, path splitting, the reference
-/// (walk-from-start) decoder, small-heap pressure — with --gc-crosscheck
-/// and gc stress on, plus a conservative-trace superset check on the
-/// reference run.  Any divergence in program output, exit status, or the
-/// stressed root/derived/frame counts between equivalent configurations
-/// is a bug in the compiler, the tables, or a collector.
+/// (walk-from-start) decoder, small-heap pressure, both dispatch tiers —
+/// with --gc-crosscheck and gc stress on, plus a conservative-trace
+/// superset check on the reference run.  Any divergence in program output,
+/// exit status, or the stressed root/derived/frame counts between
+/// equivalent configurations is a bug in the compiler, the tables, a
+/// collector, or an execution tier.
+///
+/// The dispatch dimension is sampled two ways: the reference cell runs
+/// the switch tier while every other cell defaults to threaded (so each
+/// output/snapshot comparison already crosses the tiers), and two "twin"
+/// cells re-run a stressed configuration under the other tier, where the
+/// oracle requires *bit-identical* outcomes — output, instruction count,
+/// and every table-driven statistic.
 ///
 /// Every execution happens in a forked child process: a wrong table can
 /// leave a stale root that the VM then dereferences as a raw host address,
@@ -47,6 +55,10 @@ struct RunSpec {
   /// GenGC.StressedRootCountsMatchDefaultMode invariant).
   int StatsGroup = -1;
   bool IsRef = false;
+  /// Name of a cell this one must match *bit-identically* (output, Instrs,
+  /// and all table-driven stats): set on dispatch-tier twins, which differ
+  /// from their partner only in the execution engine.
+  std::string TwinOf;
   std::string CliFlags; ///< mgc flags reproducing this cell.
 };
 

@@ -90,6 +90,8 @@ void Tracer::enable(std::ostream *S) {
 void Tracer::writeHeader() {
   std::string L = "{\"type\":\"meta\"";
   fieldStr(L, "program", Config.ProgramName);
+  if (!Config.Dispatch.empty())
+    fieldStr(L, "dispatch", Config.Dispatch);
   field(L, "gen_gc", Config.GenGc ? 1 : 0);
   field(L, "sites", Counters.size());
   field(L, "site_table_bytes", Config.SiteTableBytes);

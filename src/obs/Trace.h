@@ -112,6 +112,9 @@ struct TracerConfig {
   /// Function names, indexed by AllocSite::Func (for JSONL site records).
   std::vector<std::string> FuncNames;
   std::string ProgramName;
+  /// Active dispatch tier name ("threaded"/"switch"); empty = unreported.
+  /// Self-describes benchmark artifacts; tiers are observably identical.
+  std::string Dispatch;
   bool GenGc = false;
   size_t SiteTableBytes = 0;
   size_t RingCapacity = 1024;

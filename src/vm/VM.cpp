@@ -3,6 +3,16 @@
 // Part of the mgc project (PLDI 1992 gc-tables reproduction).
 //
 //===----------------------------------------------------------------------===//
+//
+// The reference (switch-dispatch) interpreter.  Since the threaded tier
+// landed, both engines execute the *pre-decoded* stream (vm/Threaded.h):
+// step() switches on MOp but accesses operands through the resolved
+// base/index form, so per-operand Kind switches are gone from the hot
+// path of this tier too, and the two tiers differ only in dispatch.
+// step() is also the single-step engine the rendezvous loop (§5.3) uses
+// to run other threads forward to their gc-points, in both tiers.
+//
+//===----------------------------------------------------------------------===//
 
 #include "vm/VM.h"
 
@@ -15,18 +25,12 @@
 using namespace mgc;
 using namespace mgc::vm;
 
-namespace {
-constexpr Word Poison = 0xDEADBEEFDEADBEEFull;
-constexpr uint32_t SentinelPC = 0xFFFFFFFFu;
-/// Addresses below this are treated as NIL dereferences.
-constexpr Word NilGuard = 4096;
-} // namespace
-
 VM::VM(const Program &Prog, VMOptions Opts)
     : Prog(Prog), Opts(Opts),
       TheHeap(Opts.HeapBytes, Prog.TypeDescs, Opts.GenGc, Opts.NurseryBytes),
-      Globals(Prog.GlobalAreaWords, 0) {
+      Globals(Prog.GlobalAreaWords, 0), DProg(decodeProgram(Prog)) {
   TheHeap.setSiteCount(static_cast<uint32_t>(Prog.SiteTab.Sites.size()));
+  installHandlers();
   spawnThread(Prog.MainFunc);
 }
 
@@ -38,17 +42,17 @@ void VM::spawnThread(unsigned FuncIdx) {
   T->StackWords = Opts.StackWords;
   T->Stack.reset(new Word[T->StackWords]);
   for (size_t I = 0; I != T->StackWords; ++I)
-    T->Stack[I] = Poison;
+    T->Stack[I] = FramePoison;
   // Pseudo control area for the root frame.
-  T->Stack[0] = 0;          // saved AP
-  T->Stack[1] = 0;          // saved FP
-  T->Stack[2] = SentinelPC; // return address
+  T->Stack[0] = 0;             // saved AP
+  T->Stack[1] = 0;             // saved FP
+  T->Stack[2] = SentinelRetPC; // return address
   T->FP = CtlWords;
   T->AP = 0;
   T->PC = F.EntryIndex;
   // The root frame has no caller-provided save area; registers start dead.
   for (unsigned I = 0; I != NumRegs; ++I)
-    T->R[I] = Poison;
+    T->R[I] = FramePoison;
   T->Live = true;
   Threads.push_back(std::move(T));
 }
@@ -57,85 +61,6 @@ bool VM::fail(const std::string &Msg) {
   if (Error.empty())
     Error = Msg;
   return false;
-}
-
-Word *VM::memAddr(ThreadContext &T, Word Addr) {
-  (void)T;
-  if (Addr < NilGuard) {
-    fail("NIL dereference (address " + std::to_string(Addr) + ")");
-    return nullptr;
-  }
-  return reinterpret_cast<Word *>(Addr);
-}
-
-Word VM::readOperand(ThreadContext &T, const MOperand &O) {
-  switch (O.K) {
-  case MOperand::Kind::Reg:
-    return T.R[O.Reg];
-  case MOperand::Kind::Slot:
-    return T.Stack[T.FP + O.Index];
-  case MOperand::Kind::ASlot:
-    return T.Stack[T.AP + O.Index];
-  case MOperand::Kind::Global:
-    return Globals[static_cast<size_t>(O.Index)];
-  case MOperand::Kind::Imm:
-    return static_cast<Word>(O.Imm);
-  case MOperand::Kind::MemReg: {
-    Word *P = memAddr(T, T.R[O.Reg] + static_cast<Word>(O.Disp));
-    return P ? *P : 0;
-  }
-  case MOperand::Kind::MemSlot: {
-    Word *P = memAddr(T, T.Stack[T.FP + O.Index] + static_cast<Word>(O.Disp));
-    return P ? *P : 0;
-  }
-  case MOperand::Kind::MemASlot: {
-    Word *P = memAddr(T, T.Stack[T.AP + O.Index] + static_cast<Word>(O.Disp));
-    return P ? *P : 0;
-  }
-  case MOperand::Kind::None:
-    break;
-  }
-  assert(false && "reading a None operand");
-  return 0;
-}
-
-void VM::writeOperand(ThreadContext &T, const MOperand &O, Word V) {
-  switch (O.K) {
-  case MOperand::Kind::Reg:
-    T.R[O.Reg] = V;
-    return;
-  case MOperand::Kind::Slot:
-    T.Stack[T.FP + O.Index] = V;
-    return;
-  case MOperand::Kind::ASlot:
-    T.Stack[T.AP + O.Index] = V;
-    return;
-  case MOperand::Kind::Global:
-    Globals[static_cast<size_t>(O.Index)] = V;
-    return;
-  case MOperand::Kind::MemReg: {
-    Word *P = memAddr(T, T.R[O.Reg] + static_cast<Word>(O.Disp));
-    if (P)
-      *P = V;
-    return;
-  }
-  case MOperand::Kind::MemSlot: {
-    Word *P = memAddr(T, T.Stack[T.FP + O.Index] + static_cast<Word>(O.Disp));
-    if (P)
-      *P = V;
-    return;
-  }
-  case MOperand::Kind::MemASlot: {
-    Word *P = memAddr(T, T.Stack[T.AP + O.Index] + static_cast<Word>(O.Disp));
-    if (P)
-      *P = V;
-    return;
-  }
-  case MOperand::Kind::Imm:
-  case MOperand::Kind::None:
-    break;
-  }
-  assert(false && "writing a non-location operand");
 }
 
 Word VM::allocate(unsigned DescIdx, int64_t Length, uint32_t RetPC) {
@@ -270,7 +195,7 @@ bool VM::collect(uint32_t TriggerRetPC, GcKind Kind) {
       if (T.Finished)
         break;
     }
-    SuspendPCs[TI] = T.Finished ? SentinelPC : T.PC + 1;
+    SuspendPCs[TI] = T.Finished ? SentinelRetPC : T.PC + 1;
   }
 
   ++Stats.Collections;
@@ -323,94 +248,103 @@ void VM::collectNow() {
 }
 
 bool VM::step(ThreadContext &T) {
-  const MInstr &I = Prog.Code[T.PC];
+  const DInstr &I = DProg.Code[T.PC];
   ++Stats.Instrs;
+  Word *const Bases[DNumBases] = {T.R, T.Stack.get() + T.FP,
+                                  T.Stack.get() + T.AP, Globals.data(),
+                                  DProg.ConstPool.data()};
   switch (I.Op) {
   case MOp::Mov:
-    writeOperand(T, I.D, readOperand(T, I.A));
+    writeD(I.D, Bases, readD(I.A, Bases));
     break;
-  case MOp::Add:
-    writeOperand(T, I.D, readOperand(T, I.A) + readOperand(T, I.B));
+  case MOp::Add: {
+    Word A = readD(I.A, Bases), B = readD(I.B, Bases);
+    writeD(I.D, Bases, A + B);
     break;
-  case MOp::Sub:
-    writeOperand(T, I.D, readOperand(T, I.A) - readOperand(T, I.B));
+  }
+  case MOp::Sub: {
+    Word A = readD(I.A, Bases), B = readD(I.B, Bases);
+    writeD(I.D, Bases, A - B);
     break;
-  case MOp::Mul:
-    writeOperand(T, I.D,
-                 static_cast<Word>(static_cast<int64_t>(readOperand(T, I.A)) *
-                                   static_cast<int64_t>(readOperand(T, I.B))));
+  }
+  case MOp::Mul: {
+    Word A = readD(I.A, Bases), B = readD(I.B, Bases);
+    writeD(I.D, Bases,
+           static_cast<Word>(static_cast<int64_t>(A) *
+                             static_cast<int64_t>(B)));
     break;
+  }
   case MOp::Div: {
-    int64_t B = static_cast<int64_t>(readOperand(T, I.B));
+    int64_t B = static_cast<int64_t>(readD(I.B, Bases));
     if (B == 0)
       return fail("integer division by zero");
-    writeOperand(T, I.D,
-                 static_cast<Word>(static_cast<int64_t>(readOperand(T, I.A)) / B));
+    writeD(I.D, Bases,
+           static_cast<Word>(static_cast<int64_t>(readD(I.A, Bases)) / B));
     break;
   }
   case MOp::Mod: {
-    int64_t B = static_cast<int64_t>(readOperand(T, I.B));
+    int64_t B = static_cast<int64_t>(readD(I.B, Bases));
     if (B == 0)
       return fail("integer modulus by zero");
-    writeOperand(T, I.D,
-                 static_cast<Word>(static_cast<int64_t>(readOperand(T, I.A)) % B));
+    writeD(I.D, Bases,
+           static_cast<Word>(static_cast<int64_t>(readD(I.A, Bases)) % B));
     break;
   }
   case MOp::Neg:
-    writeOperand(T, I.D,
-                 static_cast<Word>(-static_cast<int64_t>(readOperand(T, I.A))));
+    writeD(I.D, Bases,
+           static_cast<Word>(-static_cast<int64_t>(readD(I.A, Bases))));
     break;
   case MOp::Not:
-    writeOperand(T, I.D, readOperand(T, I.A) == 0 ? 1 : 0);
+    writeD(I.D, Bases, readD(I.A, Bases) == 0 ? 1 : 0);
     break;
-  case MOp::CmpEq:
-    writeOperand(T, I.D, readOperand(T, I.A) == readOperand(T, I.B) ? 1 : 0);
+  case MOp::CmpEq: {
+    Word A = readD(I.A, Bases), B = readD(I.B, Bases);
+    writeD(I.D, Bases, A == B ? 1 : 0);
     break;
-  case MOp::CmpNe:
-    writeOperand(T, I.D, readOperand(T, I.A) != readOperand(T, I.B) ? 1 : 0);
+  }
+  case MOp::CmpNe: {
+    Word A = readD(I.A, Bases), B = readD(I.B, Bases);
+    writeD(I.D, Bases, A != B ? 1 : 0);
     break;
-  case MOp::CmpLt:
-    writeOperand(T, I.D,
-                 static_cast<int64_t>(readOperand(T, I.A)) <
-                         static_cast<int64_t>(readOperand(T, I.B))
-                     ? 1
-                     : 0);
+  }
+  case MOp::CmpLt: {
+    Word A = readD(I.A, Bases), B = readD(I.B, Bases);
+    writeD(I.D, Bases,
+           static_cast<int64_t>(A) < static_cast<int64_t>(B) ? 1 : 0);
     break;
-  case MOp::CmpLe:
-    writeOperand(T, I.D,
-                 static_cast<int64_t>(readOperand(T, I.A)) <=
-                         static_cast<int64_t>(readOperand(T, I.B))
-                     ? 1
-                     : 0);
+  }
+  case MOp::CmpLe: {
+    Word A = readD(I.A, Bases), B = readD(I.B, Bases);
+    writeD(I.D, Bases,
+           static_cast<int64_t>(A) <= static_cast<int64_t>(B) ? 1 : 0);
     break;
-  case MOp::CmpGt:
-    writeOperand(T, I.D,
-                 static_cast<int64_t>(readOperand(T, I.A)) >
-                         static_cast<int64_t>(readOperand(T, I.B))
-                     ? 1
-                     : 0);
+  }
+  case MOp::CmpGt: {
+    Word A = readD(I.A, Bases), B = readD(I.B, Bases);
+    writeD(I.D, Bases,
+           static_cast<int64_t>(A) > static_cast<int64_t>(B) ? 1 : 0);
     break;
-  case MOp::CmpGe:
-    writeOperand(T, I.D,
-                 static_cast<int64_t>(readOperand(T, I.A)) >=
-                         static_cast<int64_t>(readOperand(T, I.B))
-                     ? 1
-                     : 0);
+  }
+  case MOp::CmpGe: {
+    Word A = readD(I.A, Bases), B = readD(I.B, Bases);
+    writeD(I.D, Bases,
+           static_cast<int64_t>(A) >= static_cast<int64_t>(B) ? 1 : 0);
     break;
+  }
   case MOp::AddrSlot:
-    writeOperand(T, I.D,
-                 reinterpret_cast<Word>(&T.Stack[T.FP + I.Index]) +
-                     static_cast<Word>(I.A.Imm));
+    writeD(I.D, Bases,
+           reinterpret_cast<Word>(&T.Stack[T.FP + I.Index]) +
+               static_cast<Word>(I.AuxImm));
     break;
   case MOp::AddrGlobal:
-    writeOperand(T, I.D,
-                 reinterpret_cast<Word>(&Globals[static_cast<size_t>(I.Index)]) +
-                     static_cast<Word>(I.A.Imm));
+    writeD(I.D, Bases,
+           reinterpret_cast<Word>(&Globals[static_cast<size_t>(I.Index)]) +
+               static_cast<Word>(I.AuxImm));
     break;
   case MOp::NewObj:
   case MOp::NewArr: {
     int64_t Len = I.Op == MOp::NewArr
-                      ? static_cast<int64_t>(readOperand(T, I.A))
+                      ? static_cast<int64_t>(readD(I.A, Bases))
                       : 0;
     if (I.Op == MOp::NewArr && Len < 0)
       return fail("negative open array length");
@@ -419,14 +353,13 @@ bool VM::step(ThreadContext &T) {
     CurAllocSite = NoAllocSite;
     if (Obj == 0)
       return false;
-    writeOperand(T, I.D, Obj);
+    writeD(I.D, Bases, Obj);
     break;
   }
   case MOp::Call: {
-    const CompiledFunction &Caller = Prog.Funcs[Prog.funcOfPC(T.PC)];
     const CompiledFunction &Callee =
         Prog.Funcs[static_cast<size_t>(I.Index)];
-    uint32_t CtlBase = T.FP + Caller.FrameWords;
+    uint32_t CtlBase = T.FP + I.CallerFrameWords;
     uint32_t NewFP = CtlBase + CtlWords;
     if (NewFP + Callee.FrameWords >= T.StackWords)
       return fail("stack overflow calling " + Callee.Name);
@@ -440,7 +373,7 @@ bool VM::step(ThreadContext &T) {
     // touched by the collector.
     for (uint32_t W = NewFP + Callee.SavedRegs.size();
          W != NewFP + Callee.FrameWords; ++W)
-      T.Stack[W] = Poison;
+      T.Stack[W] = FramePoison;
     T.AP = T.FP + I.ArgBase;
     T.FP = NewFP;
     T.PC = Callee.EntryIndex;
@@ -476,7 +409,7 @@ bool VM::step(ThreadContext &T) {
     // collector.
     if (Opts.GenGc) {
       ++Stats.WriteBarriersRun;
-      Word Slot = readOperand(T, I.A) + static_cast<Word>(I.B.Imm);
+      Word Slot = readD(I.A, Bases) + static_cast<Word>(I.AuxImm);
       if (TheHeap.writeBarrier(Slot))
         ++Stats.RemSetRecords;
     }
@@ -490,17 +423,17 @@ bool VM::step(ThreadContext &T) {
     T.PC = I.Target0;
     return true;
   case MOp::Branch:
-    T.PC = readOperand(T, I.A) != 0 ? I.Target0 : I.Target1;
+    T.PC = readD(I.A, Bases) != 0 ? I.Target0 : I.Target1;
     return true;
   case MOp::Ret: {
-    const CompiledFunction &F = Prog.Funcs[Prog.funcOfPC(T.PC)];
+    const CompiledFunction &F = Prog.Funcs[I.FuncIdx];
     // Epilogue: restore saved registers.
     for (size_t K = 0; K != F.SavedRegs.size(); ++K)
       T.R[F.SavedRegs[K]] = T.Stack[T.FP + K];
     uint32_t RetPC = static_cast<uint32_t>(T.Stack[T.FP - 1]);
     uint32_t OldFP = static_cast<uint32_t>(T.Stack[T.FP - 2]);
     uint32_t OldAP = static_cast<uint32_t>(T.Stack[T.FP - 3]);
-    if (RetPC == SentinelPC) {
+    if (RetPC == SentinelRetPC) {
       T.Finished = true;
       T.Live = false;
       return false;
@@ -525,7 +458,14 @@ bool VM::step(ThreadContext &T) {
   return true;
 }
 
+void VM::runQuantumSwitch(ThreadContext &T, uint64_t Max) {
+  for (uint64_t Q = 0; Q != Max && T.Live; ++Q)
+    if (!step(T))
+      break;
+}
+
 bool VM::run() {
+  const bool Threaded = activeDispatch() == DispatchTier::Threaded;
   // Round-robin with instruction-level pre-emption.
   while (true) {
     bool AnyLive = false;
@@ -541,13 +481,12 @@ bool VM::run() {
       break;
 
     ThreadContext &T = *Threads[CurThread];
-    for (uint64_t Q = 0; Q != Opts.Quantum && T.Live; ++Q) {
-      if (!step(T)) {
-        if (!Error.empty())
-          return false;
-        break;
-      }
-    }
+    if (Threaded)
+      runQuantumThreaded(T, Opts.Quantum);
+    else
+      runQuantumSwitch(T, Opts.Quantum);
+    if (!Error.empty())
+      return false;
     // Checked per quantum, not per instruction: cheap, and still a
     // deterministic point in the schedule.
     if (Opts.InstrBudget && Stats.Instrs > Opts.InstrBudget)

@@ -27,6 +27,7 @@
 
 #include "vm/Heap.h"
 #include "vm/Program.h"
+#include "vm/Threaded.h"
 
 #include <functional>
 #include <memory>
@@ -62,6 +63,10 @@ struct VMOptions {
   /// non-terminating reducer candidate fails identically everywhere
   /// instead of hanging the oracle.
   uint64_t InstrBudget = 0;
+  /// Execution engine (vm/Threaded.h).  Threaded is the default; builds
+  /// without computed goto silently execute Switch (activeDispatch()
+  /// reports what actually ran).  Both tiers are observably identical.
+  DispatchTier Dispatch = DispatchTier::Threaded;
 };
 
 struct VMStats {
@@ -127,6 +132,16 @@ public:
   /// Forces a collection (testing hook; must not be called mid-run).
   void collectNow();
 
+  /// The dispatch tier that actually executes: Opts.Dispatch, demoted to
+  /// Switch when the build has no computed goto.
+  DispatchTier activeDispatch() const {
+#if MGC_COMPUTED_GOTO
+    return Opts.Dispatch;
+#else
+    return DispatchTier::Switch;
+#endif
+  }
+
   //===--- State exposed to the collector ----------------------------------===
 
   const Program &Prog;
@@ -169,16 +184,41 @@ public:
   /// allocations (so explicit GcCollect collections carry no site).
   uint32_t CurAllocSite = NoAllocSite;
 
+  /// The pre-decoded instruction stream (vm/Threaded.h), index-parallel
+  /// to Prog.Code.  Both dispatch tiers execute from it.
+  DecodedProgram DProg;
+
 private:
   ThreadContext &ctx() { return *Threads[CurThread]; }
 
-  Word readOperand(ThreadContext &T, const MOperand &O);
-  void writeOperand(ThreadContext &T, const MOperand &O, Word V);
-  Word *memAddr(ThreadContext &T, Word Addr);
+  /// Resolved-operand access (vm/Threaded.h): one indexed load/store off
+  /// the per-thread base table, no Operand::Kind switch.  A failing
+  /// memory read yields 0 with Error set; a failing write is dropped —
+  /// exactly the reference readOperand/writeOperand semantics.
+  Word readD(const DOperand &O, Word *const *Bases);
+  void writeD(const DOperand &O, Word *const *Bases, Word V);
 
   /// Executes one instruction of thread \p T.  Returns false when the
   /// thread finished or an error occurred.
   bool step(ThreadContext &T);
+
+  /// One scheduler quantum (at most \p Max instructions) of thread \p T
+  /// under the reference switch dispatch.
+  void runQuantumSwitch(ThreadContext &T, uint64_t Max);
+
+  /// The same quantum under computed-goto dispatch (vm/Threaded.cpp);
+  /// falls back to runQuantumSwitch in portable builds.
+  void runQuantumThreaded(ThreadContext &T, uint64_t Max);
+
+  /// The computed-goto executor.  With \p LabelsOut set it only exports
+  /// the handler-label table (indexed by MOp) and runs nothing; otherwise
+  /// it executes up to \p Max instructions of \p T.
+  bool execThreaded(ThreadContext *T, uint64_t Max,
+                    const void *const **LabelsOut);
+
+  /// Fills DProg's handler pointers for the active tier (no-op when the
+  /// switch tier runs).
+  void installHandlers();
 
   /// Runs the rendezvous protocol and the collector; \p TriggerRetPC is the
   /// gc-point of the triggering thread.
@@ -190,6 +230,32 @@ private:
 
   bool InCollect = false;
 };
+
+inline Word VM::readD(const DOperand &O, Word *const *Bases) {
+  Word V = Bases[O.Base][O.Index];
+  if (!O.Mem)
+    return V;
+  Word Addr = V + static_cast<Word>(O.Disp);
+  if (Addr < NilGuard) {
+    fail("NIL dereference (address " + std::to_string(Addr) + ")");
+    return 0;
+  }
+  return *reinterpret_cast<Word *>(Addr);
+}
+
+inline void VM::writeD(const DOperand &O, Word *const *Bases, Word V) {
+  Word *P = &Bases[O.Base][O.Index];
+  if (!O.Mem) {
+    *P = V;
+    return;
+  }
+  Word Addr = *P + static_cast<Word>(O.Disp);
+  if (Addr < NilGuard) {
+    fail("NIL dereference (address " + std::to_string(Addr) + ")");
+    return;
+  }
+  *reinterpret_cast<Word *>(Addr) = V;
+}
 
 } // namespace vm
 } // namespace mgc

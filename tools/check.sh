@@ -15,7 +15,10 @@
 # trace_overhead exits non-zero when the tracer costs the mutator more
 # than the issue gates allow; snapshot_overhead exits non-zero when
 # attribution maintenance exceeds 2% of collection time or a capture
-# costs more than one full-collection pause.  Snapshots are then captured
+# costs more than one full-collection pause; the dispatch gate
+# (BENCH_dispatch.json) exits non-zero when the threaded tier's mutator
+# speedup over the switch interpreter drops below 1.5x or the tiers
+# diverge.  Snapshots are then captured
 # (cross-checked against an independent precise re-trace) and analyzed
 # for the four §6 benchmark programs and the frozen corpus in both
 # collector modes.
@@ -105,6 +108,15 @@ for Mg in "$ROOT"/tests/corpus/*.mg; do
       > /dev/null
 done
 
+# --- Dispatch-tier throughput gate ---------------------------------------
+# Runs the §6 benchmarks under both execution tiers (reference switch
+# interpreter vs pre-decoded computed-goto), verifies they agree
+# bit-identically on output/instructions/collections, and exits non-zero
+# when the geometric-mean mutator speedup of threaded over switch drops
+# below 1.5x.  Emits BENCH_dispatch.json.  MGC_DISPATCH_RUNS tunes the
+# timing repetitions.
+(cd "$ROOT" && ./build/bench/dispatch)
+
 # --- Differential fuzz budget --------------------------------------------
 # A fixed-seed campaign through the whole mode matrix; exits non-zero on
 # any divergence or generator defect.  BENCH_fuzz.json records throughput
@@ -114,6 +126,7 @@ FUZZ_COUNT="${FUZZ_COUNT:-200}"
   --out "$ROOT/fuzz-artifacts" --json "$ROOT/BENCH_fuzz.json"
 
 echo "check.sh: tier-1 ok (default + gen-gc); trace overhead ok;" \
-     "snapshot gate ok; fuzz ok ($FUZZ_COUNT programs); benchmarks" \
-     "written to BENCH_decode.json, BENCH_gengc.json, BENCH_trace.json," \
-     "BENCH_snapshot.json, BENCH_fuzz.json"
+     "snapshot gate ok; dispatch gate ok; fuzz ok ($FUZZ_COUNT programs);" \
+     "benchmarks written to BENCH_decode.json, BENCH_gengc.json," \
+     "BENCH_trace.json, BENCH_snapshot.json, BENCH_dispatch.json," \
+     "BENCH_fuzz.json"

@@ -18,6 +18,10 @@
 ///   --dump-ir        print the optimized IR and exit
 ///   --dump-asm       print machine code with decoded tables and exit
 ///   --stats          print compilation and collection statistics
+///   --dispatch {threaded,switch}
+///                    execution engine: pre-decoded computed-goto tier
+///                    (default) or the reference switch interpreter; both
+///                    are observably bit-identical
 ///   --trace FILE     stream a JSONL gc trace (see obs/Trace.h; render
 ///                    with mgc-report)
 ///   --stats-json FILE
@@ -72,7 +76,8 @@ int usage(const char *Argv0) {
                "[--snapshot-every N]\n           [--heap BYTES] "
                "[--gen-gc]\n           "
                "[--nursery-bytes BYTES] [--no-map-index] "
-               "[--gc-crosscheck]\n           [--no-run] [--spawn PROC] "
+               "[--gc-crosscheck]\n           "
+               "[--dispatch {threaded,switch}] [--no-run] [--spawn PROC] "
                "file.mg\n",
                Argv0);
   return 2;
@@ -156,6 +161,24 @@ int main(int argc, char **argv) {
       if (++A == argc)
         return usage(argv[0]);
       VO.NurseryBytes = static_cast<size_t>(std::atoll(argv[A]));
+    } else if (!std::strcmp(Arg, "--dispatch") ||
+               !std::strncmp(Arg, "--dispatch=", 11)) {
+      const char *V = Arg[10] == '=' ? Arg + 11 : nullptr;
+      if (!V) {
+        if (++A == argc)
+          return usage(argv[0]);
+        V = argv[A];
+      }
+      if (!std::strcmp(V, "threaded"))
+        VO.Dispatch = vm::DispatchTier::Threaded;
+      else if (!std::strcmp(V, "switch"))
+        VO.Dispatch = vm::DispatchTier::Switch;
+      else {
+        std::fprintf(stderr, "mgc: --dispatch: unknown tier '%s' "
+                             "(expected threaded or switch)\n",
+                     V);
+        return 2;
+      }
     } else if (!std::strcmp(Arg, "--spawn")) {
       if (++A == argc)
         return usage(argv[0]);
@@ -241,6 +264,7 @@ int main(int argc, char **argv) {
       TC.FuncNames.push_back(F.Name);
     TC.ProgramName = Prog.Name;
     TC.GenGc = VO.GenGc;
+    TC.Dispatch = vm::dispatchTierName(Machine.activeDispatch());
     TC.SiteTableBytes = Prog.Sizes.SiteTableBytes;
     Tracer = std::make_unique<obs::Tracer>(std::move(TC));
     if (TracePath) {
@@ -329,6 +353,8 @@ int main(int argc, char **argv) {
   }
   if (Stats) {
     const vm::VMStats &S = Machine.Stats;
+    std::printf("dispatch: %s\n",
+                vm::dispatchTierName(Machine.activeDispatch()));
     std::printf("run: %llu instrs, %llu collections, %llu bytes copied, "
                 "%llu frames traced, %llu derived adjusted\n",
                 static_cast<unsigned long long>(S.Instrs),
@@ -372,6 +398,8 @@ int main(int argc, char **argv) {
       J += ",\"error\":";
       obs::appendJsonString(J, Machine.Error);
     }
+    J += ",\"dispatch\":";
+    obs::appendJsonString(J, vm::dispatchTierName(Machine.activeDispatch()));
     jsonField(J, "gen_gc", VO.GenGc ? 1 : 0);
     jsonField(J, "code_bytes", Prog.codeSizeBytes());
     jsonField(J, "table_bytes_delta_pp", Prog.Sizes.DeltaPP);
