@@ -236,6 +236,18 @@ bool obs::readTrace(std::istream &In, TraceReport &R, std::string &Err) {
           static_cast<uint64_t>(Rec.getInt("rendezvous_steps"));
       Ev.CacheHits = static_cast<uint64_t>(Rec.getInt("cache_hits"));
       Ev.CacheMisses = static_cast<uint64_t>(Rec.getInt("cache_misses"));
+      // Parallel-collector fields (absent in pre---gc-threads traces;
+      // default to the serial shape).
+      Ev.Workers = static_cast<uint32_t>(Rec.getInt("workers", 1));
+      if (Ev.Workers > MaxGcWorkers)
+        Ev.Workers = MaxGcWorkers;
+      for (uint32_t W = 0; W != Ev.Workers; ++W) {
+        std::string Key = "w" + std::to_string(W);
+        Ev.WorkerTraceNanos[W] =
+            static_cast<uint64_t>(Rec.getInt(Key + "_trace_ns"));
+        Ev.WorkerCopyNanos[W] =
+            static_cast<uint64_t>(Rec.getInt(Key + "_copy_ns"));
+      }
       R.Events.push_back(Ev);
     } else if (Rec.Type == "site_stats") {
       size_t Id = static_cast<size_t>(Rec.getInt("id"));
@@ -367,6 +379,12 @@ std::string obs::renderReport(const TraceReport &R, size_t TopN) {
   if (R.HasRun && !R.RunOk)
     Out += "RUN FAILED: " + R.RunError + " (trace is partial)\n";
 
+  // A run that never collected has no pause/volume/survival material: say
+  // so instead of rendering a report of empty sections (and keep the
+  // percentile math away from zero-length inputs).
+  if (R.Events.empty())
+    Out += "no collections recorded\n";
+
   // --- Pause breakdown per collection kind and phase.
   auto Section = [&](const char *Title, bool Minor) {
     std::vector<uint64_t> Total, Rend, Trace, Und, Copy, Rem, Red;
@@ -437,6 +455,26 @@ std::string obs::renderReport(const TraceReport &R, size_t TopN) {
                     static_cast<unsigned long long>(Misses),
                     100.0 * static_cast<double>(Hits) /
                         static_cast<double>(Decodes));
+      Out += Buf;
+    }
+  }
+
+  // --- Parallel-collection load balance (events with >1 worker).
+  uint32_t MaxWorkers = 0;
+  for (const GcEvent &E : R.Events)
+    MaxWorkers = std::max(MaxWorkers, E.Workers);
+  if (MaxWorkers > 1) {
+    Out += "\n-- gc workers --\n";
+    for (uint32_t W = 0; W != MaxWorkers && W != MaxGcWorkers; ++W) {
+      uint64_t SumTrace = 0, SumCopy = 0;
+      for (const GcEvent &E : R.Events)
+        if (W < E.Workers) {
+          SumTrace += E.WorkerTraceNanos[W];
+          SumCopy += E.WorkerCopyNanos[W];
+        }
+      std::snprintf(Buf, sizeof(Buf),
+                    "  worker %u   trace %12s   copy %12s\n", W,
+                    fmtNanos(SumTrace).c_str(), fmtNanos(SumCopy).c_str());
       Out += Buf;
     }
   }

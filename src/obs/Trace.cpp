@@ -267,6 +267,15 @@ void Tracer::writeEvent(const GcEvent &Ev) {
   field(L, "rendezvous_steps", Ev.RendezvousSteps);
   field(L, "cache_hits", Ev.CacheHits);
   field(L, "cache_misses", Ev.CacheMisses);
+  field(L, "workers", Ev.Workers);
+  // Per-worker phase spans (the parallel collector's load-balance view).
+  // Unknown int keys are harmless to the strict JSONL re-parser — they
+  // land in the record's generic int map.
+  for (uint32_t W = 0; W != Ev.Workers && W != MaxGcWorkers; ++W) {
+    std::string Key = "w" + std::to_string(W);
+    field(L, (Key + "_trace_ns").c_str(), Ev.WorkerTraceNanos[W]);
+    field(L, (Key + "_copy_ns").c_str(), Ev.WorkerCopyNanos[W]);
+  }
   L += "}\n";
   *Stream << L;
 }

@@ -52,6 +52,10 @@ namespace obs {
 /// GcCollect call, or allocation instructions that predate site linking).
 constexpr uint32_t NoSite = 0xFFFFFFFFu;
 
+/// Upper bound on --gc-threads: sizes the fixed per-worker nano arrays in
+/// GcEvent so the event stays POD and the ring stays preallocated.
+constexpr unsigned MaxGcWorkers = 8;
+
 /// Per-phase nanosecond breakdown of one collection, in pipeline order.
 struct PhaseNanos {
   uint64_t Rendezvous = 0;    ///< §5.3 thread rendezvous (VM side).
@@ -84,6 +88,15 @@ struct GcEvent {
   uint64_t RendezvousSteps = 0;
   uint64_t CacheHits = 0;   ///< Decoded-point cache hits this collection.
   uint64_t CacheMisses = 0; ///< Decoded-point cache misses this collection.
+  /// GC worker threads that performed this collection (1 = serial).  The
+  /// per-worker arrays below are valid for indices [0, Workers).
+  uint32_t Workers = 1;
+  /// Per-worker stack-walk (root gathering) nanos.  For the serial
+  /// collector worker 0 carries the whole StackTrace phase.
+  uint64_t WorkerTraceNanos[MaxGcWorkers] = {};
+  /// Per-worker evacuation (forward + scan, including steal idle) nanos.
+  /// For the serial collector worker 0 carries the whole Copy phase.
+  uint64_t WorkerCopyNanos[MaxGcWorkers] = {};
 };
 
 /// Cumulative counters for one allocation site.
@@ -215,6 +228,12 @@ public:
   /// Committed events, oldest first (at most RingCapacity retained; the
   /// stream, when attached, saw every event).
   uint64_t eventCount() const { return TotalEvents; }
+  /// The most recently committed event, or null when none yet.  Valid until
+  /// the next commitEvent() overwrites its ring slot; pause harnesses (e.g.
+  /// bench/pause) read TotalNanos out of it from the VM's PostGcHook.
+  const GcEvent *lastCommitted() const {
+    return TotalEvents ? &Ring[(TotalEvents - 1) % Ring.size()] : nullptr;
+  }
   uint64_t eventsDropped() const {
     return TotalEvents > Ring.size() ? TotalEvents - Ring.size() : 0;
   }

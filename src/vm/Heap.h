@@ -216,6 +216,17 @@ public:
   /// generational mode the source may be either old from-space or the
   /// nursery; everything lands in old to-space.
   Word forward(Word Obj);
+  /// Thread-safe variant of forward() for the parallel full collection
+  /// (--gc-threads > 1).  Claim-then-copy: the header word is CASed to a
+  /// bare ForwardBit ("claimed, copy in flight") before any bytes move, so
+  /// exactly one worker copies each object; losers spin until the winner
+  /// publishes the forwarding pointer.  To-space is carved by an exact-fit
+  /// atomic bump, so the to-space image has no holes and every linear heap
+  /// walk (forEachObject, plausibleObject, snapshots) stays valid.  Sets
+  /// \p Copied iff this call performed the copy — the caller that copied
+  /// owns scanning the new object exactly once.  \p BytesOut receives the
+  /// object's size when copied (for per-worker stat accounting).
+  Word forwardParallel(Word Obj, bool &Copied, size_t &BytesOut);
   /// Cheney scan pointer management.
   Word scanStart() const { return ToBase; }
   Word toAlloc() const { return ToAlloc; }

@@ -168,34 +168,23 @@ bool VM::collect(uint32_t TriggerRetPC, GcKind Kind) {
     RendT0 = Clock::now();
   uint64_t RendStepsBefore = Stats.RendezvousSteps;
 
-  // Rendezvous (§5.3): every other live thread runs until it is about to
-  // execute a gc-point instruction; its table pc is that instruction's
-  // return address.  Loop polls bound this wait.
+  // Rendezvous (§5.3): a handshake per live thread, each stepping its
+  // thread independently until it is about to execute a gc-point
+  // instruction; its table pc is that instruction's return address.  Loop
+  // polls bound each handshake.  On any failure the suspension map is
+  // discarded whole — a failed rendezvous must not leave the VM looking
+  // half-suspended (partial SuspendPCs would let a later walk scan threads
+  // stopped at stale pcs).
   SuspendPCs.assign(Threads.size(), 0);
   SuspendPCs[CurThread] = TriggerRetPC;
   for (size_t TI = 0; TI != Threads.size(); ++TI) {
     if (TI == CurThread || !Threads[TI]->Live)
       continue;
-    ThreadContext &T = *Threads[TI];
-    uint64_t Budget = Opts.RendezvousBudget;
-    while (!Prog.Code[T.PC].isGcPoint()) {
-      if (Budget-- == 0) {
-        InCollect = false;
-        return fail("thread failed to reach a gc-point within the "
-                    "rendezvous budget (compile with loop polls)");
-      }
-      ++Stats.RendezvousSteps;
-      if (!step(T)) {
-        if (!Error.empty()) {
-          InCollect = false;
-          return false;
-        }
-        break; // Thread finished; no frames to scan.
-      }
-      if (T.Finished)
-        break;
+    if (!handshakeThread(TI)) {
+      SuspendPCs.clear();
+      InCollect = false;
+      return false;
     }
-    SuspendPCs[TI] = T.Finished ? SentinelRetPC : T.PC + 1;
   }
 
   ++Stats.Collections;
@@ -239,6 +228,34 @@ bool VM::collect(uint32_t TriggerRetPC, GcKind Kind) {
     PostGcHook(*this);
   InCollect = false;
   return Error.empty();
+}
+
+bool VM::handshakeThread(size_t TI) {
+  ThreadContext &T = *Threads[TI];
+  uint64_t Budget = Opts.RendezvousBudget;
+  while (!Prog.Code[T.PC].isGcPoint()) {
+    if (Budget-- == 0)
+      // Deterministic (the interpreter is deterministic, so the pc at
+      // exhaustion is reproducible) — like the PR-2 OOM diagnostics, this
+      // fails the run cleanly: the caller discards SuspendPCs, the error
+      // propagates through both dispatch tiers, and the driver flushes
+      // partial stats/trace.
+      return fail("rendezvous budget exhausted: thread " +
+                  std::to_string(TI) + " ran " +
+                  std::to_string(Opts.RendezvousBudget) +
+                  " instructions without reaching a gc-point (pc " +
+                  std::to_string(T.PC) + "; compile with loop polls)");
+    ++Stats.RendezvousSteps;
+    if (!step(T)) {
+      if (!Error.empty())
+        return false;
+      break; // Thread finished; no frames to scan.
+    }
+    if (T.Finished)
+      break;
+  }
+  SuspendPCs[TI] = T.Finished ? SentinelRetPC : T.PC + 1;
+  return true;
 }
 
 void VM::collectNow() {

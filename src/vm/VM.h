@@ -224,6 +224,14 @@ private:
   /// gc-point of the triggering thread.
   bool collect(uint32_t TriggerRetPC, GcKind Kind = GcKind::Full);
 
+  /// One per-thread handshake of the §5.3 rendezvous: steps thread \p TI
+  /// forward until it is about to execute a gc-point instruction (or
+  /// finishes), then publishes its table pc in SuspendPCs[TI].  Returns
+  /// false — with a deterministic diagnostic naming the thread, budget,
+  /// and pc — when the thread exhausts Opts.RendezvousBudget without
+  /// reaching a gc-point, or when stepping it hits a runtime error.
+  bool handshakeThread(size_t TI);
+
   Word allocate(unsigned DescIdx, int64_t Length, uint32_t RetPC);
 
   bool fail(const std::string &Msg);

@@ -1,0 +1,378 @@
+//===- tests/PauseTest.cpp - Bounded-pause accounting and parallel GC ------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pause-event invariants and parallel-collector determinism:
+///
+///  - every committed GcEvent's phase nanos partition its TotalNanos, its
+///    RendezvousSteps are the per-collection delta of the VM counter, and
+///    committed events correspond 1:1 with VMStats::Collections — at
+///    --gc-threads 1, 2, and 4 over the §6 programs and the frozen corpus;
+///  - --gc-threads 1 is bit-identical to the default collector (including
+///    the decode-cache counters); higher thread counts reproduce every
+///    deterministic observable except the per-worker cache split;
+///  - the §5.3 per-thread handshake's budget-exhaustion diagnostic is
+///    deterministic and identical across both dispatch tiers, and failed
+///    runs still flush a parseable trace in both tiers;
+///  - mgc-report's renderer handles a zero-collection trace.
+///
+/// These suites carry the `gc` ctest label (see tests/CMakeLists.txt) and
+/// are the ones tools/check.sh additionally builds under ThreadSanitizer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Corpus.h"
+#include "Programs.h"
+#include "TestUtil.h"
+
+#include "obs/Report.h"
+#include "obs/Trace.h"
+
+#include <sstream>
+
+using namespace mgc;
+using namespace mgc::test;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Traced parallel-run helper
+//===----------------------------------------------------------------------===//
+
+struct PauseRun {
+  bool Ok = false;
+  std::string Out;
+  std::string Error;
+  vm::VMStats Stats;
+  std::vector<obs::GcEvent> Events; ///< Committed events, oldest first.
+  uint64_t EventCount = 0;
+  std::string Trace; ///< Full JSONL text.
+};
+
+/// Compiles and runs \p Source with a tracer attached and the collector at
+/// \p GcThreads workers.  Honours MGC_TEST_GEN_GC like
+/// test::compileAndRun, so the tier-1 generational sweep also exercises
+/// the parallel root walk in front of minor collections.
+PauseRun runPause(const std::string &Source, unsigned GcThreads,
+                  size_t HeapBytes,
+                  vm::DispatchTier Tier = vm::DispatchTier::Threaded,
+                  bool CrossCheck = false, bool UseDefaultCollector = false,
+                  uint64_t RendezvousBudget = 0, unsigned SpawnSpin = 0) {
+  PauseRun R;
+  driver::CompilerOptions CO;
+  CO.OptLevel = 2;
+  CO.ThreadedPolls = SpawnSpin != 0 && RendezvousBudget == 0;
+  vm::VMOptions VO;
+  VO.HeapBytes = HeapBytes;
+  VO.Dispatch = Tier;
+  if (RendezvousBudget)
+    VO.RendezvousBudget = RendezvousBudget;
+  gc::CollectorOptions GCO;
+  if (!UseDefaultCollector) {
+    GCO.Threads = GcThreads;
+    GCO.CrossCheck = CrossCheck;
+  }
+  if (std::getenv("MGC_TEST_GEN_GC")) {
+    CO.WriteBarriers = true;
+    VO.GenGc = true;
+    VO.NurseryBytes = 4u << 10;
+    GCO.CrossCheck = true;
+  }
+  auto C = driver::compile(Source, CO);
+  if (!C.Prog) {
+    ADD_FAILURE() << "compilation failed:\n" << C.Diags.str();
+    return R;
+  }
+  vm::VM M(*C.Prog, VO);
+  gc::installPreciseCollector(M, GCO);
+  if (SpawnSpin) {
+    unsigned SpinIdx = 0;
+    for (unsigned I = 0; I != C.Prog->Funcs.size(); ++I)
+      if (C.Prog->Funcs[I].Name == "Spin")
+        SpinIdx = I;
+    for (unsigned I = 0; I != SpawnSpin; ++I)
+      M.spawnThread(SpinIdx);
+  }
+
+  obs::TracerConfig TC;
+  TC.ProgramName = "pause-test";
+  obs::Tracer Tracer(std::move(TC));
+  std::ostringstream OS;
+  Tracer.enable(&OS);
+  M.Tracer = &Tracer;
+
+  R.Ok = M.run();
+  Tracer.finish(R.Ok, M.Error);
+  R.Out = M.Out;
+  R.Error = M.Error;
+  R.Stats = M.Stats;
+  R.Events = Tracer.retainedEvents();
+  R.EventCount = Tracer.eventCount();
+  R.Trace = OS.str();
+  return R;
+}
+
+/// The deterministic observables the parallel collector must reproduce at
+/// any worker count (the per-worker decode-cache hit/miss split is
+/// checked separately: it is only pinned at one worker).
+void expectCoreEqual(const PauseRun &A, const PauseRun &B) {
+  EXPECT_EQ(A.Out, B.Out);
+  EXPECT_EQ(A.Stats.Instrs, B.Stats.Instrs);
+  EXPECT_EQ(A.Stats.Collections, B.Stats.Collections);
+  EXPECT_EQ(A.Stats.RootsTraced, B.Stats.RootsTraced);
+  EXPECT_EQ(A.Stats.FramesTraced, B.Stats.FramesTraced);
+  EXPECT_EQ(A.Stats.ObjectsCopied, B.Stats.ObjectsCopied);
+  EXPECT_EQ(A.Stats.BytesCopied, B.Stats.BytesCopied);
+  EXPECT_EQ(A.Stats.DerivedAdjusted, B.Stats.DerivedAdjusted);
+  EXPECT_EQ(A.Stats.RendezvousSteps, B.Stats.RendezvousSteps);
+}
+
+//===----------------------------------------------------------------------===//
+// Pause-event invariants
+//===----------------------------------------------------------------------===//
+
+void checkEventInvariants(const PauseRun &R, unsigned GcThreads) {
+  // Committed events correspond 1:1 with collections: beginEvent fires
+  // only after a successful rendezvous, commitEvent before control
+  // returns to the mutator.
+  EXPECT_EQ(R.EventCount, R.Stats.Collections);
+  uint64_t StepSum = 0, HitSum = 0, MissSum = 0;
+  for (const obs::GcEvent &Ev : R.Events) {
+    // The six phase timers partition the pause: they are carved out of
+    // the same two clock readings that produce TotalNanos, with no gap
+    // and no overlap.
+    uint64_t PhaseSum = Ev.Phases.Rendezvous + Ev.Phases.StackTrace +
+                        Ev.Phases.Underive + Ev.Phases.Copy +
+                        Ev.Phases.RemsetRebuild + Ev.Phases.Rederive;
+    EXPECT_EQ(PhaseSum, Ev.TotalNanos) << "event " << Ev.Seq;
+    EXPECT_EQ(Ev.Workers, GcThreads) << "event " << Ev.Seq;
+    for (unsigned W = Ev.Workers; W != obs::MaxGcWorkers; ++W) {
+      EXPECT_EQ(Ev.WorkerTraceNanos[W], 0u);
+      EXPECT_EQ(Ev.WorkerCopyNanos[W], 0u);
+    }
+    StepSum += Ev.RendezvousSteps;
+    HitSum += Ev.CacheHits;
+    MissSum += Ev.CacheMisses;
+  }
+  if (R.EventCount == R.Events.size()) {
+    // Per-event counters are deltas of the VM counters; with no events
+    // dropped from the ring they must sum back to the totals.
+    EXPECT_EQ(StepSum, R.Stats.RendezvousSteps);
+    EXPECT_EQ(HitSum, R.Stats.DecodeCacheHits);
+    EXPECT_EQ(MissSum, R.Stats.DecodeCacheMisses);
+  }
+  if (GcThreads == 1) {
+    // Serially, every traced frame is exactly one cache probe.
+    EXPECT_EQ(R.Stats.DecodeCacheHits + R.Stats.DecodeCacheMisses,
+              R.Stats.FramesTraced);
+  }
+}
+
+TEST(PauseInvariants, Section6Programs) {
+  for (const programs::NamedProgram &P : programs::All) {
+    for (unsigned N : {1u, 2u, 4u}) {
+      SCOPED_TRACE(std::string(P.Name) + " gc-threads " + std::to_string(N));
+      PauseRun R = runPause(P.Source, N, /*HeapBytes=*/64u << 10);
+      ASSERT_TRUE(R.Ok) << R.Error;
+      EXPECT_EQ(R.Out, P.Expected);
+      checkEventInvariants(R, N);
+    }
+  }
+}
+
+TEST(PauseInvariants, FrozenCorpus) {
+  ASSERT_FALSE(corpus().empty());
+  for (const CorpusProgram &P : corpus()) {
+    for (unsigned N : {1u, 2u, 4u}) {
+      SCOPED_TRACE(P.Name + " gc-threads " + std::to_string(N));
+      PauseRun R = runPause(P.Source, N, /*HeapBytes=*/64u << 10);
+      ASSERT_TRUE(R.Ok) << R.Error;
+      checkEventInvariants(R, N);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel-collector determinism
+//===----------------------------------------------------------------------===//
+
+TEST(PauseParallel, ThreadsOneIsBitIdenticalToDefault) {
+  for (const programs::NamedProgram &P : programs::All) {
+    SCOPED_TRACE(P.Name);
+    PauseRun Def = runPause(P.Source, 1, /*HeapBytes=*/64u << 10,
+                            vm::DispatchTier::Threaded, /*CrossCheck=*/false,
+                            /*UseDefaultCollector=*/true);
+    PauseRun N1 = runPause(P.Source, 1, /*HeapBytes=*/64u << 10);
+    ASSERT_TRUE(Def.Ok) << Def.Error;
+    ASSERT_TRUE(N1.Ok) << N1.Error;
+    expectCoreEqual(Def, N1);
+    // One worker runs the pre-parallel serial path: even the cache
+    // counters are pinned.
+    EXPECT_EQ(Def.Stats.DecodeCacheHits, N1.Stats.DecodeCacheHits);
+    EXPECT_EQ(Def.Stats.DecodeCacheMisses, N1.Stats.DecodeCacheMisses);
+  }
+}
+
+TEST(PauseParallel, HigherWorkerCountsReproduceObservables) {
+  for (const programs::NamedProgram &P : programs::All) {
+    SCOPED_TRACE(P.Name);
+    PauseRun N1 = runPause(P.Source, 1, /*HeapBytes=*/64u << 10);
+    ASSERT_TRUE(N1.Ok) << N1.Error;
+    for (unsigned N : {2u, 4u}) {
+      PauseRun R = runPause(P.Source, N, /*HeapBytes=*/64u << 10);
+      ASSERT_TRUE(R.Ok) << R.Error;
+      expectCoreEqual(N1, R);
+    }
+    // And with the §3 decode cross-check auditing every parallel trace.
+    PauseRun XC = runPause(P.Source, 4, /*HeapBytes=*/64u << 10,
+                           vm::DispatchTier::Threaded, /*CrossCheck=*/true);
+    ASSERT_TRUE(XC.Ok) << XC.Error;
+    expectCoreEqual(N1, XC);
+    // The switch tier shares the collector and the handshake engine.
+    PauseRun Sw = runPause(P.Source, 4, /*HeapBytes=*/64u << 10,
+                           vm::DispatchTier::Switch);
+    ASSERT_TRUE(Sw.Ok) << Sw.Error;
+    expectCoreEqual(N1, Sw);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Rendezvous-budget diagnostic (§5.3 per-thread handshakes)
+//===----------------------------------------------------------------------===//
+
+/// Main allocates; Spin loops without ever reaching a gc-point when
+/// compiled without loop polls.
+const char *NoPollSpinSource = R"(
+MODULE M;
+TYPE R = REF RECORD v: INTEGER; n: R END;
+VAR done: BOOLEAN; head: R;
+
+PROCEDURE Spin();
+VAR i: INTEGER;
+BEGIN
+  i := 0;
+  WHILE NOT done DO INC(i) END
+END Spin;
+
+BEGIN
+  done := FALSE;
+  FOR k := 1 TO 400 DO
+    head := NEW(R);
+    head^.v := k
+  END;
+  done := TRUE;
+  PutInt(head^.v); PutLn();
+END M.)";
+
+TEST(PauseRendezvous, BudgetExhaustionDiagnosticIsDeterministic) {
+  auto Run = [&](vm::DispatchTier Tier) {
+    return runPause(NoPollSpinSource, 1, /*HeapBytes=*/8u << 10, Tier,
+                    /*CrossCheck=*/false, /*UseDefaultCollector=*/false,
+                    /*RendezvousBudget=*/1000, /*SpawnSpin=*/1);
+  };
+  PauseRun A = Run(vm::DispatchTier::Threaded);
+  ASSERT_FALSE(A.Ok);
+  EXPECT_NE(A.Error.find("rendezvous budget exhausted"), std::string::npos)
+      << A.Error;
+  EXPECT_NE(A.Error.find("thread 1"), std::string::npos) << A.Error;
+  EXPECT_NE(A.Error.find("loop polls"), std::string::npos) << A.Error;
+
+  // Deterministic: the same run produces the same diagnostic (same
+  // offending thread, same pc), and both dispatch tiers agree — the
+  // handshake engine is shared.
+  PauseRun B = Run(vm::DispatchTier::Threaded);
+  EXPECT_EQ(A.Error, B.Error);
+  PauseRun C = Run(vm::DispatchTier::Switch);
+  EXPECT_EQ(A.Error, C.Error);
+  expectCoreEqual(A, C);
+
+  // The failed partial run still flushes coherent stats and a parseable
+  // trace: the budget fails the rendezvous *before* the collection is
+  // counted, so events == Collections holds and the mutator's progress
+  // up to the failing gc-point is preserved.
+  for (const PauseRun *R : {&A, &C}) {
+    EXPECT_EQ(R->EventCount, R->Stats.Collections);
+    std::istringstream In(R->Trace);
+    obs::TraceReport Report;
+    std::string Err;
+    ASSERT_TRUE(obs::readTrace(In, Report, Err)) << Err;
+    ASSERT_TRUE(Report.HasRun);
+    EXPECT_FALSE(Report.RunOk);
+    EXPECT_NE(Report.RunError.find("rendezvous budget exhausted"),
+              std::string::npos);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Threaded-tier error-path flush
+//===----------------------------------------------------------------------===//
+
+TEST(PauseThreadedFlush, FailedRunFlushesTraceInBothTiers) {
+  // Unbounded list growth: dies with "heap exhausted" after several
+  // successful collections.  Both tiers must leave a complete trace.
+  const char *Leak = R"(MODULE Leak;
+TYPE Node = REF RECORD next: Node; pad: INTEGER END;
+VAR head: Node; n: Node;
+BEGIN
+  WHILE TRUE DO
+    n := NEW(Node);
+    n.next := head;
+    head := n
+  END;
+END Leak.
+)";
+  for (vm::DispatchTier Tier :
+       {vm::DispatchTier::Threaded, vm::DispatchTier::Switch}) {
+    for (unsigned N : {1u, 4u}) {
+      SCOPED_TRACE(std::string(vm::dispatchTierName(Tier)) + " gc-threads " +
+                   std::to_string(N));
+      PauseRun R = runPause(Leak, N, /*HeapBytes=*/8u << 10, Tier);
+      ASSERT_FALSE(R.Ok);
+      EXPECT_NE(R.Error.find("heap exhausted"), std::string::npos)
+          << R.Error;
+      EXPECT_GT(R.Stats.Collections, 0u);
+      checkEventInvariants(R, N);
+      std::istringstream In(R.Trace);
+      obs::TraceReport Report;
+      std::string Err;
+      ASSERT_TRUE(obs::readTrace(In, Report, Err)) << Err;
+      ASSERT_TRUE(Report.HasRun);
+      EXPECT_FALSE(Report.RunOk);
+      EXPECT_EQ(Report.Events.size(), R.Stats.Collections);
+      std::string Rendered = obs::renderReport(Report, /*TopN=*/5);
+      EXPECT_NE(Rendered.find("FAILED"), std::string::npos);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Zero-collection report
+//===----------------------------------------------------------------------===//
+
+TEST(PauseReport, ZeroCollectionTraceRendersCleanly) {
+  const char *Tiny = R"(MODULE Tiny;
+VAR x: INTEGER;
+BEGIN
+  x := 41;
+  PutInt(x + 1); PutLn();
+END Tiny.
+)";
+  // 4 MiB default heap: no collection ever triggers.
+  PauseRun R = runPause(Tiny, 1, /*HeapBytes=*/4u << 20);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Out, "42\n");
+  EXPECT_EQ(R.Stats.Collections, 0u);
+  std::istringstream In(R.Trace);
+  obs::TraceReport Report;
+  std::string Err;
+  ASSERT_TRUE(obs::readTrace(In, Report, Err)) << Err;
+  EXPECT_TRUE(Report.Events.empty());
+  std::string Rendered = obs::renderReport(Report, /*TopN=*/5);
+  EXPECT_NE(Rendered.find("no collections recorded"), std::string::npos)
+      << Rendered;
+}
+
+} // namespace

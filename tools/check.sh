@@ -18,7 +18,11 @@
 # costs more than one full-collection pause; the dispatch gate
 # (BENCH_dispatch.json) exits non-zero when the threaded tier's mutator
 # speedup over the switch interpreter drops below 1.5x or the tiers
-# diverge.  Snapshots are then captured
+# diverge; the bounded-pause gate (BENCH_pause.json) exits non-zero when
+# the parallel collector diverges from the serial one or (on >= 4-core
+# hosts) when 4 workers fail to cut the max pause 1.5x, and the
+# gc-labeled suites are additionally built and run under
+# ThreadSanitizer.  Snapshots are then captured
 # (cross-checked against an independent precise re-trace) and analyzed
 # for the four §6 benchmark programs and the frozen corpus in both
 # collector modes.
@@ -117,6 +121,30 @@ done
 # timing repetitions.
 (cd "$ROOT" && ./build/bench/dispatch)
 
+# --- Bounded-pause gate ---------------------------------------------------
+# Runs the §6 benchmarks plus a high-thread-count spin mix at
+# --gc-threads 1/2/4, verifies the parallel collector reproduces every
+# deterministic GC observable (and that --gc-threads 1 is bit-identical
+# to the default collector), and records pause p50/p99/max plus the MMU
+# curve in BENCH_pause.json.  On hosts with >= 4 cores it additionally
+# gates a >= 1.5x max-pause improvement at 4 workers on the
+# large-live-set workloads; on smaller hosts that gate is reported as
+# skipped.  MGC_PAUSE_RUNS tunes the timing repetitions.
+(cd "$ROOT" && ./build/bench/pause)
+
+# --- ThreadSanitizer sweep of the parallel collector ----------------------
+# The gc-labeled suites (Pause*) drive the work-stealing evacuation and
+# the per-thread handshakes at 1/2/4 workers; a data race in the
+# claim-then-copy forwarding or the scan queues fails this step.  The
+# TSan build tree is separate so the main build stays instrumented-free.
+if [ "$SKIP_TESTS" -eq 0 ]; then
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g"
+  cmake --build build-tsan --target mgc_tests -j
+  (cd build-tsan && ctest -L gc --output-on-failure -j)
+fi
+
 # --- Differential fuzz budget --------------------------------------------
 # A fixed-seed campaign through the whole mode matrix; exits non-zero on
 # any divergence or generator defect.  BENCH_fuzz.json records throughput
@@ -126,7 +154,8 @@ FUZZ_COUNT="${FUZZ_COUNT:-200}"
   --out "$ROOT/fuzz-artifacts" --json "$ROOT/BENCH_fuzz.json"
 
 echo "check.sh: tier-1 ok (default + gen-gc); trace overhead ok;" \
-     "snapshot gate ok; dispatch gate ok; fuzz ok ($FUZZ_COUNT programs);" \
-     "benchmarks written to BENCH_decode.json, BENCH_gengc.json," \
-     "BENCH_trace.json, BENCH_snapshot.json, BENCH_dispatch.json," \
+     "snapshot gate ok; dispatch gate ok; pause gate ok (+ TSan gc" \
+     "slice); fuzz ok ($FUZZ_COUNT programs); benchmarks written to" \
+     "BENCH_decode.json, BENCH_gengc.json, BENCH_trace.json," \
+     "BENCH_snapshot.json, BENCH_dispatch.json, BENCH_pause.json," \
      "BENCH_fuzz.json"

@@ -45,6 +45,9 @@
 ///                    index + decoded-point cache
 ///   --gc-crosscheck  verify every accelerated decode against the
 ///                    reference decoder (aborts on mismatch)
+///   --gc-threads N   GC worker threads for the stop-the-world root walk
+///                    and full-copy evacuation (default 1 = serial,
+///                    bit-identical GC observables; clamped to 1..8)
 ///   --no-run         compile only
 ///
 //===----------------------------------------------------------------------===//
@@ -76,7 +79,7 @@ int usage(const char *Argv0) {
                "[--snapshot-every N]\n           [--heap BYTES] "
                "[--gen-gc]\n           "
                "[--nursery-bytes BYTES] [--no-map-index] "
-               "[--gc-crosscheck]\n           "
+               "[--gc-crosscheck] [--gc-threads N]\n           "
                "[--dispatch {threaded,switch}] [--no-run] [--spawn PROC] "
                "file.mg\n",
                Argv0);
@@ -148,6 +151,15 @@ int main(int argc, char **argv) {
       GCO.UseMapIndex = false;
     } else if (!std::strcmp(Arg, "--gc-crosscheck")) {
       GCO.CrossCheck = true;
+    } else if (!std::strcmp(Arg, "--gc-threads")) {
+      if (++A == argc)
+        return usage(argv[0]);
+      long long N = std::atoll(argv[A]);
+      if (N < 1)
+        N = 1;
+      if (N > static_cast<long long>(obs::MaxGcWorkers))
+        N = obs::MaxGcWorkers;
+      GCO.Threads = static_cast<unsigned>(N);
     } else if (!std::strcmp(Arg, "--no-run")) {
       Run = false;
     } else if (!std::strcmp(Arg, "--heap")) {
