@@ -94,7 +94,7 @@ std::string codegen::disassemble(const Program &Prog, const MInstr &I) {
     break;
   case MOp::CallRt: {
     static const char *RtNames[] = {"PutInt", "PutChar", "PutLn",
-                                    "GcCollect", "Halt"};
+                                    "GcCollect", "Halt", "ReqDone"};
     Append(RtNames[I.Index]);
     if (I.NArgs)
       Append("args@fp[" + std::to_string(I.ArgBase) + "]x" +

@@ -100,6 +100,7 @@ enum class Builtin {
   PutLn,
   GcCollect, ///< Force a collection (testing hook).
   Halt,
+  ReqDone,  ///< Server-workload request boundary marker (not a gc-point).
 };
 
 class Expr {

@@ -877,11 +877,13 @@ Operand Lowerer::lowerBuiltin(const CallExpr &E) {
 
   case Builtin::PutLn:
   case Builtin::GcCollect:
-  case Builtin::Halt: {
+  case Builtin::Halt:
+  case Builtin::ReqDone: {
     Instr I;
     I.Op = Opcode::CallRt;
     I.Rt = E.BuiltinKind == Builtin::PutLn      ? RtFn::PutLn
            : E.BuiltinKind == Builtin::GcCollect ? RtFn::GcCollect
+           : E.BuiltinKind == Builtin::ReqDone   ? RtFn::ReqDone
                                                  : RtFn::Halt;
     emit(std::move(I));
     return Operand();

@@ -487,6 +487,7 @@ const Type *Sema::checkCall(CallExpr &E, bool AsStatement) {
       {"ABS", Builtin::Abs},         {"PutInt", Builtin::PutInt},
       {"PutChar", Builtin::PutChar}, {"PutLn", Builtin::PutLn},
       {"GcCollect", Builtin::GcCollect}, {"HALT", Builtin::Halt},
+      {"ReqDone", Builtin::ReqDone},
   };
   auto BIt = Builtins.find(E.Callee);
   if (BIt != Builtins.end()) {
@@ -495,7 +496,8 @@ const Type *Sema::checkCall(CallExpr &E, bool AsStatement) {
                     BIt->second == Builtin::PutChar ||
                     BIt->second == Builtin::PutLn ||
                     BIt->second == Builtin::GcCollect ||
-                    BIt->second == Builtin::Halt;
+                    BIt->second == Builtin::Halt ||
+                    BIt->second == Builtin::ReqDone;
     if (IsProper && !AsStatement) {
       error(E.Loc, "proper builtin '" + E.Callee + "' used in an expression");
       return nullptr;
@@ -643,6 +645,7 @@ const Type *Sema::checkBuiltin(CallExpr &E, Builtin B) {
   case Builtin::PutLn:
   case Builtin::GcCollect:
   case Builtin::Halt:
+  case Builtin::ReqDone:
     RequireArgs(0, 0);
     return nullptr; // Proper procedures.
 

@@ -70,6 +70,7 @@ FuzzSummary fuzz::runFuzz(const FuzzOptions &Opts) {
     S.CovRecursion += P.Cov.Recursion;
     S.CovRefChains += P.Cov.RefChains;
     S.CovVarParams += P.Cov.VarParams;
+    S.CovServerLoop += P.Cov.ServerLoop;
 
     std::string Source = P.render();
     std::string Tag = "seed" + std::to_string(Seed);
@@ -121,7 +122,8 @@ FuzzSummary fuzz::runFuzz(const FuzzOptions &Opts) {
       << ", with " << S.CovWithBinding << "/" << S.Programs
       << ", recursion " << S.CovRecursion << "/" << S.Programs
       << ", ref-chains " << S.CovRefChains << "/" << S.Programs
-      << ", var-params " << S.CovVarParams << "/" << S.Programs << "\n";
+      << ", var-params " << S.CovVarParams << "/" << S.Programs
+      << ", server-loop " << S.CovServerLoop << "/" << S.Programs << "\n";
   S.Log = Log.str();
   S.Seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
@@ -154,7 +156,8 @@ std::string fuzz::summaryJson(const FuzzOptions &Opts, const FuzzSummary &S) {
   J << "    \"with_binding\": " << Frac(S.CovWithBinding) << ",\n";
   J << "    \"recursion\": " << Frac(S.CovRecursion) << ",\n";
   J << "    \"ref_chains\": " << Frac(S.CovRefChains) << ",\n";
-  J << "    \"var_params\": " << Frac(S.CovVarParams) << "\n";
+  J << "    \"var_params\": " << Frac(S.CovVarParams) << ",\n";
+  J << "    \"server_loop\": " << Frac(S.CovServerLoop) << "\n";
   J << "  }\n";
   J << "}\n";
   return J.str();

@@ -412,10 +412,12 @@ GProgram fuzz::generateProgram(uint64_t Seed) {
       "FArr = REF ARRAY [1..8] OF INTEGER;",
       "Pair = REF PairRec;",
       "PairRec = RECORD a, b: INTEGER; left, right: Pair END;",
+      "SCache = REF ARRAY OF Cell;",
   };
   P.VarLines = {
       "sink, t0, t1, t2, t3: INTEGER",
       "gl: Cell",
+      "sc: SCache",
       "ga: IArr",
       "gn: Node",
       "gp: Pair",
@@ -565,6 +567,37 @@ GProgram fuzz::generateProgram(uint64_t Seed) {
       break;
     }
     }
+  }
+
+  // Long-running-server bias: a request-loop skeleton feeding a session
+  // cache.  Each iteration builds a fresh request graph, parks it in a
+  // long-lived slot (old-to-young stores under gen-gc once the cache is
+  // promoted), periodically evicts, and marks the request boundary with
+  // ReqDone() — the steady-state shape the workload harness measures and
+  // the oracle's mid-run invariant cell snapshots.
+  if (R.pct(40)) {
+    long Req = R.range(8, 24);
+    long Slots = R.range(3, 7);
+    long Mult = 2 * R.range(1, 3) + 1;
+    long Spread = R.range(3, 7);
+    long Churn = R.range(2, 4);
+    std::string IV = "i" + std::to_string(LoopIdx++);
+    P.Main.push_back(TXT("sc := NEW(SCache, " + std::to_string(Slots) + ")"));
+    P.Main.push_back(forStmt(
+        IV, 1, Req,
+        {TXT("gl := BuildList(1 + ((" + IV + " * " + std::to_string(Mult) +
+             ") MOD " + std::to_string(Spread) + "))"),
+         TXT("sc[" + IV + " MOD " + std::to_string(Slots) + "] := gl"),
+         TXT(std::string("sink := (sink + SumList(gl)) MOD ") + Mod),
+         ifStmt(IV + " MOD " + std::to_string(Churn) + " = 0",
+                {TXT("sc[(" + IV + " * 3) MOD " + std::to_string(Slots) +
+                     "] := NIL")}),
+         TXT("ReqDone()")}));
+    Needed.insert("BuildList");
+    Needed.insert("SumList");
+    Init.Gl = true;
+    P.Cov.ServerLoop = P.Cov.RefChains = true;
+    P.Cov.WithBinding = P.Cov.DerivedAcrossCall = true;
   }
 
   if (P.HasSpin) {

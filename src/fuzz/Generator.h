@@ -54,6 +54,8 @@ struct Coverage {
   bool Recursion = false;         ///< Recursive allocating procedures.
   bool RefChains = false;         ///< REF RECORD list walks.
   bool VarParams = false;         ///< VAR parameters into allocating procs.
+  bool ServerLoop = false;        ///< Long-running request loop (ReqDone)
+                                  ///< with session-cache churn.
 };
 
 /// One statement.  Compound kinds own nested blocks; `Text` is a complete

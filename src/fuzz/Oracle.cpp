@@ -131,6 +131,22 @@ std::vector<RunSpec> fuzz::buildMatrix(bool HasSpin) {
     S.CliFlags = "--heap 1048576 --stress --split --gc-crosscheck";
     M.push_back(S);
   }
+  // Heap-sizing policy under pressure: occupancy-triggered growth plus
+  // nursery auto-sizing change *when* collections happen, never what is
+  // reachable — output, the exit snapshot, and the mid-run steady-state
+  // snapshot must still match every other cell.
+  {
+    RunSpec S = Base("O2-gen-growth");
+    S.CO.WriteBarriers = true;
+    S.VO.GenGc = true;
+    S.VO.HeapBytes = 96u << 10;
+    S.VO.HeapGrowthPct = 60;
+    S.VO.HeapMaxBytes = 1u << 20;
+    S.VO.NurseryAuto = true;
+    S.CliFlags = "--heap 98304 --gen-gc --heap-growth 60 --heap-max 1048576"
+                 " --nursery-auto --gc-crosscheck";
+    M.push_back(S);
+  }
   // Small-heap pressure: natural (non-stress) collection schedules.
   {
     RunSpec S = Base("O2-two-small");
@@ -175,6 +191,27 @@ RunOutcome executeInProcess(const vm::Program &Prog, const RunSpec &Spec) {
     }
     M.spawnThread(static_cast<unsigned>(SpinIdx));
   }
+  // Steady-state probe: at the third ReqDone() marker take a globals-only
+  // snapshot (stacks are not at gc-points there, so WalkStacks must stay
+  // false).  The marker fires at a fixed request ordinal, so node/byte
+  // totals and the output length are collection-schedule independent and
+  // comparable across the whole matrix.  MidRequests tracks the total
+  // markers retired — itself an invariant of the program.
+  M.RequestHook = [&O](vm::VM &V, const vm::VM::ReqSample &Smp) {
+    O.MidRequests = Smp.Seq;
+    if (Smp.Seq != 3)
+      return;
+    obs::HeapSnapshot Snap;
+    std::string Err;
+    if (!gc::captureHeapSnapshot(V, Snap, /*WalkStacks=*/false, Err)) {
+      O.MidViolation = true;
+      O.MidError = Err;
+      return;
+    }
+    O.MidNodes = Snap.Nodes.size();
+    O.MidBytes = Snap.totalBytes();
+    O.MidOutLen = V.Out.size();
+  };
   bool Ok = M.run();
   O.St = Ok ? RunOutcome::Ok : RunOutcome::RuntimeError;
   O.Out = M.Out;
@@ -246,6 +283,9 @@ std::string serialize(const RunOutcome &O) {
     << O.ConservativeReached << " " << O.PreciseLive << "\n";
   P << "N " << (O.SnapViolation ? 1 : 0) << " " << O.SnapNodes << " "
     << O.SnapBytes << "\n";
+  P << "M " << (O.MidViolation ? 1 : 0) << " " << O.MidRequests << " "
+    << O.MidNodes << " " << O.MidBytes << " " << O.MidOutLen << "\n";
+  P << "Z " << O.MidError.size() << "\n" << O.MidError << "\n";
   P << "Y " << O.SnapError.size() << "\n" << O.SnapError << "\n";
   P << "D\n";
   return P.str();
@@ -313,7 +353,17 @@ bool parsePayload(const std::string &Buf, RunOutcome &O) {
       return false;
     O.SnapViolation = Viol != 0;
   }
-  if (!Sized('Y', O.SnapError))
+  if (!Line(L) || L.rfind("M ", 0) != 0)
+    return false;
+  {
+    int Viol = 0;
+    std::istringstream In(L.substr(2));
+    if (!(In >> Viol >> O.MidRequests >> O.MidNodes >> O.MidBytes >>
+          O.MidOutLen))
+      return false;
+    O.MidViolation = Viol != 0;
+  }
+  if (!Sized('Z', O.MidError) || !Sized('Y', O.SnapError))
     return false;
   return Line(L) && L == "D";
 }
@@ -506,6 +556,13 @@ OracleResult fuzz::checkSource(const std::string &Source, bool HasSpin,
         if (FailFast)
           break;
       }
+      if (O.MidViolation) {
+        R << "  [" << Specs[I].Name << "] mid-run snapshot failed: "
+          << escape(O.MidError) << "\n";
+        Fail(I);
+        if (FailFast)
+          break;
+      }
       continue;
     }
     const RunOutcome &Ref = Outs[0];
@@ -532,6 +589,20 @@ OracleResult fuzz::checkSource(const std::string &Source, bool HasSpin,
       R << "  [" << Specs[I].Name << "] exit snapshot mismatch: ref "
         << Ref.SnapNodes << " nodes / " << Ref.SnapBytes << " bytes vs "
         << O.SnapNodes << " nodes / " << O.SnapBytes << " bytes\n";
+      Fail(I);
+    } else if (O.MidViolation) {
+      R << "  [" << Specs[I].Name << "] mid-run snapshot failed: "
+        << escape(O.MidError) << "\n";
+      Fail(I);
+    } else if (!Ref.MidViolation &&
+               (O.MidRequests != Ref.MidRequests ||
+                O.MidNodes != Ref.MidNodes || O.MidBytes != Ref.MidBytes ||
+                O.MidOutLen != Ref.MidOutLen)) {
+      R << "  [" << Specs[I].Name << "] steady-state mismatch: ref {req="
+        << Ref.MidRequests << " nodes=" << Ref.MidNodes << " bytes="
+        << Ref.MidBytes << " out=" << Ref.MidOutLen << "} vs {req="
+        << O.MidRequests << " nodes=" << O.MidNodes << " bytes="
+        << O.MidBytes << " out=" << O.MidOutLen << "}\n";
       Fail(I);
     }
     if (Res.Diverged && FailFast)
@@ -594,7 +665,9 @@ OracleResult fuzz::checkSource(const std::string &Source, bool HasSpin,
         A.WriteBarriersRun != B.WriteBarriersRun ||
         A.BytesCopied != B.BytesCopied ||
         A.ObjectsCopied != B.ObjectsCopied ||
-        A.SnapNodes != B.SnapNodes || A.SnapBytes != B.SnapBytes) {
+        A.SnapNodes != B.SnapNodes || A.SnapBytes != B.SnapBytes ||
+        A.MidRequests != B.MidRequests || A.MidNodes != B.MidNodes ||
+        A.MidBytes != B.MidBytes || A.MidOutLen != B.MidOutLen) {
       R << "  [dispatch twin] " << Specs[P].Name << " {i=" << A.Instrs
         << " " << statsBrief(A) << "} != " << Specs[I].Name
         << " {i=" << B.Instrs << " " << statsBrief(B) << "}\n";

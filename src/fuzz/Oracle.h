@@ -14,6 +14,12 @@
 /// equivalent configurations is a bug in the compiler, the tables, a
 /// collector, or an execution tier.
 ///
+/// Programs containing a server loop (ReqDone markers) additionally get a
+/// steady-state cell check: a globals-only heap snapshot captured at a
+/// fixed request ordinal must agree — node count, byte total, output
+/// length — across every cell, including the heap-growth/nursery-auto
+/// policy cell whose collection schedule differs from all the others.
+///
 /// The dispatch dimension is sampled two ways: the reference cell runs
 /// the switch tier while every other cell defaults to threaded (so each
 /// output/snapshot comparison already crosses the tiers), and two "twin"
@@ -87,6 +93,16 @@ struct RunOutcome {
   bool SnapViolation = false;
   uint64_t SnapNodes = 0, SnapBytes = 0;
   std::string SnapError;
+  // Mid-run steady-state snapshot, captured at the third ReqDone() marker
+  // when the program contains a server loop.  The marker fires with
+  // instruction counters synced and the heap in a normal mutator state, so
+  // a globals-only snapshot there sees the same reachable graph in every
+  // cell — the session cache at a fixed request ordinal is a pure function
+  // of the program, not of the collection schedule.  Programs without
+  // ReqDone leave all of this zero (trivially equal across cells).
+  bool MidViolation = false;
+  uint64_t MidRequests = 0, MidNodes = 0, MidBytes = 0, MidOutLen = 0;
+  std::string MidError;
 };
 
 /// Runs \p Prog under \p Spec in a forked child and collects the outcome.

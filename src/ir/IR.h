@@ -90,7 +90,7 @@ const char *opcodeName(Opcode Op);
 
 /// Runtime intrinsics; all except GcCollect are statically known not to
 /// allocate, so calls to them are not gc-points (§5.3).
-enum class RtFn : uint8_t { PutInt, PutChar, PutLn, GcCollect, Halt };
+enum class RtFn : uint8_t { PutInt, PutChar, PutLn, GcCollect, Halt, ReqDone };
 
 /// Trap reasons.
 enum class TrapKind : uint8_t { MissingReturn, BoundsCheck, NilDeref };

@@ -249,6 +249,13 @@ bool obs::readTrace(std::istream &In, TraceReport &R, std::string &Err) {
             static_cast<uint64_t>(Rec.getInt(Key + "_copy_ns"));
       }
       R.Events.push_back(Ev);
+    } else if (Rec.Type == "req") {
+      TraceReport::Request Q;
+      Q.Seq = static_cast<uint64_t>(Rec.getInt("seq"));
+      Q.Instrs = static_cast<uint64_t>(Rec.getInt("instrs"));
+      Q.GcNanos = static_cast<uint64_t>(Rec.getInt("gc_ns"));
+      Q.Collections = static_cast<uint64_t>(Rec.getInt("collections"));
+      R.Requests.push_back(Q);
     } else if (Rec.Type == "site_stats") {
       size_t Id = static_cast<size_t>(Rec.getInt("id"));
       if (Id >= R.Sites.size()) {
@@ -477,6 +484,32 @@ std::string obs::renderReport(const TraceReport &R, size_t TopN) {
                     fmtNanos(SumTrace).c_str(), fmtNanos(SumCopy).c_str());
       Out += Buf;
     }
+  }
+
+  // --- Server-workload requests (programs that call ReqDone).
+  if (!R.Requests.empty()) {
+    std::vector<uint64_t> Instrs;
+    uint64_t GcNs = 0, Colls = 0;
+    for (const TraceReport::Request &Q : R.Requests) {
+      Instrs.push_back(Q.Instrs);
+      GcNs += Q.GcNanos;
+      Colls += Q.Collections;
+    }
+    Pcts P = pcts(Instrs);
+    Out += "\n-- requests --\n";
+    std::snprintf(Buf, sizeof(Buf),
+                  "  %zu requests; instrs/req p50 %llu   p95 %llu   max "
+                  "%llu\n",
+                  R.Requests.size(), static_cast<unsigned long long>(P.P50),
+                  static_cast<unsigned long long>(P.P95),
+                  static_cast<unsigned long long>(P.Max));
+    Out += Buf;
+    std::snprintf(Buf, sizeof(Buf),
+                  "  gc attributed to requests: %s across %llu "
+                  "collections\n",
+                  fmtNanos(GcNs).c_str(),
+                  static_cast<unsigned long long>(Colls));
+    Out += Buf;
   }
 
   // --- Top allocation sites.

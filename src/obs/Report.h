@@ -71,6 +71,17 @@ struct TraceReport {
 
   std::vector<GcEvent> Events; ///< Every gc record, in order.
 
+  /// req records: one per server-workload request boundary (ReqDone),
+  /// carrying the instructions retired and GC time attributed to that
+  /// request. Present only for programs that call ReqDone().
+  struct Request {
+    uint64_t Seq = 0;
+    uint64_t Instrs = 0;
+    uint64_t GcNanos = 0;
+    uint64_t Collections = 0;
+  };
+  std::vector<Request> Requests;
+
   /// Trailing site_live records: objects still live at trace finish,
   /// attributed by allocation site (Id == -1 pools the NoSite objects).
   /// Present only when the tracer ran with persistent attribution.

@@ -78,6 +78,29 @@ Tracer::Tracer(TracerConfig C) : Config(std::move(C)) {
   Ring.resize(std::max<size_t>(Config.RingCapacity, 1));
   PausesMinor.reserve(1024);
   PausesFull.reserve(1024);
+  ReqInstrs.reserve(std::min<size_t>(Config.RequestCapacity, 1u << 12));
+}
+
+void Tracer::recordRequest(uint64_t Seq, uint64_t Instrs, uint64_t GcNanos,
+                           uint64_t Collections) {
+  if (!Enabled)
+    return;
+  ++ReqCount;
+  ReqGcNanosTotal += GcNanos;
+  ReqCollectionsTotal += Collections;
+  if (ReqInstrs.size() < Config.RequestCapacity)
+    ReqInstrs.push_back(Instrs);
+  else
+    ++DroppedRequests;
+  if (Stream) {
+    std::string L = "{\"type\":\"req\"";
+    field(L, "seq", Seq);
+    field(L, "instrs", Instrs);
+    field(L, "gc_ns", GcNanos);
+    field(L, "collections", Collections);
+    L += "}\n";
+    *Stream << L;
+  }
 }
 
 void Tracer::enable(std::ostream *S) {
@@ -309,6 +332,21 @@ Tracer::Percentiles Tracer::pausePercentiles(int Kind) const {
   if (!V.empty()) {
     R.P50 = percentileOf(V, 0.50);
     R.P95 = percentileOf(V, 0.95);
+    R.P99 = percentileOf(V, 0.99);
+    R.Max = V.back();
+  }
+  return R;
+}
+
+Tracer::Percentiles Tracer::requestPercentiles() const {
+  std::vector<uint64_t> V = ReqInstrs;
+  std::sort(V.begin(), V.end());
+  Percentiles R;
+  R.Count = V.size();
+  if (!V.empty()) {
+    R.P50 = percentileOf(V, 0.50);
+    R.P95 = percentileOf(V, 0.95);
+    R.P99 = percentileOf(V, 0.99);
     R.Max = V.back();
   }
   return R;
@@ -335,6 +373,18 @@ std::string Tracer::summaryJsonFields() const {
   field(Out, "full_pause_p50_ns", Full.P50);
   field(Out, "full_pause_p95_ns", Full.P95);
   field(Out, "full_pause_max_ns", Full.Max);
+  if (ReqCount) {
+    // Server workloads only: per-request service demand (virtual time, in
+    // instructions) and the GC work attributed to completed requests.
+    field(Out, "requests", ReqCount);
+    field(Out, "requests_dropped", DroppedRequests);
+    field(Out, "req_gc_ns", ReqGcNanosTotal);
+    field(Out, "req_collections", ReqCollectionsTotal);
+    Percentiles Req = requestPercentiles();
+    field(Out, "req_instr_p50", Req.P50);
+    field(Out, "req_instr_p99", Req.P99);
+    field(Out, "req_instr_max", Req.Max);
+  }
   return Out;
 }
 

@@ -134,6 +134,10 @@ struct TracerConfig {
   /// Capacity of the first-collection survival buffer: allocations between
   /// consecutive collections beyond this are dropped (and counted).
   size_t PendingCapacity = 1u << 15;
+  /// Capacity of the per-request service-demand sample buffer (ReqDone
+  /// markers); samples beyond it are dropped (and counted), the running
+  /// aggregates keep counting.
+  size_t RequestCapacity = 1u << 18;
   /// Report per-object attribution: emit the live-by-site and age-histogram
   /// trailer records at finish() and the live_*_by_site fields in
   /// --stats-json.  The attribution data itself is header-borne (vm/Heap.h)
@@ -194,6 +198,15 @@ public:
     }
   }
 
+  /// Records one completed request (a ReqDone marker): \p Instrs is the
+  /// virtual-time service demand (instructions retired since the previous
+  /// marker), \p GcNanos and \p Collections the collection work the VM
+  /// attributed to that window.  Request granularity is coarse relative to
+  /// allocation, so this may append to the (preallocated) sample buffer
+  /// and write a JSONL record.
+  void recordRequest(uint64_t Seq, uint64_t Instrs, uint64_t GcNanos,
+                     uint64_t Collections);
+
   //===--- Collection lifecycle (VM / collector) ---------------------------===
 
   /// Begins event \p Seq.  Returns the event for the collector to fill;
@@ -240,12 +253,29 @@ public:
   std::vector<GcEvent> retainedEvents() const;
 
   struct Percentiles {
-    uint64_t P50 = 0, P95 = 0, Max = 0;
+    uint64_t P50 = 0, P95 = 0, P99 = 0, Max = 0;
     uint64_t Count = 0;
   };
   /// Pause percentiles over every committed event (not just the retained
   /// ring).  Kind: 0 = all, 1 = minor only, 2 = full only.
   Percentiles pausePercentiles(int Kind = 0) const;
+
+  //===--- Request aggregation (server workloads) --------------------------===
+
+  uint64_t requestCount() const { return ReqCount; }
+  /// Sum of per-request GC attribution: equals the sum of TotalNanos over
+  /// the events inside completed request windows (the tail after the last
+  /// marker is unattributed).
+  uint64_t requestGcNanos() const { return ReqGcNanosTotal; }
+  uint64_t requestCollections() const { return ReqCollectionsTotal; }
+  uint64_t droppedRequests() const { return DroppedRequests; }
+  /// Per-request service demand in instructions, in completion order (at
+  /// most Config.RequestCapacity retained).
+  const std::vector<uint64_t> &requestInstrSamples() const {
+    return ReqInstrs;
+  }
+  /// Service-demand percentiles (instructions) over the retained samples.
+  Percentiles requestPercentiles() const;
 
   /// The aggregate counters as one JSON object body (no surrounding
   /// braces), for embedding in --stats-json.
@@ -303,6 +333,12 @@ private:
 
   std::vector<uint64_t> PausesMinor; ///< TotalNanos of every minor event.
   std::vector<uint64_t> PausesFull;  ///< TotalNanos of every full event.
+
+  std::vector<uint64_t> ReqInstrs; ///< Per-request service demand samples.
+  uint64_t ReqCount = 0;
+  uint64_t ReqGcNanosTotal = 0;
+  uint64_t ReqCollectionsTotal = 0;
+  uint64_t DroppedRequests = 0;
 };
 
 /// Appends one JSON string literal (quoted, escaped) to \p Out.

@@ -34,36 +34,50 @@ size_t addChecked(size_t A, size_t B) {
 } // namespace
 
 Heap::Heap(size_t SemispaceBytes, const std::vector<ir::TypeDesc> &Descs,
-           bool Generational, size_t NurseryBytes)
-    : SpaceBytes((SemispaceBytes + 7) & ~size_t(7)), Gen(Generational),
-      Descs(Descs) {
+           bool Generational, size_t NurseryBytes, HeapPolicy P)
+    : SpaceBytes((SemispaceBytes + 7) & ~size_t(7)), Policy(P),
+      Gen(Generational), Descs(Descs) {
   assert(Descs.size() <= DescMask + 1 &&
          "type descriptor index overflows the header field");
-  Space0.reset(new uint8_t[SpaceBytes]);
-  Space1.reset(new uint8_t[SpaceBytes]);
-  FromBase = reinterpret_cast<Word>(Space0.get());
-  ToBase = reinterpret_cast<Word>(Space1.get());
+  // Resolve the growth cap once so maxObjectBytes() is a run constant:
+  // default 8x the initial semispace, never below it, 8-aligned.  Without
+  // a growth trigger the cap is pinned to the (fixed) semispace size.
+  if (Policy.GrowthPct) {
+    if (Policy.MaxBytes == 0)
+      Policy.MaxBytes = SpaceBytes * 8;
+    Policy.MaxBytes &= ~size_t(7);
+    if (Policy.MaxBytes < SpaceBytes)
+      Policy.MaxBytes = SpaceBytes;
+  } else {
+    Policy.MaxBytes = SpaceBytes;
+  }
+  ToSpaceBytes = SpaceBytes;
+  FromSpace.reset(new uint8_t[SpaceBytes]);
+  ToSpace.reset(new uint8_t[ToSpaceBytes]);
+  FromBase = reinterpret_cast<Word>(FromSpace.get());
+  ToBase = reinterpret_cast<Word>(ToSpace.get());
   AllocPtr = FromBase;
   ToAlloc = ToBase;
   OldLimit = FromBase + SpaceBytes;
   if (Gen) {
     // Each nursery half defaults to an eighth of a semispace, and is
     // clamped so old space keeps room to absorb a full nursery of
-    // promotions (maxObjectBytes stays positive).
+    // promotions (maxObjectBytes stays positive).  Auto-sizing treats the
+    // resolved value as its floor.
     size_t Half = NurseryBytes ? NurseryBytes : SpaceBytes / 8;
     Half = (Half + 7) & ~size_t(7);
     if (Half < 512)
       Half = 512;
     if (Half > SpaceBytes / 2)
       Half = (SpaceBytes / 2) & ~size_t(7);
-    NurHalfBytes = Half;
-    Nur0.reset(new uint8_t[NurHalfBytes]);
-    Nur1.reset(new uint8_t[NurHalfBytes]);
-    NurFromBase = reinterpret_cast<Word>(Nur0.get());
-    NurToBase = reinterpret_cast<Word>(Nur1.get());
+    NurFromHalfBytes = NurToHalfBytes = NurFloorBytes = Half;
+    NurFromBuf.reset(new uint8_t[NurFromHalfBytes]);
+    NurToBuf.reset(new uint8_t[NurToHalfBytes]);
+    NurFromBase = reinterpret_cast<Word>(NurFromBuf.get());
+    NurToBase = reinterpret_cast<Word>(NurToBuf.get());
     NurAlloc = NurFromBase;
     NurToAlloc = NurToBase;
-    OldLimit = FromBase + SpaceBytes - NurHalfBytes;
+    OldLimit = FromBase + SpaceBytes - NurFromHalfBytes;
   }
 }
 
@@ -131,8 +145,8 @@ Word Heap::allocate(unsigned DescIdx, int64_t Length, uint32_t Site) {
     size_t Used = (AllocPtr - FromBase) + (NurAlloc - NurFromBase);
     size_t Budget = Used < SpaceBytes ? SpaceBytes - Used : 0;
     Word Limit = NurAlloc + Budget;
-    if (Limit > NurFromBase + NurHalfBytes)
-      Limit = NurFromBase + NurHalfBytes;
+    if (Limit > NurFromBase + NurFromHalfBytes)
+      Limit = NurFromBase + NurFromHalfBytes;
     return bumpAllocate(NurAlloc, Limit, DescIdx, Length, Site);
   }
   return bumpAllocate(AllocPtr, FromBase + SpaceBytes, DescIdx, Length, Site);
@@ -151,7 +165,7 @@ Word Heap::forward(Word Obj) {
     return H & ~ForwardBit;
   size_t Words = objectWords(Obj);
   Word New = ToAlloc;
-  assert(New + Words * sizeof(Word) <= ToBase + SpaceBytes &&
+  assert(New + Words * sizeof(Word) <= ToBase + ToSpaceBytes &&
          "to-space overflow during collection");
   ToAlloc += Words * sizeof(Word);
   std::memcpy(reinterpret_cast<void *>(New),
@@ -215,7 +229,7 @@ Word Heap::forwardParallel(Word Obj, bool &Copied, size_t &BytesOut) {
   size_t Words = objectWordsFromHdr(Descs, H, Obj);
   size_t Bytes = Words * sizeof(Word);
   Word New = __atomic_fetch_add(&ToAlloc, Bytes, __ATOMIC_RELAXED);
-  assert(New + Bytes <= ToBase + SpaceBytes &&
+  assert(New + Bytes <= ToBase + ToSpaceBytes &&
          "to-space overflow during collection");
   // Copy payload words only — the destination header is written fresh, and
   // the source header now holds the claim marker anyway.
@@ -232,11 +246,45 @@ Word Heap::forwardParallel(Word Obj, bool &Copied, size_t &BytesOut) {
   return New;
 }
 
+void Heap::beginCollection() {
+  // Growth decision, made before the copy so the Cheney invariant
+  // (live <= to-space) is preserved by construction: double the to-space
+  // when occupancy crossed the trigger or a demand growth is armed.
+  // Growth-only — the semispaces never shrink below what is live, because
+  // the target is always >= the current size.
+  size_t Target = SpaceBytes;
+  if (Policy.GrowthPct && SpaceBytes < Policy.MaxBytes &&
+      (GrowRequested || static_cast<uint64_t>(usedBytes()) * 100 >=
+                            static_cast<uint64_t>(SpaceBytes) *
+                                Policy.GrowthPct)) {
+    Target = SpaceBytes * 2;
+    if (Target > Policy.MaxBytes)
+      Target = Policy.MaxBytes;
+    ++HeapGrowths;
+  }
+  GrowRequested = false;
+  if (Target != ToSpaceBytes) {
+    ToSpace.reset(new uint8_t[Target]);
+    ToBase = reinterpret_cast<Word>(ToSpace.get());
+    ToSpaceBytes = Target;
+  }
+  ToAlloc = ToBase;
+}
+
 void Heap::endCollection() {
   std::swap(FromBase, ToBase);
+  std::swap(FromSpace, ToSpace);
+  std::swap(SpaceBytes, ToSpaceBytes);
   AllocPtr = ToAlloc;
+  if (ToSpaceBytes != SpaceBytes) {
+    // The pair stays symmetric: the idle semispace must be able to absorb
+    // a full copy of the (now larger) from-space at the next collection.
+    ToSpace.reset(new uint8_t[SpaceBytes]);
+    ToBase = reinterpret_cast<Word>(ToSpace.get());
+    ToSpaceBytes = SpaceBytes;
+  }
   ToAlloc = ToBase;
-  OldLimit = Gen ? FromBase + SpaceBytes - NurHalfBytes
+  OldLimit = Gen ? FromBase + SpaceBytes - nurseryReserveBytes()
                  : FromBase + SpaceBytes;
   if (Gen) {
     NurAlloc = NurFromBase; // The nursery was fully evacuated.
@@ -261,7 +309,7 @@ Word Heap::forwardYoung(Word Obj) {
     BytesPromoted += Bytes;
   } else {
     New = NurToAlloc;
-    assert(New + Bytes <= NurToBase + NurHalfBytes &&
+    assert(New + Bytes <= NurToBase + NurToHalfBytes &&
            "survivor-half overflow during minor collection");
     NurToAlloc += Bytes;
   }
@@ -277,8 +325,46 @@ Word Heap::forwardYoung(Word Obj) {
 
 void Heap::endMinorCollection() {
   std::swap(NurFromBase, NurToBase);
+  std::swap(NurFromBuf, NurToBuf);
+  std::swap(NurFromHalfBytes, NurToHalfBytes);
   NurAlloc = NurToAlloc;
   NurToAlloc = NurToBase;
+  if (Policy.NurseryAuto)
+    resizeIdleNurseryHalf();
+}
+
+void Heap::resizeIdleNurseryHalf() {
+  // Survivor-volume controller: grow when more than a quarter of the
+  // active half survived the minor collection that just ended (promotion
+  // pressure), shrink when less than a sixteenth did.  Only the idle
+  // (empty) survivor half is resized; after the next swap the controller
+  // sees the other half, so both converge within two minors.  The floor
+  // is the configured --nursery-bytes size, the cap a quarter of the
+  // current semispace.
+  size_t Active = NurFromHalfBytes;
+  size_t Survivors = NurAlloc - NurFromBase;
+  size_t Target = Active;
+  if (Survivors * 4 > Active)
+    Target = Active * 2;
+  else if (Survivors * 16 < Active)
+    Target = Active / 2;
+  Target = (Target + 7) & ~size_t(7);
+  size_t Cap = nurseryAutoCapBytes(SpaceBytes);
+  if (Target < NurFloorBytes)
+    Target = NurFloorBytes;
+  if (Target > Cap)
+    Target = Cap;
+  if (Target == NurToHalfBytes)
+    return;
+  NurToBuf.reset(new uint8_t[Target]);
+  NurToBase = reinterpret_cast<Word>(NurToBuf.get());
+  NurToAlloc = NurToBase;
+  NurToHalfBytes = Target;
+  ++NurseryResizes;
+  // The old-space reserve follows the larger half; AllocPtr may already
+  // sit past a shrunken OldLimit, which bumpAllocate tolerates (the next
+  // allocateOld simply fails into a full collection).
+  OldLimit = FromBase + SpaceBytes - nurseryReserveBytes();
 }
 
 bool Heap::plausibleObject(Word P) const {

@@ -56,6 +56,21 @@ namespace vm {
 
 using Word = uint64_t;
 
+/// Heap-sizing policy (mgc --heap-growth / --heap-max / --nursery-auto).
+/// Every decision is byte-count driven, so sizing is identical across
+/// dispatch tiers and --gc-threads counts.
+struct HeapPolicy {
+  /// Occupancy percentage of the semispace at which a full collection
+  /// doubles it (growth-only; capped by MaxBytes).  0 = fixed-size heap.
+  unsigned GrowthPct = 0;
+  /// Semispace growth cap.  0 = 8x the initial size when GrowthPct is
+  /// set; ignored (pinned to the initial size) otherwise.
+  size_t MaxBytes = 0;
+  /// Generational mode: resize the nursery from minor-collection survivor
+  /// volume, between the configured size (floor) and a quarter semispace.
+  bool NurseryAuto = false;
+};
+
 class Heap {
 public:
   /// Returned by allocationBytes when the size computation overflows.
@@ -104,11 +119,14 @@ public:
 
   /// \p NurseryBytes is the size of *each* nursery half; 0 selects a
   /// default proportional to the semispace size.  Ignored unless
-  /// \p Generational.
+  /// \p Generational.  Under \p P.NurseryAuto the resolved value becomes
+  /// the auto-sizing floor.
   Heap(size_t SemispaceBytes, const std::vector<ir::TypeDesc> &Descs,
-       bool Generational = false, size_t NurseryBytes = 0);
+       bool Generational = false, size_t NurseryBytes = 0,
+       HeapPolicy P = HeapPolicy());
 
   bool generational() const { return Gen; }
+  const HeapPolicy &policy() const { return Policy; }
 
   /// Exact bytes an allocation of descriptor \p DescIdx (\p Length
   /// elements for open arrays) needs, header included, or BadAlloc when
@@ -116,9 +134,28 @@ public:
   size_t allocationBytes(unsigned DescIdx, int64_t Length) const;
 
   /// Largest single object this heap can ever hold; requests above it can
-  /// never succeed, no matter how much is collected.
+  /// never succeed, no matter how much is collected *or how much the heap
+  /// grows* — under a growth policy the bound is the cap, so the oversize
+  /// diagnostic stays deterministic under every policy.
   size_t maxObjectBytes() const {
-    return Gen ? SpaceBytes - NurHalfBytes : SpaceBytes;
+    size_t Cap = Policy.GrowthPct ? Policy.MaxBytes : SpaceBytes;
+    if (!Gen)
+      return Cap;
+    // The old-space reserve at full growth: the fixed half size, or the
+    // auto-sizing cap relative to the capped semispace.
+    size_t Reserve = Policy.NurseryAuto ? nurseryAutoCapBytes(Cap)
+                                        : nurseryReserveBytes();
+    return Cap - Reserve;
+  }
+
+  /// Arms one demand doubling for the next full collection (the VM's
+  /// allocation-retry escalation).  False when the policy forbids growth
+  /// or the semispace is already at its cap.
+  bool requestGrowth() {
+    if (!Policy.GrowthPct || SpaceBytes >= Policy.MaxBytes)
+      return false;
+    GrowRequested = true;
+    return true;
   }
 
   /// Bump-allocates an object of descriptor \p DescIdx (\p Length elements
@@ -146,18 +183,18 @@ public:
            (Gen && inNursery(P));
   }
   bool inToSpace(Word P) const {
-    return P >= ToBase && P < ToBase + SpaceBytes;
+    return P >= ToBase && P < ToBase + ToSpaceBytes;
   }
 
   //===--- Generational queries --------------------------------------------===
 
   /// The active (allocation) nursery half.
   bool inNursery(Word P) const {
-    return Gen && P >= NurFromBase && P < NurFromBase + NurHalfBytes;
+    return Gen && P >= NurFromBase && P < NurFromBase + NurFromHalfBytes;
   }
   /// The survivor half filled during a minor collection.
   bool inNurseryTo(Word P) const {
-    return Gen && P >= NurToBase && P < NurToBase + NurHalfBytes;
+    return Gen && P >= NurToBase && P < NurToBase + NurToHalfBytes;
   }
   /// The allocated portion of old space.
   bool inOld(Word P) const {
@@ -177,15 +214,32 @@ public:
     return Used;
   }
   size_t capacityBytes() const { return SpaceBytes; }
-  size_t nurseryCapacityBytes() const { return NurHalfBytes; }
+  size_t nurseryCapacityBytes() const { return NurFromHalfBytes; }
   size_t nurseryUsedBytes() const { return Gen ? NurAlloc - NurFromBase : 0; }
   size_t oldUsedBytes() const { return AllocPtr - FromBase; }
 
-  /// Whether a minor collection is guaranteed room to promote every
-  /// surviving nursery object into old space (worst case: all of them).
+  /// The old-space reserve: room for a full nursery of promotions.  With
+  /// auto-sizing the halves can differ transiently; the reserve covers the
+  /// larger one.
+  size_t nurseryReserveBytes() const {
+    return NurFromHalfBytes > NurToHalfBytes ? NurFromHalfBytes
+                                             : NurToHalfBytes;
+  }
+  /// The largest half size nursery auto-sizing may reach over a semispace
+  /// of \p Cap bytes (the floor when a quarter semispace is below it).
+  size_t nurseryAutoCapBytes(size_t Cap) const {
+    size_t Quarter = (Cap / 4) & ~size_t(7);
+    return Quarter > NurFloorBytes ? Quarter : NurFloorBytes;
+  }
+
+  /// Whether a minor collection is guaranteed room both to promote every
+  /// surviving nursery object into old space (worst case: all of them)
+  /// and to fit them all in the survivor half.
   bool minorHeadroomOk() const {
-    return (AllocPtr - FromBase) + (NurAlloc - NurFromBase) <=
-           maxObjectBytes();
+    size_t NurUsed = NurAlloc - NurFromBase;
+    return (AllocPtr - FromBase) + NurUsed <=
+               SpaceBytes - nurseryReserveBytes() &&
+           NurUsed <= NurToHalfBytes;
   }
 
   //===--- Write barrier / remembered set ----------------------------------===
@@ -207,11 +261,17 @@ public:
 
   uint64_t ObjectsPromoted = 0;
   uint64_t BytesPromoted = 0;
+  /// Semispace doublings performed (growth policy).
+  uint64_t HeapGrowths = 0;
+  /// Nursery half resizes performed (auto-sizing policy).
+  uint64_t NurseryResizes = 0;
 
   //===--- Full-collection (Cheney) interface ------------------------------===
 
-  /// Begins a full collection: resets the to-space allocation pointer.
-  void beginCollection() { ToAlloc = ToBase; }
+  /// Begins a full collection: resets the to-space allocation pointer,
+  /// first growing the to-space when the sizing policy triggers (occupancy
+  /// above GrowthPct, or an armed demand growth).
+  void beginCollection();
   /// Copies \p Obj to to-space (or returns its forwarding pointer).  In
   /// generational mode the source may be either old from-space or the
   /// nursery; everything lands in old to-space.
@@ -288,12 +348,23 @@ private:
   Word bumpAllocate(Word &Bump, Word Limit, unsigned DescIdx, int64_t Length,
                     uint32_t Site);
 
-  size_t SpaceBytes;
+  /// Auto-sizing controller: retargets the (empty) idle nursery half from
+  /// the survivor volume of the minor collection that just ended.
+  void resizeIdleNurseryHalf();
+
+  size_t SpaceBytes;       ///< From-space size (grows under the policy).
+  size_t ToSpaceBytes = 0; ///< To-space size (== SpaceBytes outside growth).
+  HeapPolicy Policy;
+  bool GrowRequested = false; ///< Demand growth armed (requestGrowth).
   uint32_t SiteCount = 0;
   bool Gen;
-  size_t NurHalfBytes = 0;
-  std::unique_ptr<uint8_t[]> Space0, Space1;
-  std::unique_ptr<uint8_t[]> Nur0, Nur1;
+  size_t NurFromHalfBytes = 0; ///< Active nursery half size.
+  size_t NurToHalfBytes = 0;   ///< Survivor nursery half size.
+  size_t NurFloorBytes = 0;    ///< Auto-sizing floor (resolved ctor size).
+  /// The semispace buffers, swapped with the bases at endCollection so the
+  /// growth path can reallocate exactly the idle one.
+  std::unique_ptr<uint8_t[]> FromSpace, ToSpace;
+  std::unique_ptr<uint8_t[]> NurFromBuf, NurToBuf;
   Word FromBase, ToBase;
   Word AllocPtr; ///< Bump pointer in old from-space.
   Word ToAlloc;  ///< Bump pointer in old to-space during collection.

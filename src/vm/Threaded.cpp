@@ -503,6 +503,12 @@ L_CallRt:
     T.Live = false;
     MGC_SYNC();
     return true; // Thread done; not an error.
+  case ir::RtFn::ReqDone:
+    // Sync first so Stats.Instrs (and T.PC, for hooks) match the switch
+    // tier bit-for-bit at the marker.
+    MGC_SYNC();
+    finishRequest();
+    break;
   }
   MGC_FALL();
 

@@ -27,7 +27,9 @@ using namespace mgc::vm;
 
 VM::VM(const Program &Prog, VMOptions Opts)
     : Prog(Prog), Opts(Opts),
-      TheHeap(Opts.HeapBytes, Prog.TypeDescs, Opts.GenGc, Opts.NurseryBytes),
+      TheHeap(Opts.HeapBytes, Prog.TypeDescs, Opts.GenGc, Opts.NurseryBytes,
+              HeapPolicy{Opts.HeapGrowthPct, Opts.HeapMaxBytes,
+                         Opts.NurseryAuto}),
       Globals(Prog.GlobalAreaWords, 0), DProg(decodeProgram(Prog)) {
   TheHeap.setSiteCount(static_cast<uint32_t>(Prog.SiteTab.Sites.size()));
   installHandlers();
@@ -105,6 +107,13 @@ Word VM::allocate(unsigned DescIdx, int64_t Length, uint32_t RetPC) {
     if (!collect(RetPC))
       return 0;
     Obj = TheHeap.allocate(DescIdx, Length, HdrSite);
+    // Demand escalation under a growth policy: each extra collection
+    // doubles the semispace until the request fits or the cap is reached.
+    while (Obj == 0 && TheHeap.requestGrowth()) {
+      if (!collect(RetPC))
+        return 0;
+      Obj = TheHeap.allocate(DescIdx, Length, HdrSite);
+    }
     if (Obj == 0) {
       fail("heap exhausted: " + std::to_string(TheHeap.usedBytes()) +
            " bytes live of " + std::to_string(TheHeap.capacityBytes()));
@@ -123,6 +132,11 @@ Word VM::allocate(unsigned DescIdx, int64_t Length, uint32_t RetPC) {
     if (!collect(RetPC, GcKind::Full))
       return 0;
     Obj = TheHeap.allocateOld(DescIdx, Length, HdrSite);
+    while (Obj == 0 && TheHeap.requestGrowth()) {
+      if (!collect(RetPC, GcKind::Full))
+        return 0;
+      Obj = TheHeap.allocateOld(DescIdx, Length, HdrSite);
+    }
     if (Obj == 0) {
       fail("heap exhausted: " + std::to_string(TheHeap.usedBytes()) +
            " bytes live of " + std::to_string(TheHeap.capacityBytes()));
@@ -144,6 +158,11 @@ Word VM::allocate(unsigned DescIdx, int64_t Length, uint32_t RetPC) {
   if (!collect(RetPC, GcKind::Full))
     return 0;
   Obj = TheHeap.allocate(DescIdx, Length, HdrSite);
+  while (Obj == 0 && TheHeap.requestGrowth()) {
+    if (!collect(RetPC, GcKind::Full))
+      return 0;
+    Obj = TheHeap.allocate(DescIdx, Length, HdrSite);
+  }
   if (Obj == 0) {
     fail("heap exhausted: " + std::to_string(TheHeap.usedBytes()) +
          " bytes live of " + std::to_string(TheHeap.capacityBytes()));
@@ -163,9 +182,11 @@ bool VM::collect(uint32_t TriggerRetPC, GcKind Kind) {
 
   using Clock = std::chrono::steady_clock;
   bool Tracing = Tracer && Tracer->enabled();
-  Clock::time_point RendT0;
-  if (Tracing)
-    RendT0 = Clock::now();
+  // Rendezvous is timed in every run, not just traced ones: per-request GC
+  // attribution (ReqDone markers) charges rendezvous + collection nanos to
+  // the current request window using exactly the value a tracer event
+  // would carry in TotalNanos.
+  Clock::time_point RendT0 = Clock::now();
   uint64_t RendStepsBefore = Stats.RendezvousSteps;
 
   // Rendezvous (§5.3): a handshake per live thread, each stepping its
@@ -188,6 +209,11 @@ bool VM::collect(uint32_t TriggerRetPC, GcKind Kind) {
   }
 
   ++Stats.Collections;
+  uint64_t RendNanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           RendT0)
+          .count());
+  uint64_t GcNanosBefore = Stats.GcNanos;
   // A failed rendezvous returns above without an event, so committed
   // events correspond 1:1 with Stats.Collections.
   VMStats Snap;
@@ -196,10 +222,7 @@ bool VM::collect(uint32_t TriggerRetPC, GcKind Kind) {
     obs::GcEvent &Ev = Tracer->beginEvent(
         Stats.Collections, Kind == GcKind::Minor,
         CurAllocSite == NoAllocSite ? obs::NoSite : CurAllocSite);
-    Ev.Phases.Rendezvous =
-        static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                  Clock::now() - RendT0)
-                                  .count());
+    Ev.Phases.Rendezvous = RendNanos;
     Ev.HeapBeforeBytes = TheHeap.usedBytes();
     Snap = Stats;
     PromObjSnap = TheHeap.ObjectsPromoted;
@@ -207,6 +230,9 @@ bool VM::collect(uint32_t TriggerRetPC, GcKind Kind) {
   }
   Stats.StackTraceStartInstrs = Stats.Instrs;
   Collector(*this);
+  // The same total a tracer event carries: the per-request attribution
+  // must sum exactly to the tracer's per-event TotalNanos.
+  ReqGcNanosAccum += RendNanos + (Stats.GcNanos - GcNanosBefore);
   if (Tracing) {
     obs::GcEvent *Ev = Tracer->current();
     assert(Ev && "collection event vanished during the collector");
@@ -221,7 +247,7 @@ bool VM::collect(uint32_t TriggerRetPC, GcKind Kind) {
     Ev->RendezvousSteps = Stats.RendezvousSteps - RendStepsBefore;
     Ev->CacheHits = Stats.DecodeCacheHits - Snap.DecodeCacheHits;
     Ev->CacheMisses = Stats.DecodeCacheMisses - Snap.DecodeCacheMisses;
-    Ev->TotalNanos = Ev->Phases.Rendezvous + (Stats.GcNanos - Snap.GcNanos);
+    Ev->TotalNanos = RendNanos + (Stats.GcNanos - GcNanosBefore);
     Tracer->commitEvent();
   }
   if (PostGcHook && Error.empty())
@@ -416,6 +442,9 @@ bool VM::step(ThreadContext &T) {
       T.Finished = true;
       T.Live = false;
       return false;
+    case ir::RtFn::ReqDone:
+      finishRequest();
+      break;
     }
     break;
   }
@@ -473,6 +502,22 @@ bool VM::step(ThreadContext &T) {
     return false;
   T.PC += 1;
   return true;
+}
+
+void VM::finishRequest() {
+  ++Stats.Requests;
+  ReqSample Smp;
+  Smp.Seq = Stats.Requests;
+  Smp.Instrs = Stats.Instrs - ReqMarkInstrs;
+  Smp.GcNanos = ReqGcNanosAccum;
+  Smp.Collections = Stats.Collections - ReqMarkCollections;
+  ReqMarkInstrs = Stats.Instrs;
+  ReqMarkCollections = Stats.Collections;
+  ReqGcNanosAccum = 0;
+  if (Tracer)
+    Tracer->recordRequest(Smp.Seq, Smp.Instrs, Smp.GcNanos, Smp.Collections);
+  if (RequestHook)
+    RequestHook(*this, Smp);
 }
 
 void VM::runQuantumSwitch(ThreadContext &T, uint64_t Max) {

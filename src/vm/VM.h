@@ -67,6 +67,13 @@ struct VMOptions {
   /// without computed goto silently execute Switch (activeDispatch()
   /// reports what actually ran).  Both tiers are observably identical.
   DispatchTier Dispatch = DispatchTier::Threaded;
+  /// Heap-sizing policy (vm/Heap.h): occupancy percentage at which a full
+  /// collection doubles the semispace (0 = fixed-size heap), the semispace
+  /// growth cap (0 = 8x the initial size when growth is on), and nursery
+  /// auto-sizing from survivor volume (generational mode).
+  unsigned HeapGrowthPct = 0;
+  size_t HeapMaxBytes = 0;
+  bool NurseryAuto = false;
 };
 
 struct VMStats {
@@ -96,6 +103,8 @@ struct VMStats {
   /// Instructions the *other* threads executed during rendezvous, running
   /// forward to their next gc-point (§5.3; bounded by RendezvousBudget).
   uint64_t RendezvousSteps = 0;
+  /// Server-workload request boundaries retired (RtFn::ReqDone).
+  uint64_t Requests = 0;
 };
 
 /// One thread of execution.
@@ -184,6 +193,23 @@ public:
   /// allocations (so explicit GcCollect collections carry no site).
   uint32_t CurAllocSite = NoAllocSite;
 
+  /// One completed request, as observed at its ReqDone() marker.  Instrs
+  /// is the virtual-time service demand (instructions retired since the
+  /// previous marker, all threads); GcNanos/Collections are the collection
+  /// work attributed to that window.
+  struct ReqSample {
+    uint64_t Seq = 0;         ///< 1-based request ordinal.
+    uint64_t Instrs = 0;      ///< Service demand in instructions.
+    uint64_t GcNanos = 0;     ///< Rendezvous + collection nanos in window.
+    uint64_t Collections = 0; ///< Collections (minor + full) in window.
+  };
+
+  /// Invoked at every ReqDone() marker, from the executing thread with the
+  /// instruction counters synced (both dispatch tiers).  The heap is in a
+  /// normal mutator state — safe for globals-only snapshots, not for stack
+  /// walks.  Must not allocate from this heap.
+  std::function<void(VM &, const ReqSample &)> RequestHook;
+
   /// The pre-decoded instruction stream (vm/Threaded.h), index-parallel
   /// to Prog.Code.  Both dispatch tiers execute from it.
   DecodedProgram DProg;
@@ -234,9 +260,20 @@ private:
 
   Word allocate(unsigned DescIdx, int64_t Length, uint32_t RetPC);
 
+  /// Retires one ReqDone() marker: accounts the request window against the
+  /// current counters, records it with the tracer, and runs RequestHook.
+  /// Callers must have Stats.Instrs synced (threaded tier: MGC_SYNC).
+  void finishRequest();
+
   bool fail(const std::string &Msg);
 
   bool InCollect = false;
+
+  /// ReqDone bookkeeping: counter marks at the previous request boundary
+  /// and the collection nanos accumulated since (fed by collect()).
+  uint64_t ReqMarkInstrs = 0;
+  uint64_t ReqMarkCollections = 0;
+  uint64_t ReqGcNanosAccum = 0;
 };
 
 inline Word VM::readD(const DOperand &O, Word *const *Bases) {

@@ -54,6 +54,27 @@ INSTANTIATE_TEST_SUITE_P(Corpus, FuzzCorpus,
                            return I.param;
                          });
 
+// The steady-state cell must not be vacuous: a server-loop program has to
+// actually reach the third ReqDone marker and snapshot a non-empty
+// globals-reachable graph there.  Guards against the matrix "agreeing"
+// only because every cell silently recorded zeros.
+TEST(FuzzOracle, MidRunSnapshotCapturesServerLoop) {
+  const CorpusProgram &P = corpusProgram("seed126");
+  ASSERT_NE(P.Source.find("ReqDone()"), std::string::npos)
+      << "seed126 lost its server loop";
+  std::vector<RunSpec> Matrix = buildMatrix(P.HasSpin);
+  ASSERT_TRUE(Matrix.front().IsRef);
+  driver::CompileResult C =
+      std::move(driver::compileBatch(P.Source, {Matrix.front().CO}).front());
+  ASSERT_TRUE(C.Prog) << C.Diags.str();
+  RunOutcome O = runSandboxed(*C.Prog, Matrix.front());
+  ASSERT_EQ(O.St, RunOutcome::Ok) << O.Error;
+  EXPECT_FALSE(O.MidViolation) << O.MidError;
+  EXPECT_GE(O.MidRequests, 3u);
+  EXPECT_GT(O.MidNodes, 0u);
+  EXPECT_GT(O.MidBytes, 0u);
+}
+
 //===----------------------------------------------------------------------===//
 // Generator validity
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,159 @@
+MODULE Fz;
+(* generated: mgc-fuzz seed 2 *)
+
+TYPE
+  Cell = REF CellRec;
+  CellRec = RECORD v: INTEGER; next: Cell END;
+  Node = REF NodeRec;
+  Kids = REF ARRAY OF Node;
+  NodeRec = RECORD value: INTEGER; kids: Kids END;
+  IArr = REF ARRAY OF INTEGER;
+  FArr = REF ARRAY [1..8] OF INTEGER;
+  Pair = REF PairRec;
+  PairRec = RECORD a, b: INTEGER; left, right: Pair END;
+  SCache = REF ARRAY OF Cell;
+
+VAR sink, t0, t1, t2, t3: INTEGER;
+    gl: Cell;
+    sc: SCache;
+    ga: IArr;
+    gn: Node;
+    gp: Pair;
+    fa, fb: FArr;
+    done: BOOLEAN;
+
+PROCEDURE BuildList(n: INTEGER): Cell;
+VAR l, c: Cell; i: INTEGER;
+BEGIN
+  l := NIL;
+  FOR i := 1 TO n DO
+    c := NEW(Cell);
+    c^.v := i;
+    c^.next := l;
+    l := c
+  END;
+  RETURN l
+END BuildList;
+
+PROCEDURE SumList(l: Cell): INTEGER;
+VAR s: INTEGER; t: Cell;
+BEGIN
+  s := 0;
+  WHILE l # NIL DO
+    WITH w = l^.v DO
+      t := NEW(Cell);
+      t^.v := w;
+      s := (s + w + t^.v) MOD 1000000007
+    END;
+    l := l^.next
+  END;
+  RETURN s
+END SumList;
+
+PROCEDURE LinkPairs(n: INTEGER): Pair;
+VAR h, p: Pair; i: INTEGER;
+BEGIN
+  h := NEW(Pair);
+  h^.a := 1;
+  FOR i := 1 TO n DO
+    p := NEW(Pair);
+    p^.a := i;
+    p^.b := i * 2;
+    p^.left := h^.left;
+    p^.right := h;
+    h^.left := p
+  END;
+  RETURN h
+END LinkPairs;
+
+PROCEDURE WalkPairs(p: Pair): INTEGER;
+VAR s: INTEGER;
+BEGIN
+  s := 0;
+  WHILE p # NIL DO
+    s := (s + p^.a + p^.b) MOD 1000000007;
+    p := p^.left
+  END;
+  RETURN s
+END WalkPairs;
+
+PROCEDURE Use(x: INTEGER): INTEGER;
+VAR junk: FArr;
+BEGIN
+  junk := NEW(FArr);
+  RETURN x
+END Use;
+
+PROCEDURE Work(inv: BOOLEAN; p, q: FArr): INTEGER;
+VAR i, s, v: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 1 TO 8 DO
+    IF inv THEN
+      v := p[i]
+    ELSE
+      v := q[i]
+    END;
+    s := (s + Use(v)) MOD 1000000007
+  END;
+  RETURN s
+END Work;
+
+PROCEDURE Spin();
+VAR i: INTEGER;
+BEGIN
+  i := 0;
+  WHILE NOT done DO
+    INC(i);
+    IF i > 1000000 THEN
+      i := 0
+    END
+  END
+END Spin;
+
+BEGIN
+  gp := LinkPairs(6);
+  t2 := (t2 + WalkPairs(gp)) MOD 1000000007;
+  fa := NEW(FArr);
+  fb := NEW(FArr);
+  FOR i0 := 1 TO 8 DO
+    fa[i0] := i0 * 4;
+    fb[i0] := i0 * 9
+  END;
+  sink := (sink + Work(TRUE, fa, fb) * 1000 + Work(FALSE, fa, fb)) MOD 1000000007;
+  gl := BuildList(4);
+  t1 := (t1 + SumList(gl)) MOD 1000000007;
+  fa := NEW(FArr);
+  fb := NEW(FArr);
+  FOR i1 := 1 TO 8 DO
+    fa[i1] := i1 * 8;
+    fb[i1] := i1 * 7
+  END;
+  sink := (sink + Work(TRUE, fa, fb) * 1000 + Work(FALSE, fa, fb)) MOD 1000000007;
+  FOR i2 := 1 TO 2 DO
+    t1 := (t1 + SumList(gl)) MOD 1000000007;
+    t1 := (t1 + i2 * 7 + 78) MOD 1000000007;
+    IF t2 MOD 2 = 0 THEN
+      t2 := (t2 + 1) MOD 1000000007
+    ELSE
+      t0 := (t0 + i2) MOD 1000000007
+    END
+  END;
+  sc := NEW(SCache, 4);
+  FOR i3 := 1 TO 16 DO
+    gl := BuildList(1 + ((i3 * 5) MOD 5));
+    sc[i3 MOD 4] := gl;
+    sink := (sink + SumList(gl)) MOD 1000000007;
+    IF i3 MOD 2 = 0 THEN
+      sc[(i3 * 3) MOD 4] := NIL
+    END;
+    ReqDone()
+  END;
+  done := TRUE;
+  PutInt((sink + t0 + t1 + t2 + t3) MOD 1000000007);
+  PutChar(32);
+  PutInt(t0 + t1);
+  PutChar(32);
+  PutInt(t2 + t3);
+  PutLn()
+END Fz.

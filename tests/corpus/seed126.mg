@@ -1,0 +1,145 @@
+MODULE Fz;
+(* generated: mgc-fuzz seed 26 *)
+
+TYPE
+  Cell = REF CellRec;
+  CellRec = RECORD v: INTEGER; next: Cell END;
+  Node = REF NodeRec;
+  Kids = REF ARRAY OF Node;
+  NodeRec = RECORD value: INTEGER; kids: Kids END;
+  IArr = REF ARRAY OF INTEGER;
+  FArr = REF ARRAY [1..8] OF INTEGER;
+  Pair = REF PairRec;
+  PairRec = RECORD a, b: INTEGER; left, right: Pair END;
+  SCache = REF ARRAY OF Cell;
+
+VAR sink, t0, t1, t2, t3: INTEGER;
+    gl: Cell;
+    sc: SCache;
+    ga: IArr;
+    gn: Node;
+    gp: Pair;
+    fa, fb: FArr;
+    done: BOOLEAN;
+
+PROCEDURE BuildList(n: INTEGER): Cell;
+VAR l, c: Cell; i: INTEGER;
+BEGIN
+  l := NIL;
+  FOR i := 1 TO n DO
+    c := NEW(Cell);
+    c^.v := i;
+    c^.next := l;
+    l := c
+  END;
+  RETURN l
+END BuildList;
+
+PROCEDURE SumList(l: Cell): INTEGER;
+VAR s: INTEGER; t: Cell;
+BEGIN
+  s := 0;
+  WHILE l # NIL DO
+    WITH w = l^.v DO
+      t := NEW(Cell);
+      t^.v := w;
+      s := (s + w + t^.v) MOD 1000000007
+    END;
+    l := l^.next
+  END;
+  RETURN s
+END SumList;
+
+PROCEDURE Fill(a: IArr);
+VAR i: INTEGER;
+BEGIN
+  FOR i := 0 TO NUMBER(a) - 1 DO
+    a[i] := i * 3 + 1
+  END
+END Fill;
+
+PROCEDURE SumArr(a: IArr): INTEGER;
+VAR s, i: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 0 TO NUMBER(a) - 1 DO
+    WITH e = a[i] DO
+      gl := NEW(Cell);
+      gl^.v := e;
+      s := (s + e + gl^.v) MOD 1000000007
+    END
+  END;
+  RETURN s
+END SumArr;
+
+PROCEDURE MakeTree(d: INTEGER): Node;
+VAR n: Node; i: INTEGER;
+BEGIN
+  n := NEW(Node);
+  n^.value := d;
+  IF d > 0 THEN
+    n^.kids := NEW(Kids, 2);
+    FOR i := 0 TO 1 DO
+      n^.kids[i] := MakeTree(d - 1)
+    END
+  ELSE
+    n^.kids := NIL
+  END;
+  RETURN n
+END MakeTree;
+
+PROCEDURE CountTree(n: Node): INTEGER;
+VAR i, total: INTEGER;
+BEGIN
+  IF n = NIL THEN
+    RETURN 0
+  END;
+  total := 1;
+  IF n^.kids # NIL THEN
+    FOR i := 0 TO NUMBER(n^.kids) - 1 DO
+      total := total + CountTree(n^.kids[i])
+    END
+  END;
+  RETURN total
+END CountTree;
+
+BEGIN
+  FOR i0 := 1 TO 2 DO
+    gl := BuildList(i0);
+    IF t0 MOD 2 = 0 THEN
+      t0 := (t0 + 1) MOD 1000000007
+    ELSE
+      t2 := (t2 + i0) MOD 1000000007
+    END;
+    FOR i1 := 1 TO 2 DO
+      t0 := (t0 + i0 * i1) MOD 1000000007
+    END;
+    t0 := (t0 + i0 * 8 + 7) MOD 1000000007
+  END;
+  ga := NEW(IArr, 10);
+  Fill(ga);
+  t2 := (t2 + SumArr(ga)) MOD 1000000007;
+  ga := NEW(IArr, 12);
+  Fill(ga);
+  t1 := (t1 + SumArr(ga)) MOD 1000000007;
+  gl := BuildList(6);
+  t1 := (t1 + SumList(gl)) MOD 1000000007;
+  gn := MakeTree(4);
+  t2 := (t2 + CountTree(gn)) MOD 1000000007;
+  sc := NEW(SCache, 5);
+  FOR i2 := 1 TO 8 DO
+    gl := BuildList(1 + ((i2 * 7) MOD 3));
+    sc[i2 MOD 5] := gl;
+    sink := (sink + SumList(gl)) MOD 1000000007;
+    IF i2 MOD 2 = 0 THEN
+      sc[(i2 * 3) MOD 5] := NIL
+    END;
+    ReqDone()
+  END;
+  PutInt((sink + t0 + t1 + t2 + t3) MOD 1000000007);
+  PutChar(32);
+  PutInt(t0 + t1);
+  PutChar(32);
+  PutInt(t2 + t3);
+  PutLn()
+END Fz.

@@ -20,9 +20,11 @@
 # speedup over the switch interpreter drops below 1.5x or the tiers
 # diverge; the bounded-pause gate (BENCH_pause.json) exits non-zero when
 # the parallel collector diverges from the serial one or (on >= 4-core
-# hosts) when 4 workers fail to cut the max pause 1.5x, and the
-# gc-labeled suites are additionally built and run under
-# ThreadSanitizer.  Snapshots are then captured
+# hosts) when 4 workers fail to cut the max pause 1.5x; the server gate
+# (BENCH_server.json) exits non-zero when the request harness loses
+# virtual-time determinism, GC-pause attribution, or cross-policy output
+# identity, and the gc- and server-labeled suites are additionally built
+# and run under ThreadSanitizer.  Snapshots are then captured
 # (cross-checked against an independent precise re-trace) and analyzed
 # for the four §6 benchmark programs and the frozen corpus in both
 # collector modes.
@@ -132,17 +134,30 @@ done
 # skipped.  MGC_PAUSE_RUNS tunes the timing repetitions.
 (cd "$ROOT" && ./build/bench/pause)
 
+# --- Server-workload gate -------------------------------------------------
+# Drives three generated MG server programs (uniform, bursty, spin-mix
+# arrivals) to steady state under four heap-sizing policies x both
+# dispatch tiers x --gc-threads 1/2/4, verifies virtual-time determinism
+# (same seed => identical outputs, service demands, and latency samples
+# across every cell), exact GC-pause attribution against the tracer, and
+# cross-policy output identity, then records requests/sec, latency
+# p50/p99/max, and mutator utilization per cell in BENCH_server.json.
+# MGC_SERVER_RUNS tunes the timing repetitions.
+(cd "$ROOT" && ./build/bench/server)
+
 # --- ThreadSanitizer sweep of the parallel collector ----------------------
-# The gc-labeled suites (Pause*) drive the work-stealing evacuation and
-# the per-thread handshakes at 1/2/4 workers; a data race in the
-# claim-then-copy forwarding or the scan queues fails this step.  The
-# TSan build tree is separate so the main build stays instrumented-free.
+# The gc- and server-labeled suites drive the work-stealing evacuation,
+# the per-thread handshakes at 1/2/4 workers, and the request harness's
+# spin-thread mixes; a data race in the claim-then-copy forwarding, the
+# scan queues, or request accounting fails this step.  The TSan build
+# tree is separate so the main build stays instrumented-free.
 if [ "$SKIP_TESTS" -eq 0 ]; then
   cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g"
   cmake --build build-tsan --target mgc_tests -j
   (cd build-tsan && ctest -L gc --output-on-failure -j)
+  (cd build-tsan && ctest -L server --output-on-failure -j)
 fi
 
 # --- Differential fuzz budget --------------------------------------------
@@ -154,8 +169,8 @@ FUZZ_COUNT="${FUZZ_COUNT:-200}"
   --out "$ROOT/fuzz-artifacts" --json "$ROOT/BENCH_fuzz.json"
 
 echo "check.sh: tier-1 ok (default + gen-gc); trace overhead ok;" \
-     "snapshot gate ok; dispatch gate ok; pause gate ok (+ TSan gc" \
-     "slice); fuzz ok ($FUZZ_COUNT programs); benchmarks written to" \
-     "BENCH_decode.json, BENCH_gengc.json, BENCH_trace.json," \
-     "BENCH_snapshot.json, BENCH_dispatch.json, BENCH_pause.json," \
-     "BENCH_fuzz.json"
+     "snapshot gate ok; dispatch gate ok; pause gate ok; server gate ok" \
+     "(+ TSan gc/server slices); fuzz ok ($FUZZ_COUNT programs);" \
+     "benchmarks written to BENCH_decode.json, BENCH_gengc.json," \
+     "BENCH_trace.json, BENCH_snapshot.json, BENCH_dispatch.json," \
+     "BENCH_pause.json, BENCH_server.json, BENCH_fuzz.json"

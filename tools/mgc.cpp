@@ -40,6 +40,14 @@
 ///                    remembered-set minor collections
 ///   --nursery-bytes BYTES
 ///                    size of each nursery half (default heap/8)
+///   --heap-growth PCT
+///                    heap-sizing policy: double the semispace at any
+///                    collection that begins above PCT% occupancy (or
+///                    that a failed allocation demands), up to --heap-max
+///   --heap-max BYTES cap for --heap-growth (default 8x the initial heap)
+///   --nursery-auto   resize the nursery each minor collection from the
+///                    observed survivor volume (floor --nursery-bytes,
+///                    cap heap/4)
 ///   --no-map-index   decode tables with the reference walk-from-start
 ///                    decoder (the §6.3 artifact) instead of the load-time
 ///                    index + decoded-point cache
@@ -78,7 +86,8 @@ int usage(const char *Argv0) {
                "[--stats-json FILE] [--heap-snapshot FILE] "
                "[--snapshot-every N]\n           [--heap BYTES] "
                "[--gen-gc]\n           "
-               "[--nursery-bytes BYTES] [--no-map-index] "
+               "[--heap-growth PCT] [--heap-max BYTES] [--nursery-auto]\n"
+               "           [--nursery-bytes BYTES] [--no-map-index] "
                "[--gc-crosscheck] [--gc-threads N]\n           "
                "[--dispatch {threaded,switch}] [--no-run] [--spawn PROC] "
                "file.mg\n",
@@ -173,6 +182,22 @@ int main(int argc, char **argv) {
       if (++A == argc)
         return usage(argv[0]);
       VO.NurseryBytes = static_cast<size_t>(std::atoll(argv[A]));
+    } else if (!std::strcmp(Arg, "--heap-growth")) {
+      if (++A == argc)
+        return usage(argv[0]);
+      long long Pct = std::atoll(argv[A]);
+      if (Pct < 1 || Pct > 100) {
+        std::fprintf(stderr,
+                     "mgc: --heap-growth: occupancy percent must be 1..100\n");
+        return 2;
+      }
+      VO.HeapGrowthPct = static_cast<unsigned>(Pct);
+    } else if (!std::strcmp(Arg, "--heap-max")) {
+      if (++A == argc)
+        return usage(argv[0]);
+      VO.HeapMaxBytes = static_cast<size_t>(std::atoll(argv[A]));
+    } else if (!std::strcmp(Arg, "--nursery-auto")) {
+      VO.NurseryAuto = true;
     } else if (!std::strcmp(Arg, "--dispatch") ||
                !std::strncmp(Arg, "--dispatch=", 11)) {
       const char *V = Arg[10] == '=' ? Arg + 11 : nullptr;
@@ -388,6 +413,19 @@ int main(int argc, char **argv) {
                       Machine.TheHeap.ObjectsPromoted),
                   static_cast<unsigned long long>(
                       Machine.TheHeap.BytesPromoted));
+    if (VO.HeapGrowthPct || VO.NurseryAuto)
+      std::printf("heap-policy: %llu growths to %llu bytes, %llu nursery "
+                  "resizes (half now %llu bytes)\n",
+                  static_cast<unsigned long long>(Machine.TheHeap.HeapGrowths),
+                  static_cast<unsigned long long>(
+                      Machine.TheHeap.capacityBytes()),
+                  static_cast<unsigned long long>(
+                      Machine.TheHeap.NurseryResizes),
+                  static_cast<unsigned long long>(
+                      VO.GenGc ? Machine.TheHeap.nurseryCapacityBytes() : 0));
+    if (S.Requests)
+      std::printf("requests: %llu completed\n",
+                  static_cast<unsigned long long>(S.Requests));
     if (GCO.UseMapIndex && (S.DecodeCacheHits || S.DecodeCacheMisses))
       std::printf("decode: %llu cache hits, %llu misses (%.1f%% hit), "
                   "%llu blob bytes skipped by index\n",
@@ -435,6 +473,10 @@ int main(int argc, char **argv) {
     jsonField(J, "decode_cache_misses", S.DecodeCacheMisses);
     jsonField(J, "decode_bytes_skipped", S.DecodeBytesSkipped);
     jsonField(J, "rendezvous_steps", S.RendezvousSteps);
+    jsonField(J, "req_completed", S.Requests);
+    jsonField(J, "heap_growths", Machine.TheHeap.HeapGrowths);
+    jsonField(J, "nursery_resizes", Machine.TheHeap.NurseryResizes);
+    jsonField(J, "heap_capacity_bytes", Machine.TheHeap.capacityBytes());
     jsonField(J, "gc_ns", S.GcNanos);
     jsonField(J, "minor_gc_ns", S.MinorGcNanos);
     jsonField(J, "stack_trace_ns", S.StackTraceNanos);
