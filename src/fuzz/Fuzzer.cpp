@@ -71,6 +71,7 @@ FuzzSummary fuzz::runFuzz(const FuzzOptions &Opts) {
     S.CovRefChains += P.Cov.RefChains;
     S.CovVarParams += P.Cov.VarParams;
     S.CovServerLoop += P.Cov.ServerLoop;
+    S.CovLeakBias += P.Cov.LeakBias;
 
     std::string Source = P.render();
     std::string Tag = "seed" + std::to_string(Seed);
@@ -123,7 +124,8 @@ FuzzSummary fuzz::runFuzz(const FuzzOptions &Opts) {
       << ", recursion " << S.CovRecursion << "/" << S.Programs
       << ", ref-chains " << S.CovRefChains << "/" << S.Programs
       << ", var-params " << S.CovVarParams << "/" << S.Programs
-      << ", server-loop " << S.CovServerLoop << "/" << S.Programs << "\n";
+      << ", server-loop " << S.CovServerLoop << "/" << S.Programs
+      << ", leak-bias " << S.CovLeakBias << "/" << S.Programs << "\n";
   S.Log = Log.str();
   S.Seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
@@ -157,7 +159,8 @@ std::string fuzz::summaryJson(const FuzzOptions &Opts, const FuzzSummary &S) {
   J << "    \"recursion\": " << Frac(S.CovRecursion) << ",\n";
   J << "    \"ref_chains\": " << Frac(S.CovRefChains) << ",\n";
   J << "    \"var_params\": " << Frac(S.CovVarParams) << ",\n";
-  J << "    \"server_loop\": " << Frac(S.CovServerLoop) << "\n";
+  J << "    \"server_loop\": " << Frac(S.CovServerLoop) << ",\n";
+  J << "    \"leak_bias\": " << Frac(S.CovLeakBias) << "\n";
   J << "  }\n";
   J << "}\n";
   return J.str();

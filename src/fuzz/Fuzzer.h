@@ -51,6 +51,7 @@ struct FuzzSummary {
   unsigned CovRefChains = 0;
   unsigned CovVarParams = 0;
   unsigned CovServerLoop = 0;
+  unsigned CovLeakBias = 0;
   /// Deterministic campaign log (what mgc-fuzz prints).
   std::string Log;
   /// Wall-clock; JSON-only, never part of Log.

@@ -364,6 +364,22 @@ GProc workProc() {
   return P;
 }
 
+/// GrowLeak(l, n): prepends n fresh cells onto an existing chain and
+/// returns the new head.  Called per request on the global `lk`, which is
+/// never trimmed: its NEW(Cell) is the injected leak site the online
+/// growth detector must flag.
+GProc growLeakProc() {
+  GProc P;
+  P.Name = "GrowLeak";
+  P.Signature = "(l: Cell; n: INTEGER): Cell";
+  P.VarLines = {"c: Cell", "i: INTEGER"};
+  P.Body.push_back(forExpr("i", 1, "n",
+                           {TXT("c := NEW(Cell)"), TXT("c^.v := i"),
+                            TXT("c^.next := l"), TXT("l := c")}));
+  P.Body.push_back(TXT("RETURN l"));
+  return P;
+}
+
 /// Spin(): allocation-free spin loop on the `done` flag (§5.3 — its loop
 /// poll is what lets the rendezvous complete in threaded mode).
 GProc spinProc() {
@@ -416,7 +432,7 @@ GProgram fuzz::generateProgram(uint64_t Seed) {
   };
   P.VarLines = {
       "sink, t0, t1, t2, t3: INTEGER",
-      "gl: Cell",
+      "gl, lk: Cell",
       "sc: SCache",
       "ga: IArr",
       "gn: Node",
@@ -582,17 +598,27 @@ GProgram fuzz::generateProgram(uint64_t Seed) {
     long Spread = R.range(3, 7);
     long Churn = R.range(2, 4);
     std::string IV = "i" + std::to_string(LoopIdx++);
+    std::vector<GStmt> ReqBody = {
+        TXT("gl := BuildList(1 + ((" + IV + " * " + std::to_string(Mult) +
+            ") MOD " + std::to_string(Spread) + "))"),
+        TXT("sc[" + IV + " MOD " + std::to_string(Slots) + "] := gl"),
+        TXT(std::string("sink := (sink + SumList(gl)) MOD ") + Mod),
+        ifStmt(IV + " MOD " + std::to_string(Churn) + " = 0",
+               {TXT("sc[(" + IV + " * 3) MOD " + std::to_string(Slots) +
+                    "] := NIL")})};
+    // Injected-leak bias: grow a global-rooted chain every request and
+    // never trim it — a slow, steady leak under the request loop, the
+    // exact shape the online growth detector exists to flag.
+    if (R.pct(30)) {
+      long Grow = R.range(2, 5);
+      ReqBody.push_back(
+          TXT("lk := GrowLeak(lk, " + std::to_string(Grow) + ")"));
+      Needed.insert("GrowLeak");
+      P.Cov.LeakBias = true;
+    }
+    ReqBody.push_back(TXT("ReqDone()"));
     P.Main.push_back(TXT("sc := NEW(SCache, " + std::to_string(Slots) + ")"));
-    P.Main.push_back(forStmt(
-        IV, 1, Req,
-        {TXT("gl := BuildList(1 + ((" + IV + " * " + std::to_string(Mult) +
-             ") MOD " + std::to_string(Spread) + "))"),
-         TXT("sc[" + IV + " MOD " + std::to_string(Slots) + "] := gl"),
-         TXT(std::string("sink := (sink + SumList(gl)) MOD ") + Mod),
-         ifStmt(IV + " MOD " + std::to_string(Churn) + " = 0",
-                {TXT("sc[(" + IV + " * 3) MOD " + std::to_string(Slots) +
-                     "] := NIL")}),
-         TXT("ReqDone()")}));
+    P.Main.push_back(forStmt(IV, 1, Req, std::move(ReqBody)));
     Needed.insert("BuildList");
     Needed.insert("SumList");
     Init.Gl = true;
@@ -617,9 +643,10 @@ GProgram fuzz::generateProgram(uint64_t Seed) {
 
   // Emit needed procedures in a canonical order (forward references are
   // legal in MG, so order is cosmetic but must be deterministic).
-  const char *Order[] = {"BuildList", "SumList", "Fill",      "SumArr",
-                         "MakeTree",  "CountTree", "LinkPairs", "WalkPairs",
-                         "Bump",      "Use",       "Work",      "Spin"};
+  const char *Order[] = {"BuildList", "SumList",   "GrowLeak",  "Fill",
+                         "SumArr",    "MakeTree",  "CountTree", "LinkPairs",
+                         "WalkPairs", "Bump",      "Use",       "Work",
+                         "Spin"};
   for (const char *Name : Order) {
     if (!Needed.count(Name))
       continue;
@@ -628,6 +655,8 @@ GProgram fuzz::generateProgram(uint64_t Seed) {
       P.Procs.push_back(buildListProc());
     else if (N == "SumList")
       P.Procs.push_back(sumListProc());
+    else if (N == "GrowLeak")
+      P.Procs.push_back(growLeakProc());
     else if (N == "Fill")
       P.Procs.push_back(fillProc());
     else if (N == "SumArr")

@@ -56,6 +56,9 @@ struct Coverage {
   bool VarParams = false;         ///< VAR parameters into allocating procs.
   bool ServerLoop = false;        ///< Long-running request loop (ReqDone)
                                   ///< with session-cache churn.
+  bool LeakBias = false;          ///< Injected leak: a global-rooted chain
+                                  ///< grows every request, never trimmed
+                                  ///< (the growth detector's target).
 };
 
 /// One statement.  Compound kinds own nested blocks; `Text` is a complete

@@ -8,6 +8,7 @@
 
 #include "gc/Snapshot.h"
 #include "obs/HeapSnapshot.h"
+#include "obs/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -179,6 +180,18 @@ RunOutcome executeInProcess(const vm::Program &Prog, const RunSpec &Spec) {
   RunOutcome O;
   vm::VM M(Prog, Spec.VO);
   gc::installPreciseCollector(M, Spec.GCO);
+  // Online leak detector, attached in every cell with a short window and a
+  // tiny byte floor so the fuzzer's injected leaks (Coverage::LeakBias) are
+  // well within reach.  The flag set is a deterministic function of the
+  // collection schedule, so dispatch twins must reproduce it bit-for-bit.
+  obs::TracerConfig TC;
+  TC.Sites = &Prog.SiteTab;
+  TC.Leak.Enabled = true;
+  TC.Leak.Window = 4;
+  TC.Leak.MinBytes = 64;
+  obs::Tracer Tracer(std::move(TC));
+  Tracer.enable(nullptr);
+  M.Tracer = &Tracer;
   if (Spec.SpawnSpin) {
     int SpinIdx = -1;
     for (unsigned I = 0; I != Prog.Funcs.size(); ++I)
@@ -225,6 +238,12 @@ RunOutcome executeInProcess(const vm::Program &Prog, const RunSpec &Spec) {
   O.BytesCopied = M.Stats.BytesCopied;
   O.ObjectsCopied = M.Stats.ObjectsCopied;
   O.Instrs = M.Stats.Instrs;
+  for (const obs::Tracer::LeakFlag &F : Tracer.leakFlags()) {
+    O.LeakSummary += std::to_string(F.Site) + ":" +
+                     std::to_string(F.SlopeBytes) + ":" +
+                     std::to_string(F.LiveBytes) + ":" +
+                     std::to_string(F.FirstFlagged) + ";";
+  }
   if (Ok) {
     // At-exit snapshot: every thread is dead, so the root set is exactly
     // the globals and the reachable graph is independent of the collection
@@ -287,6 +306,7 @@ std::string serialize(const RunOutcome &O) {
     << O.MidNodes << " " << O.MidBytes << " " << O.MidOutLen << "\n";
   P << "Z " << O.MidError.size() << "\n" << O.MidError << "\n";
   P << "Y " << O.SnapError.size() << "\n" << O.SnapError << "\n";
+  P << "L " << O.LeakSummary.size() << "\n" << O.LeakSummary << "\n";
   P << "D\n";
   return P.str();
 }
@@ -363,7 +383,8 @@ bool parsePayload(const std::string &Buf, RunOutcome &O) {
       return false;
     O.MidViolation = Viol != 0;
   }
-  if (!Sized('Z', O.MidError) || !Sized('Y', O.SnapError))
+  if (!Sized('Z', O.MidError) || !Sized('Y', O.SnapError) ||
+      !Sized('L', O.LeakSummary))
     return false;
   return Line(L) && L == "D";
 }
@@ -667,10 +688,12 @@ OracleResult fuzz::checkSource(const std::string &Source, bool HasSpin,
         A.ObjectsCopied != B.ObjectsCopied ||
         A.SnapNodes != B.SnapNodes || A.SnapBytes != B.SnapBytes ||
         A.MidRequests != B.MidRequests || A.MidNodes != B.MidNodes ||
-        A.MidBytes != B.MidBytes || A.MidOutLen != B.MidOutLen) {
+        A.MidBytes != B.MidBytes || A.MidOutLen != B.MidOutLen ||
+        A.LeakSummary != B.LeakSummary) {
       R << "  [dispatch twin] " << Specs[P].Name << " {i=" << A.Instrs
-        << " " << statsBrief(A) << "} != " << Specs[I].Name
-        << " {i=" << B.Instrs << " " << statsBrief(B) << "}\n";
+        << " " << statsBrief(A) << " leak=\"" << A.LeakSummary
+        << "\"} != " << Specs[I].Name << " {i=" << B.Instrs << " "
+        << statsBrief(B) << " leak=\"" << B.LeakSummary << "\"}\n";
       Fail(I);
     }
   }

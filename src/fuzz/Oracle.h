@@ -103,6 +103,12 @@ struct RunOutcome {
   bool MidViolation = false;
   uint64_t MidRequests = 0, MidNodes = 0, MidBytes = 0, MidOutLen = 0;
   std::string MidError;
+  // Online leak-detector flags, serialized as "site:slope:live:first;"
+  // per flag in the tracer's (slope desc, site asc) order.  Every cell
+  // runs the detector; dispatch twins must agree on the string
+  // bit-identically (cells with different collection schedules
+  // legitimately differ in sample timing, so only twins compare it).
+  std::string LeakSummary;
 };
 
 /// Runs \p Prog under \p Spec in a forked child and collects the outcome.

@@ -86,6 +86,14 @@ struct WorkerState {
   uint64_t TraceNanos = 0;
   uint64_t CopyNanos = 0;
 
+  /// Leak-detector slab (tracer-owned; null when the detector is off or
+  /// this is a minor collection): each object this worker copies adds its
+  /// bytes to slot [site id]; Tracer::sampleCollection merges and zeroes
+  /// the slabs after the workers join.  Only the full-collection copy
+  /// paths wire this in — minor samples would flag every site.
+  uint64_t *LeakAcc = nullptr;
+  size_t LeakSites = 0;
+
   /// Work-stealing scan queue over grey (copied, unscanned) to-space
   /// objects.  Grey is the private LIFO only the owner touches; Pub is the
   /// public deque thieves steal from (owner pops the back, thieves the
@@ -102,6 +110,8 @@ struct WorkerState {
     FramesTraced = DecodeCacheHits = DecodeCacheMisses = 0;
     DecodeBytesSkipped = ObjectsCopied = BytesCopied = 0;
     TraceNanos = CopyNanos = 0;
+    LeakAcc = nullptr;
+    LeakSites = 0;
     Grey.clear();
     Pub.clear();
     PubCount.store(0, std::memory_order_relaxed);
@@ -390,6 +400,14 @@ void PreciseCollector::traceFull(VM &M) {
     *Root = H.forward(*Root);
   }
 
+  // In-copy leak sampling: the scan below visits every evacuated object
+  // exactly once, so per-site live bytes accumulate here for free instead
+  // of a separate O(live) heap walk at sample time (which would cost a
+  // significant fraction of the pause itself on GC-bound workloads —
+  // bench/leak gates the detector at <= 3% mutator cost).
+  uint64_t *LeakAcc = M.Tracer ? M.Tracer->leakAccumulator(0) : nullptr;
+  size_t LeakSites = LeakAcc ? M.Tracer->leakSiteCount() : 0;
+
   Word Scan = H.scanStart();
   while (Scan < H.toAlloc()) {
     // Every object in to-space was evacuated by this collection.
@@ -412,6 +430,11 @@ void PreciseCollector::traceFull(VM &M) {
             Field = H.forward(Field);
         }
       Words += static_cast<size_t>(Len) * D.ElemSizeWords;
+    }
+    if (LeakAcc) {
+      uint32_t Site = Heap::headerSite(Obj[0]);
+      if (Site < LeakSites)
+        LeakAcc[Site] += Words * sizeof(Word);
     }
     Scan += Words * sizeof(Word);
   }
@@ -438,6 +461,15 @@ void PreciseCollector::forwardFieldParallel(Heap &H, WorkerState &W,
   if (Copied) {
     ++W.ObjectsCopied;
     W.BytesCopied += Bytes;
+    // In-copy leak sampling: the CAS winner counts the object exactly
+    // once, into its own slab.  Sums are merged by sampleCollection;
+    // integer addition is order-independent, so the merged sample matches
+    // the serial collector's bit for bit at any worker count.
+    if (W.LeakAcc) {
+      uint32_t Site = Heap::headerSite(*reinterpret_cast<Word *>(New));
+      if (Site < W.LeakSites)
+        W.LeakAcc[Site] += Bytes;
+    }
     W.Grey.push_back(New);
   }
 }
@@ -447,6 +479,11 @@ void PreciseCollector::evacuateWorker(VM &M, unsigned WI, size_t NRoots) {
   auto T0 = Clock::now();
   Heap &H = M.TheHeap;
   WorkerState &W = *Workers[WI];
+
+  // evacuateWorker runs for full collections only, so wiring the leak
+  // slab here can never pollute a minor sample.
+  W.LeakAcc = M.Tracer ? M.Tracer->leakAccumulator(WI) : nullptr;
+  W.LeakSites = W.LeakAcc ? M.Tracer->leakSiteCount() : 0;
 
   // --- Root slice: roots were deduped (distinct slots), so no other
   // worker writes these words; values still point at from-space.
@@ -902,6 +939,13 @@ void PreciseCollector::collect(VM &M) {
       *E.Target = V;
     }
   }
+
+  // Leak-detector sample: workers are joined, so merging the per-worker
+  // in-copy accumulators here is single-threaded.  The copy loops above
+  // already attributed every evacuated object's bytes to its site, so the
+  // sample costs O(sites), not O(live).
+  if (M.Tracer)
+    M.Tracer->sampleCollection(M.Stats.Collections, Minor);
 
   auto T2 = Clock::now();
   if (CurEv) {

@@ -723,73 +723,214 @@ std::string obs::renderSnapshot(const HeapSnapshot &S, size_t TopN) {
   return O;
 }
 
-std::string obs::renderPathTo(const HeapSnapshot &S, uint32_t Node) {
-  if (Node >= S.Nodes.size())
-    return "path: node #" + std::to_string(Node) + " out of range (" +
-           std::to_string(S.Nodes.size()) + " nodes)\n";
+//===----------------------------------------------------------------------===//
+// Backward reference graph
+//===----------------------------------------------------------------------===//
 
-  // Multi-source BFS from every rooted node, recording (parent, edge).
-  constexpr uint32_t NoParent = 0xFFFFFFFFu;
-  std::vector<uint32_t> Parent(S.Nodes.size(), NoParent);
-  std::vector<uint32_t> ViaEdge(S.Nodes.size(), 0);
-  std::vector<char> Seen(S.Nodes.size(), 0);
+Backgraph obs::buildBackgraph(const HeapSnapshot &S) {
+  Backgraph B;
+  size_t N = S.Nodes.size();
+  B.TotalInEdges = S.Edges.size();
+  B.DroppedIn.assign(N, 0);
+  B.Height.assign(N, NoHeight);
+  B.First.assign(N + 1, 0);
+
+  // Two passes over the forward CSR in identical (source-ascending) order:
+  // count capped in-degrees, then fill — so the sampled in-edges are the
+  // first BackgraphMaxInPerNode referencers in node order, deterministic
+  // for a deterministic snapshot.
+  std::vector<uint32_t> Count(N, 0);
+  for (uint32_t Src = 0; Src != N; ++Src) {
+    const HeapSnapshot::Node &Nd = S.Nodes[Src];
+    for (uint32_t E = 0; E != Nd.NumEdges; ++E) {
+      uint32_t T = S.Edges[Nd.FirstEdge + E].Target;
+      if (Count[T] < BackgraphMaxInPerNode)
+        ++Count[T];
+      else
+        ++B.DroppedIn[T];
+    }
+  }
+  for (size_t I = 0; I != N; ++I)
+    B.First[I + 1] = B.First[I] + Count[I];
+  B.In.resize(B.First[N]);
+  std::vector<uint32_t> Fill(N, 0);
+  for (uint32_t Src = 0; Src != N; ++Src) {
+    const HeapSnapshot::Node &Nd = S.Nodes[Src];
+    for (uint32_t E = 0; E != Nd.NumEdges; ++E) {
+      const HeapSnapshot::Edge &Ed = S.Edges[Nd.FirstEdge + E];
+      if (Fill[Ed.Target] < Count[Ed.Target])
+        B.In[B.First[Ed.Target] + Fill[Ed.Target]++] = {Src, Ed.Slot};
+    }
+  }
+
+  // Heights: multi-source BFS from every rooted node over forward edges.
   std::vector<uint32_t> Queue;
   for (const HeapSnapshot::Root &R : S.Roots)
-    if (!Seen[R.Node]) {
-      Seen[R.Node] = 1;
+    if (B.Height[R.Node] == NoHeight) {
+      B.Height[R.Node] = 0;
       Queue.push_back(R.Node);
     }
   for (size_t Head = 0; Head != Queue.size(); ++Head) {
     uint32_t I = Queue[Head];
-    if (I == Node)
-      break;
-    const HeapSnapshot::Node &N = S.Nodes[I];
-    for (uint32_t E = 0; E != N.NumEdges; ++E) {
-      uint32_t T = S.Edges[N.FirstEdge + E].Target;
-      if (Seen[T])
-        continue;
-      Seen[T] = 1;
-      Parent[T] = I;
-      ViaEdge[T] = N.FirstEdge + E;
-      Queue.push_back(T);
+    const HeapSnapshot::Node &Nd = S.Nodes[I];
+    for (uint32_t E = 0; E != Nd.NumEdges; ++E) {
+      uint32_t T = S.Edges[Nd.FirstEdge + E].Target;
+      if (B.Height[T] == NoHeight) {
+        B.Height[T] = B.Height[I] + 1;
+        Queue.push_back(T);
+      }
     }
   }
-  if (!Seen[Node])
+  return B;
+}
+
+std::string obs::renderRetainingPaths(const HeapSnapshot &S, uint32_t Node,
+                                      size_t MaxPaths) {
+  if (Node >= S.Nodes.size())
+    return "path: node #" + std::to_string(Node) + " out of range (" +
+           std::to_string(S.Nodes.size()) + " nodes)\n";
+  Backgraph B = buildBackgraph(S);
+  if (B.Height[Node] == NoHeight)
     return "path: node #" + std::to_string(Node) +
            " is not reachable from any root\n";
 
-  std::vector<uint32_t> Path{Node};
-  while (Parent[Path.back()] != NoParent)
-    Path.push_back(Parent[Path.back()]);
-  std::reverse(Path.begin(), Path.end());
-
-  std::string O = "path to " + nodeLabel(S, Node) + " (" +
-                  std::to_string(Path.size() - 1) + " hop(s)):\n";
-  // The BFS source is a rooted node: show its first root record.
+  std::vector<int32_t> Idom = computeIdoms(S);
+  std::vector<uint64_t> Ret = retainedSizes(S, Idom);
+  std::vector<char> IsRooted(S.Nodes.size(), 0);
   for (const HeapSnapshot::Root &R : S.Roots)
-    if (R.Node == Path[0]) {
-      O += "  root: " + rootLabel(S, R) + "\n";
+    IsRooted[R.Node] = 1;
+
+  // Explore each node's in-edges heaviest-retainer first, so under the
+  // exploration budget the paths that matter are found before truncation.
+  for (size_t I = 0; I != S.Nodes.size(); ++I)
+    std::stable_sort(B.In.begin() + B.First[I], B.In.begin() + B.First[I + 1],
+                     [&Ret](const Backgraph::InEdge &A,
+                            const Backgraph::InEdge &C) {
+                       if (Ret[A.Source] != Ret[C.Source])
+                         return Ret[A.Source] > Ret[C.Source];
+                       if (A.Source != C.Source)
+                         return A.Source < C.Source;
+                       return A.Slot < C.Slot;
+                     });
+
+  // Backward DFS from the target with per-path cycle exclusion: every time
+  // the walk stands on a rooted node it has found one complete retaining
+  // path (target .. root, backward).
+  struct Found {
+    std::vector<uint32_t> Nodes; ///< target first, rooted head last.
+    std::vector<uint32_t> Slots; ///< Slots[i]: edge Nodes[i+1] -> Nodes[i].
+  };
+  struct Frame {
+    uint32_t Node;
+    uint32_t NextIn;
+  };
+  std::vector<Found> Paths;
+  std::vector<Frame> Stack{{Node, 0}};
+  std::vector<uint32_t> PathSlots;
+  std::vector<char> OnPath(S.Nodes.size(), 0);
+  OnPath[Node] = 1;
+  if (IsRooted[Node])
+    Paths.push_back({{Node}, {}});
+  size_t Budget = 1u << 16;
+  bool Truncated = false;
+  while (!Stack.empty()) {
+    if (Paths.size() >= MaxPaths || Budget == 0) {
+      Truncated = true;
       break;
     }
-  O += "  " + nodeLabel(S, Path[0]) + "\n";
-  for (size_t I = 1; I != Path.size(); ++I) {
-    const HeapSnapshot::Edge &E = S.Edges[ViaEdge[Path[I]]];
-    O += "    -[word " + std::to_string(E.Slot) + "]-> " +
-         nodeLabel(S, Path[I]) + "\n";
+    uint32_t Cur = Stack.back().Node;
+    uint32_t Lo = B.First[Cur];
+    uint32_t Deg = B.First[Cur + 1] - Lo;
+    uint32_t J = Stack.back().NextIn;
+    uint32_t Pick = Deg;
+    while (J < Deg) {
+      if (Budget)
+        --Budget;
+      if (!OnPath[B.In[Lo + J].Source]) {
+        Pick = J;
+        break;
+      }
+      ++J;
+    }
+    if (Pick == Deg) {
+      OnPath[Cur] = 0;
+      Stack.pop_back();
+      if (!Stack.empty())
+        PathSlots.pop_back();
+      continue;
+    }
+    Stack.back().NextIn = Pick + 1;
+    const Backgraph::InEdge &IE = B.In[Lo + Pick];
+    Stack.push_back({IE.Source, 0});
+    OnPath[IE.Source] = 1;
+    PathSlots.push_back(IE.Slot);
+    if (IsRooted[IE.Source]) {
+      Found P;
+      for (const Frame &G : Stack)
+        P.Nodes.push_back(G.Node);
+      P.Slots = PathSlots;
+      Paths.push_back(std::move(P));
+    }
+  }
+
+  // Rank by the dominator weight of the rooted head, heaviest first; the
+  // first path printed is the reference to cut.
+  std::stable_sort(Paths.begin(), Paths.end(),
+                   [&Ret](const Found &A, const Found &C) {
+                     uint64_t Ra = Ret[A.Nodes.back()],
+                              Rc = Ret[C.Nodes.back()];
+                     if (Ra != Rc)
+                       return Ra > Rc;
+                     if (A.Nodes.size() != C.Nodes.size())
+                       return A.Nodes.size() < C.Nodes.size();
+                     return A.Nodes < C.Nodes;
+                   });
+
+  std::string O = "retaining paths to " + nodeLabel(S, Node) + ": " +
+                  std::to_string(Paths.size()) + " path(s)";
+  if (Truncated)
+    O += " (enumeration truncated)";
+  if (uint32_t Dropped = B.DroppedIn[Node])
+    O += " (" + std::to_string(Dropped) + " in-edge(s) beyond the per-node "
+                                          "sample cap not explored)";
+  O += ", ranked by root retained bytes:\n\n";
+  for (const Found &P : Paths) {
+    uint32_t Head = P.Nodes.back();
+    O += "path to " + nodeLabel(S, Node) + " (" +
+         std::to_string(P.Nodes.size() - 1) + " hop(s)); root retains " +
+         std::to_string(Ret[Head]) + " bytes:\n";
+    for (const HeapSnapshot::Root &R : S.Roots)
+      if (R.Node == Head) {
+        O += "  root: " + rootLabel(S, R) + "\n";
+        break;
+      }
+    O += "  " + nodeLabel(S, Head) + "\n";
+    for (size_t I = P.Nodes.size() - 1; I-- > 0;)
+      O += "    -[word " + std::to_string(P.Slots[I]) + "]-> " +
+           nodeLabel(S, P.Nodes[I]) + "\n";
+    O += "\n";
   }
   return O;
 }
 
-std::string obs::diffSnapshots(const HeapSnapshot &Old, const HeapSnapshot &New,
-                               size_t TopN) {
-  // Aggregate per site *label* so snapshots from different processes of the
-  // same program line up even if site ids were assigned differently.
-  struct Delta {
-    int64_t Objects = 0;
-    int64_t Bytes = 0;
-    uint64_t NewObjects = 0;
-    uint64_t NewBytes = 0;
-  };
+std::string obs::renderPathTo(const HeapSnapshot &S, uint32_t Node) {
+  return renderRetainingPaths(S, Node, /*MaxPaths=*/16);
+}
+
+namespace {
+
+/// Per-site-label growth between two snapshots.  Aggregating by *label*
+/// (not id) lets snapshots from different processes of the same program
+/// line up even if site ids were assigned differently.
+struct Delta {
+  int64_t Objects = 0;
+  int64_t Bytes = 0;
+  uint64_t NewObjects = 0;
+  uint64_t NewBytes = 0;
+};
+
+std::map<std::string, Delta> siteDeltas(const HeapSnapshot &Old,
+                                        const HeapSnapshot &New) {
   std::map<std::string, Delta> Per;
   for (const HeapSnapshot::Node &N : Old.Nodes) {
     Delta &D = Per[siteLabel(Old, N.Site)];
@@ -803,6 +944,14 @@ std::string obs::diffSnapshots(const HeapSnapshot &Old, const HeapSnapshot &New,
     ++D.NewObjects;
     D.NewBytes += N.ShallowBytes;
   }
+  return Per;
+}
+
+} // namespace
+
+std::string obs::diffSnapshots(const HeapSnapshot &Old, const HeapSnapshot &New,
+                               size_t TopN) {
+  std::map<std::string, Delta> Per = siteDeltas(Old, New);
 
   std::vector<const std::pair<const std::string, Delta> *> Order;
   for (const auto &KV : Per)
@@ -840,6 +989,172 @@ std::string obs::diffSnapshots(const HeapSnapshot &Old, const HeapSnapshot &New,
     O += Buf;
     O += KV->first;
     O += "\n";
+  }
+  return O;
+}
+
+//===----------------------------------------------------------------------===//
+// Watch mode
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Per-site retaining shape within one snapshot: how close the site's
+/// objects sit to the roots, how many are directly rooted, and how many
+/// references retain them.  Drift of these numbers across a snapshot
+/// stream is the watch report's retaining-path churn.
+struct SiteShape {
+  bool Present = false;
+  uint32_t MinHeight = NoHeight;
+  uint64_t Rooted = 0;  ///< Nodes with height 0.
+  uint64_t InEdges = 0; ///< Sampled + dropped in-edges over the site.
+};
+
+std::map<std::string, SiteShape> siteShapes(const HeapSnapshot &S,
+                                            const Backgraph &B) {
+  std::map<std::string, SiteShape> Per;
+  for (size_t I = 0; I != S.Nodes.size(); ++I) {
+    SiteShape &Sh = Per[siteLabel(S, S.Nodes[I].Site)];
+    Sh.Present = true;
+    if (B.Height[I] < Sh.MinHeight)
+      Sh.MinHeight = B.Height[I];
+    if (B.Height[I] == 0)
+      ++Sh.Rooted;
+    Sh.InEdges += (B.First[I + 1] - B.First[I]) + B.DroppedIn[I];
+  }
+  return Per;
+}
+
+} // namespace
+
+std::string obs::watchSnapshots(const std::vector<HeapSnapshot> &Stream,
+                                size_t TopN, bool &CrosscheckOk) {
+  CrosscheckOk = true;
+  if (Stream.size() < 2) {
+    CrosscheckOk = false;
+    return "watch: need at least 2 snapshots\n";
+  }
+  char Buf[256];
+  std::string O;
+  const HeapSnapshot &FirstS = Stream.front(), &LastS = Stream.back();
+  std::snprintf(Buf, sizeof(Buf),
+                "watch: program '%s', %zu snapshots, collections %llu -> "
+                "%llu\n\n",
+                FirstS.Program.c_str(), Stream.size(),
+                static_cast<unsigned long long>(FirstS.Collections),
+                static_cast<unsigned long long>(LastS.Collections));
+  O += Buf;
+
+  // --- Per-snapshot totals + crosscheck.  Root-retained == live bytes is
+  // the same conservation the capture-time independent re-trace validates;
+  // the backgraph must conserve the forward edge count.
+  O += "snapshot  collections     nodes       bytes   in-edges  check\n";
+  std::vector<Backgraph> Graphs;
+  Graphs.reserve(Stream.size());
+  for (size_t I = 0; I != Stream.size(); ++I) {
+    const HeapSnapshot &S = Stream[I];
+    std::vector<int32_t> Idom = computeIdoms(S);
+    std::vector<uint64_t> Ret = retainedSizes(S, Idom);
+    uint64_t RootRetained = 0;
+    for (size_t J = 0; J != S.Nodes.size(); ++J)
+      if (Idom[J] == IdomRoot)
+        RootRetained += Ret[J];
+    Graphs.push_back(buildBackgraph(S));
+    const Backgraph &B = Graphs.back();
+    uint64_t DroppedSum = 0;
+    for (uint32_t D : B.DroppedIn)
+      DroppedSum += D;
+    bool Ok = RootRetained == S.totalBytes() &&
+              B.In.size() + DroppedSum == S.Edges.size() &&
+              B.TotalInEdges == S.Edges.size();
+    if (!Ok)
+      CrosscheckOk = false;
+    std::snprintf(Buf, sizeof(Buf),
+                  "  %6zu  %10llu  %8zu  %10llu  %9zu  %s\n", I + 1,
+                  static_cast<unsigned long long>(S.Collections),
+                  S.Nodes.size(),
+                  static_cast<unsigned long long>(S.totalBytes()),
+                  S.Edges.size(), Ok ? "ok" : "MISMATCH");
+    O += Buf;
+  }
+
+  // --- Incremental growth between consecutive snapshots.
+  O += "\nincremental growth (consecutive snapshots):\n";
+  for (size_t I = 1; I != Stream.size(); ++I) {
+    const HeapSnapshot &A = Stream[I - 1], &C = Stream[I];
+    std::map<std::string, Delta> Per = siteDeltas(A, C);
+    const std::pair<const std::string, Delta> *Top = nullptr;
+    for (const auto &KV : Per)
+      if (!Top || KV.second.Bytes > Top->second.Bytes)
+        Top = &KV;
+    std::snprintf(Buf, sizeof(Buf), "  [%zu -> %zu] %+lld bytes, %+lld "
+                                    "objects",
+                  I, I + 1,
+                  static_cast<long long>(
+                      static_cast<int64_t>(C.totalBytes()) -
+                      static_cast<int64_t>(A.totalBytes())),
+                  static_cast<long long>(
+                      static_cast<int64_t>(C.Nodes.size()) -
+                      static_cast<int64_t>(A.Nodes.size())));
+    O += Buf;
+    if (Top && Top->second.Bytes > 0) {
+      std::snprintf(Buf, sizeof(Buf), "; top growth %+lld B at %s",
+                    static_cast<long long>(Top->second.Bytes),
+                    Top->first.c_str());
+      O += Buf;
+    }
+    O += "\n";
+  }
+
+  // --- Cumulative per-site growth, first -> last.
+  O += "\ncumulative ";
+  O += diffSnapshots(FirstS, LastS, TopN);
+
+  // --- Retaining-path churn: how each growing site's shortest root
+  // distance, directly-rooted count, and in-edge volume drifted.
+  std::map<std::string, SiteShape> ShFirst = siteShapes(FirstS, Graphs.front());
+  std::map<std::string, SiteShape> ShLast = siteShapes(LastS, Graphs.back());
+  std::map<std::string, Delta> Cum = siteDeltas(FirstS, LastS);
+  std::vector<const std::pair<const std::string, Delta> *> Order;
+  for (const auto &KV : Cum)
+    if (ShLast.count(KV.first))
+      Order.push_back(&KV);
+  std::stable_sort(Order.begin(), Order.end(),
+                   [](const auto *A, const auto *B) {
+                     if (A->second.Bytes != B->second.Bytes)
+                       return A->second.Bytes > B->second.Bytes;
+                     return A->first < B->first;
+                   });
+  if (Order.size() > TopN)
+    Order.resize(TopN);
+  O += "\nretaining-path churn (first -> last), by cumulative byte "
+       "growth:\n"
+       "   minheight     rooted   in-edges  site\n";
+  for (const auto *KV : Order) {
+    const SiteShape &L = ShLast[KV->first];
+    auto FIt = ShFirst.find(KV->first);
+    if (FIt == ShFirst.end() || !FIt->second.Present) {
+      std::snprintf(Buf, sizeof(Buf), "  %10u  %9llu  %9llu  %s (new)\n",
+                    L.MinHeight,
+                    static_cast<unsigned long long>(L.Rooted),
+                    static_cast<unsigned long long>(L.InEdges),
+                    KV->first.c_str());
+    } else {
+      const SiteShape &F = FIt->second;
+      std::snprintf(
+          Buf, sizeof(Buf), "  %7u%+-3lld  %6llu%+-3lld  %6llu%+-3lld  %s\n",
+          L.MinHeight,
+          static_cast<long long>(static_cast<int64_t>(L.MinHeight) -
+                                 static_cast<int64_t>(F.MinHeight)),
+          static_cast<unsigned long long>(L.Rooted),
+          static_cast<long long>(static_cast<int64_t>(L.Rooted) -
+                                 static_cast<int64_t>(F.Rooted)),
+          static_cast<unsigned long long>(L.InEdges),
+          static_cast<long long>(static_cast<int64_t>(L.InEdges) -
+                                 static_cast<int64_t>(F.InEdges)),
+          KV->first.c_str());
+    }
+    O += Buf;
   }
   return O;
 }

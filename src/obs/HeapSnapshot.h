@@ -169,6 +169,66 @@ std::vector<int32_t> computeIdoms(const HeapSnapshot &S);
 std::vector<uint64_t> retainedSizes(const HeapSnapshot &S,
                                     const std::vector<int32_t> &Idom);
 
+//===----------------------------------------------------------------------===//
+// Backward reference graph (leak triage)
+//===----------------------------------------------------------------------===//
+
+/// Per-node cap on materialized in-edges, in the spirit of bdwgc's
+/// backgraph in-edge sampling: hub objects with huge fan-in would
+/// otherwise dominate both memory and path enumeration.  Overflow is
+/// counted per node, never dropped silently.
+constexpr uint32_t BackgraphMaxInPerNode = 32;
+
+/// Height of a node with no root path (impossible in captured snapshots;
+/// possible in hand-built graphs).
+constexpr uint32_t NoHeight = 0xFFFFFFFFu;
+
+/// The backward view of a snapshot's CSR edges: for each node, its
+/// (sampled) in-edges with the referencing slot, plus its height — the
+/// shortest hop distance from any rooted node, tracked across collections
+/// by diffing consecutive snapshots (watchSnapshots).
+struct Backgraph {
+  struct InEdge {
+    uint32_t Source = 0; ///< Referencing node id.
+    uint32_t Slot = 0;   ///< Payload word index within the source.
+  };
+  /// CSR prefix: node i's in-edges are In[First[i] .. First[i+1]).
+  std::vector<uint32_t> First;
+  std::vector<InEdge> In;
+  /// Shortest hop distance from a rooted node (0 = directly rooted).
+  std::vector<uint32_t> Height;
+  /// In-edges beyond BackgraphMaxInPerNode, per node.
+  std::vector<uint32_t> DroppedIn;
+  /// Sampled + dropped; always equals the snapshot's edge count (the
+  /// watch-mode crosscheck relies on this conservation).
+  uint64_t TotalInEdges = 0;
+};
+
+/// Inverts the snapshot's forward CSR edges; deterministic (in-edges are
+/// emitted in ascending source-node order) and linear in nodes + edges.
+Backgraph buildBackgraph(const HeapSnapshot &S);
+
+/// All retaining paths to \p Node, up to \p MaxPaths, ranked by the
+/// dominator weight (retained bytes) of each path's rooted head — the
+/// heaviest retainer prints first, so the first path is the one to cut.
+/// Enumerated backward over the sampled backgraph with a bounded budget;
+/// truncation is reported in the output.  Returns an error line for bad
+/// ids.
+std::string renderRetainingPaths(const HeapSnapshot &S, uint32_t Node,
+                                 size_t MaxPaths);
+
+/// Watch-mode report over a consecutive snapshot stream (the files a
+/// `mgc --snapshot-every N` run writes): per-snapshot totals with an
+/// internal crosscheck (root-retained bytes must equal live bytes — the
+/// same invariant the capture-time re-trace validates — and the backgraph
+/// must conserve the edge count), incremental per-site diffs between
+/// consecutive snapshots, cumulative first-to-last growth, and
+/// retaining-path churn (per-site height / rooted-count / in-edge
+/// drift).  \p CrosscheckOk is cleared when any snapshot fails its
+/// crosscheck.
+std::string watchSnapshots(const std::vector<HeapSnapshot> &Stream,
+                           size_t TopN, bool &CrosscheckOk);
+
 /// "func:line:col (TypeName)" for a site id, "(no site)" for NoSite.
 std::string siteLabel(const HeapSnapshot &S, uint32_t Site);
 
@@ -179,8 +239,11 @@ std::string siteLabel(const HeapSnapshot &S, uint32_t Site);
 /// counts a dominated subtree.
 std::string renderSnapshot(const HeapSnapshot &S, size_t TopN);
 
-/// Shortest root path to \p Node: the root record's provenance, then each
-/// hop with its slot index.  Returns an error line for bad ids.
+/// Retaining paths to \p Node: every distinct root path the backgraph
+/// enumeration finds (up to a fixed cap), ranked by the retained bytes of
+/// each path's rooted head; each path prints the root record's
+/// provenance, then each hop with its slot index.  Returns an error line
+/// for bad ids.  Equivalent to renderRetainingPaths with the default cap.
 std::string renderPathTo(const HeapSnapshot &S, uint32_t Node);
 
 /// Per-site growth from \p Old to \p New: object and shallow-byte deltas,

@@ -284,6 +284,19 @@ bool obs::readTrace(std::istream &In, TraceReport &R, std::string &Err) {
       B.Objects = static_cast<uint64_t>(Rec.getInt("objects"));
       B.Bytes = static_cast<uint64_t>(Rec.getInt("bytes"));
       R.AgeHist.push_back(B);
+    } else if (Rec.Type == "leak") {
+      size_t Id = static_cast<size_t>(Rec.getInt("site"));
+      if (Id >= R.Sites.size()) {
+        Err = "line " + std::to_string(LineNo) + ": leak site out of range";
+        return false;
+      }
+      TraceReport::Leak L;
+      L.Site = static_cast<uint32_t>(Id);
+      L.SlopeBytes = Rec.getInt("slope_bytes");
+      L.LiveBytes = static_cast<uint64_t>(Rec.getInt("live_bytes"));
+      L.FirstFlagged = static_cast<uint64_t>(Rec.getInt("first_flagged"));
+      L.Window = static_cast<uint32_t>(Rec.getInt("window"));
+      R.Leaks.push_back(L);
     } else if (Rec.Type == "run") {
       R.HasRun = true;
       R.RunOk = Rec.getStr("exit") == "ok";
@@ -521,10 +534,16 @@ std::string obs::renderReport(const TraceReport &R, size_t TopN) {
   auto Table = [&](const char *Title, auto Key) {
     if (Active.empty())
       return;
-    std::sort(Active.begin(), Active.end(),
-              [&](const TraceReport::Site *A, const TraceReport::Site *B) {
-                return Key(*A) > Key(*B);
-              });
+    // Tie-break equal keys by site id so the table order (and with it the
+    // rendered report) is identical across gc-thread counts and dispatch
+    // tiers, not at the mercy of std::sort's instability.
+    std::stable_sort(
+        Active.begin(), Active.end(),
+        [&](const TraceReport::Site *A, const TraceReport::Site *B) {
+          if (Key(*A) != Key(*B))
+            return Key(*A) > Key(*B);
+          return A->Id < B->Id;
+        });
     Out += "\n-- ";
     Out += Title;
     Out += " --\n";
@@ -552,6 +571,12 @@ std::string obs::renderReport(const TraceReport &R, size_t TopN) {
         [](const TraceReport::Site &S) { return S.Bytes; });
   Table("top sites by bytes surviving first collection",
         [](const TraceReport::Site &S) { return S.SurvivedBytes; });
+
+  // --- Suspected leak sites (online growth detector).
+  if (!R.Leaks.empty()) {
+    Out += '\n';
+    Out += renderLeaks(R, TopN);
+  }
 
   // --- Live objects at trace finish by site (persistent attribution).
   if (!R.LiveSites.empty()) {
@@ -600,5 +625,345 @@ std::string obs::renderReport(const TraceReport &R, size_t TopN) {
     }
   }
 
+  return Out;
+}
+
+std::string obs::renderLeaks(const TraceReport &R, size_t TopN) {
+  if (R.Leaks.empty())
+    return "no suspected leak sites\n";
+  std::string Out;
+  char Buf[256];
+  // Records arrive pre-sorted by (slope desc, site asc) from the tracer.
+  Out += "-- suspected leak sites --\n";
+  std::snprintf(Buf, sizeof(Buf), "  %-28s %14s %12s %14s\n", "site",
+                "slope B/gc", "live", "first flagged");
+  Out += Buf;
+  size_t N = std::min(TopN, R.Leaks.size());
+  for (size_t I = 0; I != N; ++I) {
+    const TraceReport::Leak &L = R.Leaks[I];
+    std::string Label = static_cast<size_t>(L.Site) < R.Sites.size()
+                            ? siteLabel(R.Sites[L.Site])
+                            : "(site " + std::to_string(L.Site) + ")";
+    std::snprintf(Buf, sizeof(Buf), "  %-28s %+14lld %12s %11llu/gc\n",
+                  Label.c_str(), static_cast<long long>(L.SlopeBytes),
+                  fmtBytes(L.LiveBytes).c_str(),
+                  static_cast<unsigned long long>(L.FirstFlagged));
+    Out += Buf;
+  }
+  if (R.Leaks.size() > N) {
+    std::snprintf(Buf, sizeof(Buf), "  ... %zu more\n", R.Leaks.size() - N);
+    Out += Buf;
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void jesc(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+    } else {
+      Out += C;
+    }
+  }
+  Out += '"';
+}
+
+void jkey(std::string &Out, const char *Key, bool &First) {
+  if (!First)
+    Out += ',';
+  First = false;
+  Out += '"';
+  Out += Key;
+  Out += "\":";
+}
+
+void ju(std::string &Out, const char *Key, uint64_t V, bool &First) {
+  jkey(Out, Key, First);
+  Out += std::to_string(V);
+}
+
+void ji(std::string &Out, const char *Key, int64_t V, bool &First) {
+  jkey(Out, Key, First);
+  Out += std::to_string(V);
+}
+
+void js(std::string &Out, const char *Key, const std::string &V,
+        bool &First) {
+  jkey(Out, Key, First);
+  jesc(Out, V);
+}
+
+void jpcts(std::string &Out, const char *Key, const Pcts &P, uint64_t Total,
+           bool &First) {
+  jkey(Out, Key, First);
+  bool F = true;
+  Out += '{';
+  ju(Out, "p50_ns", P.P50, F);
+  ju(Out, "p95_ns", P.P95, F);
+  ju(Out, "max_ns", P.Max, F);
+  ju(Out, "total_ns", Total, F);
+  Out += '}';
+}
+
+} // namespace
+
+std::string obs::renderReportJson(const TraceReport &R, size_t TopN) {
+  std::string Out;
+  bool Top = true;
+  Out += '{';
+
+  js(Out, "program", R.Program, Top);
+  js(Out, "mode", R.GenGc ? "generational" : "two-space", Top);
+  ju(Out, "collections", R.Events.size(), Top);
+  ju(Out, "sites", R.Sites.size(), Top);
+  ju(Out, "site_table_bytes", R.SiteTableBytes, Top);
+  if (R.HasRun) {
+    ju(Out, "run_ok", R.RunOk ? 1 : 0, Top);
+    if (!R.RunOk)
+      js(Out, "run_error", R.RunError, Top);
+  }
+
+  // --- Pause breakdown, mirroring Section().
+  auto Pauses = [&](const char *Key, bool Minor) {
+    std::vector<uint64_t> Total, Rend, Trace, Und, Copy, Rem, Red;
+    uint64_t SumTotal = 0, SumRend = 0, SumTrace = 0, SumUnd = 0,
+             SumCopy = 0, SumRem = 0, SumRed = 0;
+    for (const GcEvent &E : R.Events) {
+      if (E.Minor != Minor)
+        continue;
+      Total.push_back(E.TotalNanos);
+      Rend.push_back(E.Phases.Rendezvous);
+      Trace.push_back(E.Phases.StackTrace);
+      Und.push_back(E.Phases.Underive);
+      Copy.push_back(E.Phases.Copy);
+      Rem.push_back(E.Phases.RemsetRebuild);
+      Red.push_back(E.Phases.Rederive);
+      SumTotal += E.TotalNanos;
+      SumRend += E.Phases.Rendezvous;
+      SumTrace += E.Phases.StackTrace;
+      SumUnd += E.Phases.Underive;
+      SumCopy += E.Phases.Copy;
+      SumRem += E.Phases.RemsetRebuild;
+      SumRed += E.Phases.Rederive;
+    }
+    if (Total.empty())
+      return;
+    jkey(Out, Key, Top);
+    bool F = true;
+    Out += '{';
+    ju(Out, "collections", Total.size(), F);
+    jpcts(Out, "total", pcts(Total), SumTotal, F);
+    jpcts(Out, "rendezvous", pcts(Rend), SumRend, F);
+    jpcts(Out, "stack_trace", pcts(Trace), SumTrace, F);
+    jpcts(Out, "underive", pcts(Und), SumUnd, F);
+    jpcts(Out, "copy", pcts(Copy), SumCopy, F);
+    if (Minor)
+      jpcts(Out, "remset", pcts(Rem), SumRem, F);
+    jpcts(Out, "rederive", pcts(Red), SumRed, F);
+    Out += '}';
+  };
+  Pauses("minor_pauses", true);
+  Pauses("full_pauses", false);
+
+  // --- Volume and decode cache.
+  if (!R.Events.empty()) {
+    uint64_t Frames = 0, Hits = 0, Misses = 0, BytesCopied = 0,
+             BytesPromoted = 0, ObjectsCopied = 0;
+    for (const GcEvent &E : R.Events) {
+      Frames += E.FramesTraced;
+      Hits += E.CacheHits;
+      Misses += E.CacheMisses;
+      BytesCopied += E.BytesCopied;
+      BytesPromoted += E.BytesPromoted;
+      ObjectsCopied += E.ObjectsCopied;
+    }
+    jkey(Out, "volume", Top);
+    bool F = true;
+    Out += '{';
+    ju(Out, "objects_copied", ObjectsCopied, F);
+    ju(Out, "bytes_copied", BytesCopied, F);
+    ju(Out, "bytes_promoted", BytesPromoted, F);
+    ju(Out, "frames_traced", Frames, F);
+    ju(Out, "cache_hits", Hits, F);
+    ju(Out, "cache_misses", Misses, F);
+    Out += '}';
+  }
+
+  // --- Parallel-collection load balance.
+  uint32_t MaxWorkers = 0;
+  for (const GcEvent &E : R.Events)
+    MaxWorkers = std::max(MaxWorkers, E.Workers);
+  if (MaxWorkers > 1) {
+    jkey(Out, "gc_workers", Top);
+    Out += '[';
+    for (uint32_t W = 0; W != MaxWorkers && W != MaxGcWorkers; ++W) {
+      uint64_t SumTrace = 0, SumCopy = 0;
+      for (const GcEvent &E : R.Events)
+        if (W < E.Workers) {
+          SumTrace += E.WorkerTraceNanos[W];
+          SumCopy += E.WorkerCopyNanos[W];
+        }
+      if (W)
+        Out += ',';
+      bool F = true;
+      Out += '{';
+      ju(Out, "worker", W, F);
+      ju(Out, "trace_ns", SumTrace, F);
+      ju(Out, "copy_ns", SumCopy, F);
+      Out += '}';
+    }
+    Out += ']';
+  }
+
+  // --- Requests.
+  if (!R.Requests.empty()) {
+    std::vector<uint64_t> Instrs;
+    uint64_t GcNs = 0, Colls = 0;
+    for (const TraceReport::Request &Q : R.Requests) {
+      Instrs.push_back(Q.Instrs);
+      GcNs += Q.GcNanos;
+      Colls += Q.Collections;
+    }
+    Pcts P = pcts(Instrs);
+    jkey(Out, "requests", Top);
+    bool F = true;
+    Out += '{';
+    ju(Out, "count", R.Requests.size(), F);
+    ju(Out, "instrs_p50", P.P50, F);
+    ju(Out, "instrs_p95", P.P95, F);
+    ju(Out, "instrs_max", P.Max, F);
+    ju(Out, "gc_ns", GcNs, F);
+    ju(Out, "gc_collections", Colls, F);
+    Out += '}';
+  }
+
+  // --- Site tables: same ordering contract as the rendered report
+  // (key desc, site id asc, stable).
+  std::vector<const TraceReport::Site *> Active;
+  for (const TraceReport::Site &S : R.Sites)
+    if (S.Count)
+      Active.push_back(&S);
+  auto SiteTable = [&](const char *Key, auto KeyFn) {
+    if (Active.empty())
+      return;
+    std::stable_sort(
+        Active.begin(), Active.end(),
+        [&](const TraceReport::Site *A, const TraceReport::Site *B) {
+          if (KeyFn(*A) != KeyFn(*B))
+            return KeyFn(*A) > KeyFn(*B);
+          return A->Id < B->Id;
+        });
+    jkey(Out, Key, Top);
+    Out += '[';
+    size_t N = std::min(TopN, Active.size());
+    for (size_t I = 0; I != N; ++I) {
+      const TraceReport::Site &S = *Active[I];
+      if (KeyFn(S) == 0)
+        break;
+      if (I)
+        Out += ',';
+      bool F = true;
+      Out += '{';
+      ju(Out, "id", S.Id, F);
+      js(Out, "site", siteLabel(S), F);
+      ju(Out, "allocs", S.Count, F);
+      ju(Out, "bytes", S.Bytes, F);
+      ju(Out, "survived", S.Survived, F);
+      ju(Out, "survived_bytes", S.SurvivedBytes, F);
+      Out += '}';
+    }
+    Out += ']';
+  };
+  SiteTable("top_sites_by_bytes",
+            [](const TraceReport::Site &S) { return S.Bytes; });
+  SiteTable("top_sites_by_survived_bytes",
+            [](const TraceReport::Site &S) { return S.SurvivedBytes; });
+
+  // --- Suspected leaks (tracer order: slope desc, site asc).
+  if (!R.Leaks.empty()) {
+    jkey(Out, "leaks", Top);
+    Out += '[';
+    for (size_t I = 0; I != R.Leaks.size(); ++I) {
+      const TraceReport::Leak &L = R.Leaks[I];
+      if (I)
+        Out += ',';
+      bool F = true;
+      Out += '{';
+      ju(Out, "site", L.Site, F);
+      if (static_cast<size_t>(L.Site) < R.Sites.size())
+        js(Out, "label", siteLabel(R.Sites[L.Site]), F);
+      ji(Out, "slope_bytes", L.SlopeBytes, F);
+      ju(Out, "live_bytes", L.LiveBytes, F);
+      ju(Out, "first_flagged", L.FirstFlagged, F);
+      ju(Out, "window", L.Window, F);
+      Out += '}';
+    }
+    Out += ']';
+  }
+
+  // --- Live at finish by site (bytes desc, id asc — as rendered).
+  if (!R.LiveSites.empty()) {
+    std::vector<const TraceReport::LiveSite *> Live;
+    for (const TraceReport::LiveSite &L : R.LiveSites)
+      Live.push_back(&L);
+    std::sort(Live.begin(), Live.end(),
+              [](const TraceReport::LiveSite *A,
+                 const TraceReport::LiveSite *B) {
+                if (A->Bytes != B->Bytes)
+                  return A->Bytes > B->Bytes;
+                return A->Id < B->Id;
+              });
+    jkey(Out, "live_by_site", Top);
+    Out += '[';
+    size_t N = std::min(TopN, Live.size());
+    for (size_t I = 0; I != N; ++I) {
+      const TraceReport::LiveSite &L = *Live[I];
+      if (I)
+        Out += ',';
+      bool F = true;
+      Out += '{';
+      ji(Out, "id", L.Id, F);
+      js(Out, "site",
+         L.Id < 0 ? std::string("(no site)")
+                  : siteLabel(R.Sites[static_cast<size_t>(L.Id)]),
+         F);
+      ju(Out, "objects", L.Objects, F);
+      ju(Out, "bytes", L.Bytes, F);
+      Out += '}';
+    }
+    Out += ']';
+  }
+
+  // --- Age histogram.
+  if (!R.AgeHist.empty()) {
+    jkey(Out, "age_hist", Top);
+    Out += '[';
+    for (size_t I = 0; I != R.AgeHist.size(); ++I) {
+      const TraceReport::AgeBucket &B = R.AgeHist[I];
+      if (I)
+        Out += ',';
+      bool F = true;
+      Out += '{';
+      ju(Out, "age", B.Age, F);
+      ju(Out, "objects", B.Objects, F);
+      ju(Out, "bytes", B.Bytes, F);
+      Out += '}';
+    }
+    Out += ']';
+  }
+
+  Out += "}\n";
   return Out;
 }

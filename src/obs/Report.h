@@ -101,6 +101,18 @@ struct TraceReport {
   };
   std::vector<AgeBucket> AgeHist;
 
+  /// Trailing leak records: allocation sites the online growth detector
+  /// flagged (monotone live-byte growth over its sliding window of full
+  /// collections).  Present only when the run enabled leak detection.
+  struct Leak {
+    uint32_t Site = 0;
+    int64_t SlopeBytes = 0;     ///< Least-squares slope numerator / window.
+    uint64_t LiveBytes = 0;     ///< Live bytes at the newest sample.
+    uint64_t FirstFlagged = 0;  ///< Collection ordinal of the first flag.
+    uint32_t Window = 0;
+  };
+  std::vector<Leak> Leaks;
+
   bool HasRun = false; ///< A trailing run record was present.
   bool RunOk = false;
   std::string RunError;
@@ -115,8 +127,21 @@ bool readTrace(std::istream &In, TraceReport &Report, std::string &Err);
 
 /// Renders the human-readable report: per-phase pause breakdown with
 /// percentiles, top sites by bytes and by survival, decode-cache
-/// efficiency.  \p TopN bounds the site tables.
+/// efficiency, and (when present) the suspected-leak table.  \p TopN
+/// bounds the site tables.
 std::string renderReport(const TraceReport &Report, size_t TopN = 10);
+
+/// Renders only the suspected-leak table (the same section renderReport
+/// embeds), or a "no suspected leak sites" line when the trace carries no
+/// leak records.  \p TopN bounds the table.
+std::string renderLeaks(const TraceReport &Report, size_t TopN = 10);
+
+/// Machine-readable mirror of renderReport: one JSON object covering every
+/// rendered section (meta, pause percentiles per kind and phase, volume,
+/// workers, requests, site tables, live-at-finish, age histogram, leaks).
+/// Tables use the same ordering as the rendered report, so the two views
+/// always agree.
+std::string renderReportJson(const TraceReport &Report, size_t TopN = 10);
 
 } // namespace obs
 } // namespace mgc

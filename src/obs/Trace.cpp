@@ -79,6 +79,16 @@ Tracer::Tracer(TracerConfig C) : Config(std::move(C)) {
   PausesMinor.reserve(1024);
   PausesFull.reserve(1024);
   ReqInstrs.reserve(std::min<size_t>(Config.RequestCapacity, 1u << 12));
+  if (Config.Leak.Enabled && !Counters.empty()) {
+    // The least-squares denominator needs W >= 2; everything below is
+    // preallocated so sampleCollection never allocates.
+    if (Config.Leak.Window < 2)
+      Config.Leak.Window = 2;
+    LeakRing.assign(Counters.size() * size_t(Config.Leak.Window), 0);
+    LeakScratch.assign(Counters.size(), 0);
+    LeakWorkerAcc.assign(Counters.size() * size_t(MaxGcWorkers), 0);
+    LeakFirst.assign(Counters.size(), 0);
+  }
 }
 
 void Tracer::recordRequest(uint64_t Seq, uint64_t Instrs, uint64_t GcNanos,
@@ -174,6 +184,136 @@ void Tracer::sweepSurvivors(const vm::Heap &H, bool Minor) {
   }
   // Every pending allocation has now experienced its first collection.
   Pending.clear();
+}
+
+namespace {
+
+/// Evaluates one site's sliding window.  \p SiteRing points at the site's
+/// W-slot circular span; \p Samples orders it (slot Samples % W is the
+/// oldest).  Flagged iff every step is non-decreasing, the window shows
+/// net growth, and the newest sample clears \p MinBytes.  \p Slope gets
+/// the integer least-squares fit in bytes per full collection.
+bool leakEval(const uint64_t *SiteRing, uint32_t W, uint64_t Samples,
+              uint64_t MinBytes, int64_t &Slope, uint64_t &Newest) {
+  Slope = 0;
+  Newest = 0;
+  if (Samples < W)
+    return false;
+  uint64_t Base = Samples % W;
+  bool NonDecreasing = true;
+  uint64_t Prev = 0, First = 0, Last = 0;
+  int64_t SumY = 0, SumIY = 0;
+  for (uint32_t J = 0; J != W; ++J) {
+    uint64_t Y = SiteRing[(Base + J) % W];
+    if (J == 0)
+      First = Y;
+    else if (Y < Prev)
+      NonDecreasing = false;
+    Prev = Y;
+    Last = Y;
+    SumY += static_cast<int64_t>(Y);
+    SumIY += static_cast<int64_t>(J) * static_cast<int64_t>(Y);
+  }
+  // num/den is the least-squares slope over sample indices 0..W-1; the
+  // denominator is a positive constant of W alone, so integer division
+  // keeps the fit deterministic.
+  int64_t SumI = int64_t(W) * (W - 1) / 2;
+  int64_t SumI2 = int64_t(W) * (W - 1) * (2 * int64_t(W) - 1) / 6;
+  int64_t Den = int64_t(W) * SumI2 - SumI * SumI;
+  int64_t Num = int64_t(W) * SumIY - SumI * SumY;
+  Slope = Num / Den;
+  Newest = Last;
+  return NonDecreasing && Last > First && Last >= MinBytes && Num > 0;
+}
+
+} // namespace
+
+void Tracer::sampleCollection(uint64_t Collections, bool Minor) {
+  if (!Enabled || LeakScratch.empty())
+    return;
+  ++LeakScans;
+  // Minor collections never reclaim old space, so per-site live bytes ramp
+  // monotonically between fulls; sampling there would flag every site.
+  if (Minor)
+    return;
+  // Merge the per-worker in-copy accumulators into one sample: a full
+  // collection copies every live object exactly once, so the slab sums are
+  // the post-collection per-site live bytes.  Integer sums are order- and
+  // partition-independent, so the merged sample (hence every flag) is
+  // byte-identical across --gc-threads.  The slabs are consumed here so
+  // the next full collection starts from zero.
+  size_t NSites = LeakScratch.size();
+  for (size_t S = 0; S != NSites; ++S) {
+    uint64_t Sum = 0;
+    for (unsigned Wk = 0; Wk != MaxGcWorkers; ++Wk) {
+      uint64_t &Slot = LeakWorkerAcc[size_t(Wk) * NSites + S];
+      Sum += Slot;
+      Slot = 0;
+    }
+    LeakScratch[S] = Sum;
+  }
+  uint32_t W = Config.Leak.Window;
+  size_t Slot = static_cast<size_t>(LeakSampleCount % W);
+  for (size_t S = 0; S != NSites; ++S)
+    LeakRing[S * W + Slot] = LeakScratch[S];
+  ++LeakSampleCount;
+  if (LeakSampleCount < W)
+    return;
+  for (size_t S = 0; S != NSites; ++S) {
+    if (LeakFirst[S])
+      continue; // the first-flag time is sticky
+    int64_t Slope;
+    uint64_t Newest;
+    if (leakEval(&LeakRing[S * W], W, LeakSampleCount, Config.Leak.MinBytes,
+                 Slope, Newest))
+      LeakFirst[S] = Collections ? Collections : 1;
+  }
+}
+
+std::vector<Tracer::LeakFlag> Tracer::leakFlags() const {
+  std::vector<LeakFlag> Out;
+  uint32_t W = Config.Leak.Window;
+  for (size_t S = 0; S != LeakScratch.size(); ++S) {
+    int64_t Slope;
+    uint64_t Newest;
+    if (!leakEval(&LeakRing[S * W], W, LeakSampleCount, Config.Leak.MinBytes,
+                  Slope, Newest))
+      continue;
+    LeakFlag F;
+    F.Site = static_cast<uint32_t>(S);
+    F.SlopeBytes = Slope;
+    F.LiveBytes = Newest;
+    F.FirstFlagged = LeakFirst[S];
+    Out.push_back(F);
+  }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const LeakFlag &A, const LeakFlag &B) {
+                     if (A.SlopeBytes != B.SlopeBytes)
+                       return A.SlopeBytes > B.SlopeBytes;
+                     return A.Site < B.Site;
+                   });
+  return Out;
+}
+
+std::string Tracer::leakJsonFields() const {
+  std::string Out;
+  field(Out, "leak_window", Config.Leak.Window, /*First=*/true);
+  field(Out, "leak_min_bytes", Config.Leak.MinBytes);
+  Out += ",\"leak_flags\":[";
+  std::vector<LeakFlag> Flags = leakFlags();
+  for (size_t I = 0; I != Flags.size(); ++I) {
+    if (I)
+      Out += ',';
+    Out += "{\"site\":";
+    Out += std::to_string(Flags[I].Site);
+    Out += ",\"slope_bytes\":";
+    Out += std::to_string(Flags[I].SlopeBytes);
+    field(Out, "live_bytes", Flags[I].LiveBytes);
+    field(Out, "first_flagged", Flags[I].FirstFlagged);
+    Out += '}';
+  }
+  Out += ']';
+  return Out;
 }
 
 std::vector<LiveAgg> Tracer::liveBySite(const vm::Heap &H,
@@ -385,6 +525,13 @@ std::string Tracer::summaryJsonFields() const {
     field(Out, "req_instr_p99", Req.P99);
     field(Out, "req_instr_max", Req.Max);
   }
+  if (!LeakScratch.empty()) {
+    // Leak-detector aggregates (flat; the per-site flags are their own
+    // "leak" records / the nested leakJsonFields()).
+    field(Out, "leak_scans", LeakScans);
+    field(Out, "leak_samples", LeakSampleCount);
+    field(Out, "leak_sites_flagged", leakFlags().size());
+  }
   return Out;
 }
 
@@ -433,6 +580,22 @@ void Tracer::finish(bool Ok, const std::string &Error, const vm::Heap *H) {
       field(L, "age", Age);
       field(L, "objects", Hist[Age].Objects);
       field(L, "bytes", Hist[Age].Bytes);
+      L += "}\n";
+      *Stream << L;
+    }
+  }
+  if (!LeakScratch.empty()) {
+    // One flat record per currently flagged site, in (slope desc, site
+    // asc) order, so mgc-report can render the leaks section without any
+    // snapshot file.
+    for (const LeakFlag &F : leakFlags()) {
+      std::string L = "{\"type\":\"leak\"";
+      field(L, "site", F.Site);
+      L += ",\"slope_bytes\":";
+      L += std::to_string(F.SlopeBytes);
+      field(L, "live_bytes", F.LiveBytes);
+      field(L, "first_flagged", F.FirstFlagged);
+      field(L, "window", Config.Leak.Window);
       L += "}\n";
       *Stream << L;
     }

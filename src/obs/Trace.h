@@ -118,6 +118,25 @@ struct LiveAgg {
   uint64_t Bytes = 0;
 };
 
+/// Online growth-detector configuration (leak triage).  When enabled the
+/// collector calls Tracer::sampleCollection at the tail of every pause;
+/// the detector keeps a sliding window of per-site live-bytes samples
+/// (full collections only — minor collections never reclaim old space, so
+/// per-site "live" ramps monotonically between fulls and would flag every
+/// site) and flags sites whose window shows sustained growth.  All state
+/// is preallocated in the tracer constructor; sampling allocates nothing.
+struct LeakConfig {
+  bool Enabled = false;
+  /// Sliding window length in full-collection samples.  A leaking site is
+  /// flagged once its window fills with non-decreasing, net-growing
+  /// samples, so Window is also K: the detection-latency bound in full
+  /// collections.
+  uint32_t Window = 8;
+  /// Minimum live bytes at the newest sample before a site can be
+  /// flagged; filters sites too small to matter.
+  uint64_t MinBytes = 4096;
+};
+
 /// Static configuration captured when the tracer is attached to a VM.
 struct TracerConfig {
   /// The program's allocation-site table; may be null (counters off).
@@ -146,6 +165,9 @@ struct TracerConfig {
   /// bump inside the existing copy — bench/snapshot_overhead gates the
   /// flag's collection-time delta ≤2% (measured ≈0).
   bool Attribution = false;
+  /// Online leak detection (see LeakConfig).  bench/leak gates the cost:
+  /// ≤1% with the detector off, ≤3% with it on.
+  LeakConfig Leak;
 };
 
 class Tracer {
@@ -230,6 +252,33 @@ public:
   /// stream write.
   void commitEvent();
 
+  /// Leak-detector hook: called by the collector at the tail of every
+  /// pause (workers joined, single-threaded).  Minor collections only
+  /// count a scan; full collections merge the per-worker in-copy
+  /// accumulators (leakAccumulator) into one live-bytes sample per site,
+  /// push it into the sliding window, and re-evaluate the flags — the
+  /// post-collection live set is exactly what the collection copied, so
+  /// no separate heap walk is needed.  \p Collections is
+  /// VMStats::Collections at the sample (recorded as the flag time).
+  /// No-op unless the tracer is enabled and Config.Leak.Enabled is set.
+  void sampleCollection(uint64_t Collections, bool Minor);
+
+  /// Per-worker slab for the in-copy leak sampling: during a FULL
+  /// collection the collector adds each object's bytes to slot [site id]
+  /// of the copying worker's slab as it evacuates the object, and
+  /// sampleCollection merges + zeroes the slabs after the workers join.
+  /// Returns null (the collector skips the add) unless the tracer is
+  /// enabled with the detector configured.  Minor collections must not
+  /// accumulate: only the full-collection copy loops wire these in.
+  uint64_t *leakAccumulator(unsigned Worker) {
+    if (!Enabled || LeakScratch.empty() || Worker >= MaxGcWorkers)
+      return nullptr;
+    return &LeakWorkerAcc[size_t(Worker) * LeakScratch.size()];
+  }
+  /// Slots per leakAccumulator slab; site ids at or past this bound are
+  /// unattributed and must not be added.
+  size_t leakSiteCount() const { return LeakScratch.size(); }
+
   //===--- Results ---------------------------------------------------------===
 
   const TracerConfig &config() const { return Config; }
@@ -280,6 +329,33 @@ public:
   /// The aggregate counters as one JSON object body (no surrounding
   /// braces), for embedding in --stats-json.
   std::string summaryJsonFields() const;
+
+  //===--- Leak detection results ------------------------------------------===
+
+  /// One suspected-leak site: its window filled with non-decreasing,
+  /// net-growing live-bytes samples while the newest sample was at least
+  /// Config.Leak.MinBytes.
+  struct LeakFlag {
+    uint32_t Site = 0;
+    /// Integer least-squares slope of the window, in bytes per full
+    /// collection (positive by construction for a flagged site).
+    int64_t SlopeBytes = 0;
+    uint64_t LiveBytes = 0;     ///< Live bytes at the newest sample.
+    uint64_t FirstFlagged = 0;  ///< VMStats::Collections at the first flag.
+  };
+  /// Currently flagged sites, sorted by (slope desc, site id asc): the
+  /// inputs are per-site integer sums accumulated as objects are copied —
+  /// sums are order- and partition-independent, so the result is
+  /// byte-identical across --gc-threads and dispatch tiers.
+  std::vector<LeakFlag> leakFlags() const;
+  uint64_t leakScans() const { return LeakScans; }
+  uint64_t leakSamples() const { return LeakSampleCount; }
+  /// The detector state as JSON object fields ("leak_window":N,
+  /// "leak_flags":[{...},...]) for --stats-json.  NOT part of
+  /// summaryJsonFields: the flag list is nested, which the strict flat
+  /// JSONL re-parser must never see in a run record (each flag instead
+  /// gets its own flat "leak" record at finish()).
+  std::string leakJsonFields() const;
 
   //===--- Live attribution aggregates (header-borne; heap walks) ----------===
 
@@ -339,6 +415,18 @@ private:
   uint64_t ReqGcNanosTotal = 0;
   uint64_t ReqCollectionsTotal = 0;
   uint64_t DroppedRequests = 0;
+
+  // Leak detector (preallocated in the constructor when Config.Leak is
+  // enabled and a site table exists; empty otherwise).
+  std::vector<uint64_t> LeakRing;    ///< Site-major: [site * Window + slot].
+  std::vector<uint64_t> LeakScratch; ///< Merged per-site bytes, one sample.
+  /// MaxGcWorkers contiguous per-site slabs ([worker * NSites + site]) the
+  /// collector's full-collection copy loops fill via leakAccumulator();
+  /// consumed (merged + zeroed) by sampleCollection.
+  std::vector<uint64_t> LeakWorkerAcc;
+  std::vector<uint64_t> LeakFirst;   ///< Collections at first flag; 0 = never.
+  uint64_t LeakSampleCount = 0;      ///< Full-collection samples taken.
+  uint64_t LeakScans = 0;            ///< sampleCollection calls (any kind).
 };
 
 /// Appends one JSON string literal (quoted, escaped) to \p Out.

@@ -398,4 +398,50 @@ END Survive.
   EXPECT_TRUE(SawTmp);
 }
 
+//===----------------------------------------------------------------------===//
+// Deterministic site-table ordering
+//===----------------------------------------------------------------------===//
+
+TEST(ObsReportOrdering, TiedSitesRenderInIdOrder) {
+  // Sites with identical byte totals must render in site-id order — the
+  // report's tables stable-sort with an id tiebreak, so the output is a
+  // pure function of the trace regardless of sort implementation.
+  obs::TraceReport R;
+  R.Program = "ties";
+  for (uint32_t Id = 0; Id != 4; ++Id) {
+    obs::TraceReport::Site S;
+    S.Id = Id;
+    S.Func = "f" + std::to_string(Id);
+    S.Line = Id + 1;
+    S.Count = 10;
+    S.Bytes = 4096;          // all tied
+    S.Survived = 5;
+    S.SurvivedBytes = 2048;  // all tied
+    R.Sites.push_back(S);
+  }
+  R.HasRun = true;
+  R.RunOk = true;
+
+  std::string Rendered = obs::renderReport(R, /*TopN=*/4);
+  size_t P0 = Rendered.find("f0:");
+  size_t P1 = Rendered.find("f1:");
+  size_t P2 = Rendered.find("f2:");
+  size_t P3 = Rendered.find("f3:");
+  ASSERT_NE(P0, std::string::npos);
+  ASSERT_NE(P1, std::string::npos);
+  ASSERT_NE(P2, std::string::npos);
+  ASSERT_NE(P3, std::string::npos);
+  EXPECT_LT(P0, P1);
+  EXPECT_LT(P1, P2);
+  EXPECT_LT(P2, P3);
+
+  // The JSON mirror uses the same ordering.
+  std::string Json = obs::renderReportJson(R, /*TopN=*/4);
+  size_t J0 = Json.find("\"f0:");
+  size_t J1 = Json.find("\"f1:");
+  ASSERT_NE(J0, std::string::npos);
+  ASSERT_NE(J1, std::string::npos);
+  EXPECT_LT(J0, J1);
+}
+
 } // namespace

@@ -23,7 +23,11 @@
 # hosts) when 4 workers fail to cut the max pause 1.5x; the server gate
 # (BENCH_server.json) exits non-zero when the request harness loses
 # virtual-time determinism, GC-pause attribution, or cross-policy output
-# identity, and the gc- and server-labeled suites are additionally built
+# identity; the leak gate (BENCH_leak.json) exits non-zero when the
+# online growth detector costs more than its overhead gates (1% off, 3%
+# on), misses the injected leak within its window bound, flags the
+# leak-free §6 suite, or loses flag determinism across threads/tiers;
+# and the gc-, server-, and leak-labeled suites are additionally built
 # and run under ThreadSanitizer.  Snapshots are then captured
 # (cross-checked against an independent precise re-trace) and analyzed
 # for the four §6 benchmark programs and the frozen corpus in both
@@ -145,6 +149,17 @@ done
 # MGC_SERVER_RUNS tunes the timing repetitions.
 (cd "$ROOT" && ./build/bench/server)
 
+# --- Leak-triage gate -----------------------------------------------------
+# Measures the online growth detector's mutator cost on the gengc
+# workloads (tracer enabled in all three cells: no leak config /
+# configured-but-disabled / enabled), then checks detection (an injected
+# global-chain leak must be flagged at the Grow site within K = Window
+# full collections), false positives (the §6 suite must flag nothing),
+# and determinism (flags byte-identical across --gc-threads 1/2/4 and
+# both dispatch tiers).  Emits BENCH_leak.json; any failed gate exits
+# non-zero.  MGC_LEAK_RUNS tunes the timing repetitions.
+(cd "$ROOT" && ./build/bench/leak)
+
 # --- ThreadSanitizer sweep of the parallel collector ----------------------
 # The gc- and server-labeled suites drive the work-stealing evacuation,
 # the per-thread handshakes at 1/2/4 workers, and the request harness's
@@ -158,6 +173,7 @@ if [ "$SKIP_TESTS" -eq 0 ]; then
   cmake --build build-tsan --target mgc_tests -j
   (cd build-tsan && ctest -L gc --output-on-failure -j)
   (cd build-tsan && ctest -L server --output-on-failure -j)
+  (cd build-tsan && ctest -L leak --output-on-failure -j)
 fi
 
 # --- Differential fuzz budget --------------------------------------------
@@ -169,8 +185,9 @@ FUZZ_COUNT="${FUZZ_COUNT:-200}"
   --out "$ROOT/fuzz-artifacts" --json "$ROOT/BENCH_fuzz.json"
 
 echo "check.sh: tier-1 ok (default + gen-gc); trace overhead ok;" \
-     "snapshot gate ok; dispatch gate ok; pause gate ok; server gate ok" \
-     "(+ TSan gc/server slices); fuzz ok ($FUZZ_COUNT programs);" \
-     "benchmarks written to BENCH_decode.json, BENCH_gengc.json," \
-     "BENCH_trace.json, BENCH_snapshot.json, BENCH_dispatch.json," \
-     "BENCH_pause.json, BENCH_server.json, BENCH_fuzz.json"
+     "snapshot gate ok; dispatch gate ok; pause gate ok; server gate ok;" \
+     "leak gate ok (+ TSan gc/server/leak slices); fuzz ok" \
+     "($FUZZ_COUNT programs); benchmarks written to BENCH_decode.json," \
+     "BENCH_gengc.json, BENCH_trace.json, BENCH_snapshot.json," \
+     "BENCH_dispatch.json, BENCH_pause.json, BENCH_server.json," \
+     "BENCH_leak.json, BENCH_fuzz.json"

@@ -13,10 +13,23 @@
 ///       age histogram.
 ///
 ///   mgc-heapsnap --path-to NODE file.snap
-///       Shortest root path to a node id (ids as printed by the analysis).
+///       All retaining paths to a node id (ids as printed by the
+///       analysis), ranked by the retained bytes of each path's root.
 ///
 ///   mgc-heapsnap --diff old.snap new.snap [--top N]
 ///       Per-site growth between two snapshots of the same program.
+///
+///   mgc-heapsnap --watch base.snap [--top N]
+///   mgc-heapsnap --watch s1.snap s2.snap ... [--top N]
+///       Continuous watch over a `--snapshot-every N` stream: with one
+///       argument, auto-discovers base.snap.1, base.snap.2, ... plus the
+///       at-exit base.snap; with several, uses them in the given order.
+///       Reports per-snapshot crosschecked totals, incremental and
+///       cumulative per-site growth, and retaining-path churn.  Exits
+///       non-zero if any snapshot fails its internal crosscheck.
+///
+/// Any truncated or corrupt snapshot file is a one-line diagnostic and a
+/// non-zero exit — never a partial report.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +38,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 using namespace mgc;
@@ -34,7 +48,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: mgc-heapsnap [--top N] file.snap\n"
                "       mgc-heapsnap --path-to NODE file.snap\n"
-               "       mgc-heapsnap --diff old.snap new.snap [--top N]\n");
+               "       mgc-heapsnap --diff old.snap new.snap [--top N]\n"
+               "       mgc-heapsnap --watch base.snap [--top N]\n"
+               "       mgc-heapsnap --watch s1.snap s2.snap ... [--top N]\n");
   return 2;
 }
 
@@ -51,6 +67,7 @@ bool load(const char *Path, obs::HeapSnapshot &S) {
 int main(int argc, char **argv) {
   size_t TopN = 10;
   bool Diff = false;
+  bool Watch = false;
   bool HavePath = false;
   unsigned long long PathNode = 0;
   std::vector<const char *> Files;
@@ -63,6 +80,8 @@ int main(int argc, char **argv) {
       TopN = static_cast<size_t>(std::atoll(argv[A]));
     } else if (!std::strcmp(Arg, "--diff")) {
       Diff = true;
+    } else if (!std::strcmp(Arg, "--watch")) {
+      Watch = true;
     } else if (!std::strcmp(Arg, "--path-to")) {
       if (++A == argc)
         return usage();
@@ -73,6 +92,43 @@ int main(int argc, char **argv) {
     } else {
       Files.push_back(Arg);
     }
+  }
+
+  if (Watch) {
+    if (Files.empty() || HavePath || Diff)
+      return usage();
+    std::vector<obs::HeapSnapshot> Stream;
+    if (Files.size() == 1) {
+      // A --snapshot-every stream: base.1, base.2, ... in collection
+      // order, then the at-exit snapshot at the base path itself.
+      for (unsigned long long Seq = 1;; ++Seq) {
+        std::string Part = std::string(Files[0]) + "." + std::to_string(Seq);
+        std::FILE *Probe = std::fopen(Part.c_str(), "rb");
+        if (!Probe)
+          break;
+        std::fclose(Probe);
+        Stream.emplace_back();
+        if (!load(Part.c_str(), Stream.back()))
+          return 1;
+      }
+      Stream.emplace_back();
+      if (!load(Files[0], Stream.back()))
+        return 1;
+    } else {
+      for (const char *F : Files) {
+        Stream.emplace_back();
+        if (!load(F, Stream.back()))
+          return 1;
+      }
+    }
+    bool CrosscheckOk = false;
+    std::string Out = obs::watchSnapshots(Stream, TopN, CrosscheckOk);
+    std::fputs(Out.c_str(), stdout);
+    if (!CrosscheckOk) {
+      std::fprintf(stderr, "mgc-heapsnap: watch crosscheck FAILED\n");
+      return 1;
+    }
+    return 0;
   }
 
   if (Diff) {

@@ -10,7 +10,12 @@
 /// volume, decode-cache efficiency, and the top allocation sites by bytes
 /// and by first-collection survival.
 ///
-///   mgc-report [--top N] trace.jsonl
+///   mgc-report [--top N] [--json] [--leaks] trace.jsonl
+///
+///   --json    machine-readable mirror of every rendered section
+///   --leaks   print only the suspected-leak table (from the trace's leak
+///             records — no snapshot file needed); with --json the full
+///             JSON is printed, whose "leaks" array carries the same data
 ///
 /// Exits non-zero on any parse error: the trace format round-trips
 /// losslessly or not at all.
@@ -28,6 +33,7 @@ using namespace mgc;
 
 int main(int argc, char **argv) {
   size_t TopN = 10;
+  bool Json = false, LeaksOnly = false;
   const char *Path = nullptr;
   for (int A = 1; A < argc; ++A) {
     if (!std::strcmp(argv[A], "--top")) {
@@ -36,15 +42,23 @@ int main(int argc, char **argv) {
         return 2;
       }
       TopN = static_cast<size_t>(std::atoll(argv[A]));
+    } else if (!std::strcmp(argv[A], "--json")) {
+      Json = true;
+    } else if (!std::strcmp(argv[A], "--leaks")) {
+      LeaksOnly = true;
     } else if (argv[A][0] == '-') {
-      std::fprintf(stderr, "usage: %s [--top N] trace.jsonl\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--top N] [--json] [--leaks] "
+                           "trace.jsonl\n",
+                   argv[0]);
       return 2;
     } else {
       Path = argv[A];
     }
   }
   if (!Path) {
-    std::fprintf(stderr, "usage: %s [--top N] trace.jsonl\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [--top N] [--json] [--leaks] "
+                         "trace.jsonl\n",
+                 argv[0]);
     return 2;
   }
 
@@ -65,6 +79,11 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  std::fputs(obs::renderReport(Report, TopN).c_str(), stdout);
+  if (Json)
+    std::fputs(obs::renderReportJson(Report, TopN).c_str(), stdout);
+  else if (LeaksOnly)
+    std::fputs(obs::renderLeaks(Report, TopN).c_str(), stdout);
+  else
+    std::fputs(obs::renderReport(Report, TopN).c_str(), stdout);
   return 0;
 }

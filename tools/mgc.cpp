@@ -33,7 +33,17 @@
 ///                    and the conservative superset
 ///   --snapshot-every N
 ///                    additionally write FILE.1, FILE.2, ... after every
-///                    Nth collection (requires --heap-snapshot)
+///                    Nth collection (requires --heap-snapshot; watch the
+///                    stream with mgc-heapsnap --watch)
+///   --leak-detect    online growth detector: sample per-site live bytes
+///                    at every full collection and flag sites whose live
+///                    set grows monotonically across the sliding window
+///                    (reported in --stats-json, --stats, and the trace's
+///                    leak records; no snapshot file needed)
+///   --leak-window N  detector window in full collections (default 8;
+///                    also the detection-latency bound)
+///   --leak-min-bytes B
+///                    ignore sites below B live bytes (default 4096)
 ///   --stress         collect before every allocation
 ///   --heap BYTES     semispace size (default 4 MiB)
 ///   --gen-gc         generational mode: nursery + write barriers +
@@ -84,8 +94,9 @@ int usage(const char *Argv0) {
                "[--interproc]\n           [--split] [--dump-ir] [--dump-asm] "
                "[--stats] [--stress]\n           [--trace FILE] "
                "[--stats-json FILE] [--heap-snapshot FILE] "
-               "[--snapshot-every N]\n           [--heap BYTES] "
-               "[--gen-gc]\n           "
+               "[--snapshot-every N]\n           [--leak-detect] "
+               "[--leak-window N] [--leak-min-bytes B]\n           "
+               "[--heap BYTES] [--gen-gc]\n           "
                "[--heap-growth PCT] [--heap-max BYTES] [--nursery-auto]\n"
                "           [--nursery-bytes BYTES] [--no-map-index] "
                "[--gc-crosscheck] [--gc-threads N]\n           "
@@ -117,6 +128,7 @@ int main(int argc, char **argv) {
   const char *StatsJsonPath = nullptr;
   const char *SnapPath = nullptr;
   unsigned long long SnapEvery = 0;
+  obs::LeakConfig Leak;
 
   for (int A = 1; A < argc; ++A) {
     const char *Arg = argv[A];
@@ -154,6 +166,16 @@ int main(int argc, char **argv) {
       if (++A == argc)
         return usage(argv[0]);
       SnapEvery = static_cast<unsigned long long>(std::atoll(argv[A]));
+    } else if (!std::strcmp(Arg, "--leak-detect")) {
+      Leak.Enabled = true;
+    } else if (!std::strcmp(Arg, "--leak-window")) {
+      if (++A == argc)
+        return usage(argv[0]);
+      Leak.Window = static_cast<uint32_t>(std::atoll(argv[A]));
+    } else if (!std::strcmp(Arg, "--leak-min-bytes")) {
+      if (++A == argc)
+        return usage(argv[0]);
+      Leak.MinBytes = static_cast<uint64_t>(std::atoll(argv[A]));
     } else if (!std::strcmp(Arg, "--stress")) {
       VO.GcStress = true;
     } else if (!std::strcmp(Arg, "--no-map-index")) {
@@ -291,12 +313,13 @@ int main(int argc, char **argv) {
 
   std::ofstream TraceOut;
   std::unique_ptr<obs::Tracer> Tracer;
-  if (TracePath || StatsJsonPath || SnapPath) {
+  if (TracePath || StatsJsonPath || SnapPath || Leak.Enabled) {
     obs::TracerConfig TC;
     TC.Sites = &Prog.SiteTab;
     // Snapshots and the live-by-site stats need the persistent per-object
     // attribution side table, not just first-survival counters.
     TC.Attribution = true;
+    TC.Leak = Leak;
     for (const vm::CompiledFunction &F : Prog.Funcs)
       TC.FuncNames.push_back(F.Name);
     TC.ProgramName = Prog.Name;
@@ -426,6 +449,27 @@ int main(int argc, char **argv) {
     if (S.Requests)
       std::printf("requests: %llu completed\n",
                   static_cast<unsigned long long>(S.Requests));
+    if (Leak.Enabled && Tracer) {
+      std::vector<obs::Tracer::LeakFlag> Flags = Tracer->leakFlags();
+      std::printf("leak-detect: %zu site(s) flagged (%llu samples over %llu "
+                  "collections, window %u)\n",
+                  Flags.size(),
+                  static_cast<unsigned long long>(Tracer->leakSamples()),
+                  static_cast<unsigned long long>(Tracer->leakScans()),
+                  Tracer->config().Leak.Window);
+      for (const obs::Tracer::LeakFlag &F : Flags) {
+        const gcmaps::AllocSite &Site = Prog.SiteTab.Sites[F.Site];
+        std::printf("  site %u (%s:%u) slope %+lld B/gc, live %llu B, "
+                    "first flagged at gc %llu\n",
+                    F.Site,
+                    Site.Func < Prog.Funcs.size()
+                        ? Prog.Funcs[Site.Func].Name.c_str()
+                        : "?",
+                    Site.Line, static_cast<long long>(F.SlopeBytes),
+                    static_cast<unsigned long long>(F.LiveBytes),
+                    static_cast<unsigned long long>(F.FirstFlagged));
+      }
+    }
     if (GCO.UseMapIndex && (S.DecodeCacheHits || S.DecodeCacheMisses))
       std::printf("decode: %llu cache hits, %llu misses (%.1f%% hit), "
                   "%llu blob bytes skipped by index\n",
@@ -484,6 +528,10 @@ int main(int argc, char **argv) {
     J += Tracer->summaryJsonFields();
     J += ',';
     J += Tracer->liveJsonFields(Machine.TheHeap);
+    if (Leak.Enabled) {
+      J += ',';
+      J += Tracer->leakJsonFields();
+    }
     J += "}\n";
     std::ofstream JOut(StatsJsonPath);
     if (!JOut) {
