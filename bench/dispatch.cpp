@@ -26,6 +26,7 @@
 
 #include "BenchUtil.h"
 #include "Programs.h"
+#include "support/Provenance.h"
 
 #include <cmath>
 #include <cstdio>
@@ -178,8 +179,9 @@ int main() {
   double GM = Geomean();
   bool GatePass = !HaveGoto || GM >= GateSpeedup;
 
-  std::string Json = "{";
-  ji(Json, "runs", static_cast<uint64_t>(Runs), /*First=*/true);
+  std::string Json = "{\"provenance\":";
+  Json += support::provenanceJson();
+  ji(Json, "runs", static_cast<uint64_t>(Runs));
   Json += ",\"computed_goto\":";
   Json += HaveGoto ? "true" : "false";
   Json += ",\"programs\":[";

@@ -23,6 +23,8 @@
 #include "BenchUtil.h"
 #include "Programs.h"
 
+#include "support/Provenance.h"
+
 #include <benchmark/benchmark.h>
 
 #include <string>
@@ -186,6 +188,8 @@ BENCHMARK(BM_MinorGcPause)->DenseRange(0, 2)->UseManualTime()->Iterations(3);
 
 int main(int argc, char **argv) {
   verifyModes();
+  benchmark::AddCustomContext("tool_version", mgc::support::ToolVersion);
+  benchmark::AddCustomContext("build_flags", mgc::support::buildFlags());
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;

@@ -42,6 +42,7 @@
 #include "Programs.h"
 
 #include "obs/Trace.h"
+#include "support/Provenance.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -285,8 +286,9 @@ int main() {
   constexpr uint32_t Window = 8; // K: the detection-latency bound.
 
   bool AllPass = true;
-  std::string Json = "{";
-  ji(Json, "runs", static_cast<uint64_t>(Runs), /*First=*/true);
+  std::string Json = "{\"provenance\":";
+  Json += support::provenanceJson();
+  ji(Json, "runs", static_cast<uint64_t>(Runs));
   ji(Json, "window", Window);
 
   //===--- 1. Overhead ------------------------------------------------------===

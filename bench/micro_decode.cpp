@@ -16,6 +16,7 @@
 #include "Programs.h"
 
 #include "gcmaps/MapIndex.h"
+#include "support/Provenance.h"
 
 #include <benchmark/benchmark.h>
 
@@ -247,4 +248,12 @@ BENCHMARK(BM_FullCollection)->Arg(0)->Arg(1);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::AddCustomContext("tool_version", mgc::support::ToolVersion);
+  benchmark::AddCustomContext("build_flags", mgc::support::buildFlags());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

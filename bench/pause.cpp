@@ -37,6 +37,7 @@
 #include "Programs.h"
 
 #include "obs/Trace.h"
+#include "support/Provenance.h"
 
 #include <algorithm>
 #include <chrono>
@@ -383,8 +384,9 @@ int main() {
   bool Pass = !GateEnforced || GatePass();
 
   // --- Report -------------------------------------------------------------
-  std::string Json = "{";
-  ji(Json, "runs", static_cast<uint64_t>(Runs), /*First=*/true);
+  std::string Json = "{\"provenance\":";
+  Json += support::provenanceJson();
+  ji(Json, "runs", static_cast<uint64_t>(Runs));
   ji(Json, "hardware_concurrency", Cores);
   Json += ",\"workloads\":[";
   for (size_t I = 0; I != Work.size(); ++I) {

@@ -33,6 +33,7 @@
 #include "BenchUtil.h"
 
 #include "workload/Server.h"
+#include "support/Provenance.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -320,8 +321,9 @@ int main() {
   // --- Report --------------------------------------------------------------
   // The header documents every seed so BENCH_server.json is reproducible
   // bit for bit on the virtual-time fields (wall-time fields vary).
-  std::string Json = "{";
-  ji(Json, "runs", static_cast<uint64_t>(Runs), /*First=*/true);
+  std::string Json = "{\"provenance\":";
+  Json += support::provenanceJson(ProgramSeed);
+  ji(Json, "runs", static_cast<uint64_t>(Runs));
   ji(Json, "program_seed", ProgramSeed);
   ji(Json, "schedule_seed", ScheduleSeed);
   ji(Json, "requests", RequestCount);

@@ -38,6 +38,7 @@
 #include "gc/Snapshot.h"
 #include "obs/HeapSnapshot.h"
 #include "obs/Trace.h"
+#include "support/Provenance.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -297,8 +298,9 @@ int main() {
     Sizes.push_back(Row);
   }
 
-  std::string Json = "{";
-  ji(Json, "runs", static_cast<uint64_t>(Runs), /*First=*/true);
+  std::string Json = "{\"provenance\":";
+  Json += support::provenanceJson();
+  ji(Json, "runs", static_cast<uint64_t>(Runs));
   Json += ",\"workloads\":[";
   for (size_t I = 0; I != NW; ++I) {
     if (I)

@@ -29,6 +29,7 @@
 #include "Programs.h"
 
 #include "obs/Trace.h"
+#include "support/Provenance.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -172,8 +173,9 @@ int main() {
     Progs.push_back(std::move(C));
   }
 
-  std::string Json = "{";
-  ji(Json, "runs", static_cast<uint64_t>(Runs), /*First=*/true);
+  std::string Json = "{\"provenance\":";
+  Json += support::provenanceJson();
+  ji(Json, "runs", static_cast<uint64_t>(Runs));
   Json += ",\"modes\":[";
 
   bool GatePass = true;

@@ -8,6 +8,7 @@
 #include "fuzz/Generator.h"
 #include "fuzz/Oracle.h"
 #include "fuzz/Reducer.h"
+#include "support/Provenance.h"
 
 #include <chrono>
 #include <filesystem>
@@ -141,6 +142,7 @@ std::string fuzz::summaryJson(const FuzzOptions &Opts, const FuzzSummary &S) {
   };
   std::ostringstream J;
   J << "{\n";
+  J << "  \"provenance\": " << support::provenanceJson(Opts.Seed) << ",\n";
   J << "  \"seed\": " << Opts.Seed << ",\n";
   J << "  \"count\": " << Opts.Count << ",\n";
   J << "  \"programs\": " << S.Programs << ",\n";

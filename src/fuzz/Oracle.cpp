@@ -8,6 +8,7 @@
 
 #include "gc/Snapshot.h"
 #include "obs/HeapSnapshot.h"
+#include "obs/Profile.h"
 #include "obs/Trace.h"
 
 #include <cstdio>
@@ -192,6 +193,15 @@ RunOutcome executeInProcess(const vm::Program &Prog, const RunSpec &Spec) {
   obs::Tracer Tracer(std::move(TC));
   Tracer.enable(nullptr);
   M.Tracer = &Tracer;
+  // Sampling profiler, attached in every cell with a short interval so even
+  // small generated programs take samples.  Sample ordinals are a pure
+  // function of the instruction stream, so dispatch twins must agree on the
+  // whole encoded profile (compared via the ProfSummary digest).
+  obs::ProfilerConfig PC;
+  PC.IntervalInstrs = 256;
+  PC.UseMapIndex = Spec.GCO.UseMapIndex;
+  obs::Profiler Prof(Prog, PC);
+  M.Profiler = &Prof;
   if (Spec.SpawnSpin) {
     int SpinIdx = -1;
     for (unsigned I = 0; I != Prog.Funcs.size(); ++I)
@@ -244,6 +254,8 @@ RunOutcome executeInProcess(const vm::Program &Prog, const RunSpec &Spec) {
                      std::to_string(F.LiveBytes) + ":" +
                      std::to_string(F.FirstFlagged) + ";";
   }
+  Prof.finish(Ok, M.Error, M.Stats.Instrs);
+  O.ProfSummary = obs::profileSummary(Prof.buildProfile());
   if (Ok) {
     // At-exit snapshot: every thread is dead, so the root set is exactly
     // the globals and the reachable graph is independent of the collection
@@ -307,6 +319,7 @@ std::string serialize(const RunOutcome &O) {
   P << "Z " << O.MidError.size() << "\n" << O.MidError << "\n";
   P << "Y " << O.SnapError.size() << "\n" << O.SnapError << "\n";
   P << "L " << O.LeakSummary.size() << "\n" << O.LeakSummary << "\n";
+  P << "P " << O.ProfSummary.size() << "\n" << O.ProfSummary << "\n";
   P << "D\n";
   return P.str();
 }
@@ -384,7 +397,7 @@ bool parsePayload(const std::string &Buf, RunOutcome &O) {
     O.MidViolation = Viol != 0;
   }
   if (!Sized('Z', O.MidError) || !Sized('Y', O.SnapError) ||
-      !Sized('L', O.LeakSummary))
+      !Sized('L', O.LeakSummary) || !Sized('P', O.ProfSummary))
     return false;
   return Line(L) && L == "D";
 }
@@ -689,11 +702,12 @@ OracleResult fuzz::checkSource(const std::string &Source, bool HasSpin,
         A.SnapNodes != B.SnapNodes || A.SnapBytes != B.SnapBytes ||
         A.MidRequests != B.MidRequests || A.MidNodes != B.MidNodes ||
         A.MidBytes != B.MidBytes || A.MidOutLen != B.MidOutLen ||
-        A.LeakSummary != B.LeakSummary) {
+        A.LeakSummary != B.LeakSummary || A.ProfSummary != B.ProfSummary) {
       R << "  [dispatch twin] " << Specs[P].Name << " {i=" << A.Instrs
         << " " << statsBrief(A) << " leak=\"" << A.LeakSummary
-        << "\"} != " << Specs[I].Name << " {i=" << B.Instrs << " "
-        << statsBrief(B) << " leak=\"" << B.LeakSummary << "\"}\n";
+        << "\" prof=\"" << A.ProfSummary << "\"} != " << Specs[I].Name
+        << " {i=" << B.Instrs << " " << statsBrief(B) << " leak=\""
+        << B.LeakSummary << "\" prof=\"" << B.ProfSummary << "\"}\n";
       Fail(I);
     }
   }

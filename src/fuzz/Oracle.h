@@ -109,6 +109,12 @@ struct RunOutcome {
   // bit-identically (cells with different collection schedules
   // legitimately differ in sample timing, so only twins compare it).
   std::string LeakSummary;
+  /// Sampling-profiler digest (obs::profileSummary): sample/weight/stack/
+  /// alloc counts plus an FNV hash of the encoded profile body.  The
+  /// profiler fires at deterministic instruction ordinals, so dispatch
+  /// twins must reproduce the digest bit-identically; cells with different
+  /// heaps or optimization levels legitimately differ.
+  std::string ProfSummary;
 };
 
 /// Runs \p Prog under \p Spec in a forked child and collects the outcome.

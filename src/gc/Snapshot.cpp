@@ -10,6 +10,7 @@
 #include "gcmaps/GcTables.h"
 #include "gcmaps/MapIndex.h"
 #include "obs/Trace.h"
+#include "support/Provenance.h"
 
 #include <unordered_map>
 #include <unordered_set>
@@ -213,6 +214,8 @@ bool gc::captureHeapSnapshot(VM &M, obs::HeapSnapshot &Out, bool WalkStacks,
   Heap &H = M.TheHeap;
   Out.clear();
   Out.Program = M.Prog.Name;
+  Out.ToolVersion = support::ToolVersion;
+  Out.BuildFlags = support::buildFlags();
   Out.GenGc = H.generational();
   Out.StacksWalked = WalkStacks;
   Out.Collections = M.Stats.Collections;

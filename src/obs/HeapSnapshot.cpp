@@ -24,95 +24,19 @@ namespace {
 
 const char SnapMagic[4] = {'M', 'G', 'H', 'S'};
 
+// Shared codec helpers (support/ByteCodec.h) under the names this file has
+// always used.
 void writeU32(std::vector<uint8_t> &Out, uint32_t V) {
-  appendPacked(Out, static_cast<int32_t>(V));
+  appendPackedU32(Out, V);
 }
 
 void writeU64(std::vector<uint8_t> &Out, uint64_t V) {
-  writeU32(Out, static_cast<uint32_t>(V));
-  writeU32(Out, static_cast<uint32_t>(V >> 32));
+  appendPackedU64(Out, V);
 }
 
 void writeStr(std::vector<uint8_t> &Out, const std::string &S) {
-  writeU32(Out, static_cast<uint32_t>(S.size()));
-  Out.insert(Out.end(), S.begin(), S.end());
+  appendPackedStr(Out, S);
 }
-
-/// Bounds-checked varint reader: readPacked (ByteCodec.h) asserts on
-/// truncation, but a snapshot decoder faces untrusted files and must fail
-/// cleanly instead.
-class SafeReader {
-public:
-  explicit SafeReader(const std::vector<uint8_t> &B) : B(B) {}
-
-  bool failed() const { return Fail; }
-  size_t position() const { return Pos; }
-  size_t remaining() const { return Fail ? 0 : B.size() - Pos; }
-
-  uint8_t byte() {
-    if (Pos >= B.size()) {
-      Fail = true;
-      return 0;
-    }
-    return B[Pos++];
-  }
-
-  int32_t word() {
-    uint8_t First = byte();
-    if (Fail)
-      return 0;
-    // Sign-extend the first byte's 7 payload bits (Figure 3).
-    int64_t V = static_cast<int8_t>(static_cast<uint8_t>(First << 1)) >> 1;
-    unsigned Groups = 1;
-    while (First & 0x80) {
-      if (++Groups > 5) {
-        Fail = true;
-        return 0;
-      }
-      First = byte();
-      if (Fail)
-        return 0;
-      V = (V << 7) | (First & 0x7f);
-    }
-    return static_cast<int32_t>(V);
-  }
-
-  uint32_t u32() { return static_cast<uint32_t>(word()); }
-
-  uint64_t u64() {
-    uint64_t Lo = u32();
-    uint64_t Hi = u32();
-    return (Hi << 32) | Lo;
-  }
-
-  std::string str() {
-    int32_t Len = word();
-    if (Len < 0 || static_cast<size_t>(Len) > remaining()) {
-      Fail = true;
-      return {};
-    }
-    std::string S(reinterpret_cast<const char *>(B.data()) + Pos,
-                  static_cast<size_t>(Len));
-    Pos += static_cast<size_t>(Len);
-    return S;
-  }
-
-  /// A count of items each at least one byte long can never exceed the
-  /// remaining bytes; reject early so hostile counts cannot force huge
-  /// allocations.
-  bool countOk(uint32_t N) {
-    if (Fail || N > remaining()) {
-      Fail = true;
-      return false;
-    }
-    return true;
-  }
-
-private:
-  const std::vector<uint8_t> &B;
-  size_t Pos = 0;
-  bool Fail = false;
-};
 
 } // namespace
 
@@ -120,6 +44,9 @@ void obs::encodeSnapshot(const HeapSnapshot &S, std::vector<uint8_t> &Out) {
   Out.insert(Out.end(), SnapMagic, SnapMagic + 4);
   writeU32(Out, SnapshotVersion);
   writeStr(Out, S.Program);
+  writeStr(Out, S.ToolVersion);
+  writeStr(Out, S.BuildFlags);
+  writeU64(Out, S.Seed);
   Out.push_back(static_cast<uint8_t>((S.GenGc ? 1 : 0) |
                                      (S.StacksWalked ? 2 : 0)));
   writeU64(Out, S.Collections);
@@ -184,6 +111,9 @@ bool obs::decodeSnapshot(const std::vector<uint8_t> &Blob, HeapSnapshot &S,
     return Bad("unsupported snapshot version");
 
   S.Program = R.str();
+  S.ToolVersion = R.str();
+  S.BuildFlags = R.str();
+  S.Seed = R.u64();
   uint8_t Flags = R.byte();
   S.GenGc = (Flags & 1) != 0;
   S.StacksWalked = (Flags & 2) != 0;

@@ -46,8 +46,9 @@ namespace mgc {
 namespace obs {
 
 /// Bumped whenever the encoded format changes; decoders reject other
-/// versions outright.
-constexpr uint32_t SnapshotVersion = 1;
+/// versions outright.  Version 2 added the provenance header (tool
+/// version, build flags, seed).
+constexpr uint32_t SnapshotVersion = 2;
 
 /// Root.Func value for roots with no containing function (globals; stack
 /// roots of threads whose frames were not walked).
@@ -57,6 +58,13 @@ struct HeapSnapshot {
   //===--- Metadata --------------------------------------------------------===
 
   std::string Program;
+  /// Provenance: which build wrote this file (support/Provenance.h), and
+  /// the run's seed (0 when the program takes none).  Capture stamps the
+  /// current build; decode restores what the file carries, so analyzers
+  /// can refuse to silently compare snapshots from different builds.
+  std::string ToolVersion;
+  std::string BuildFlags;
+  uint64_t Seed = 0;
   bool GenGc = false;
   /// False for post-mortem captures (VM error paths): thread stacks are
   /// not at gc-points, so only globals were enumerated as roots and the

@@ -1,0 +1,872 @@
+//===- obs/Profile.cpp ----------------------------------------------------===//
+//
+// Part of the mgc project (PLDI 1992 gc-tables reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Profile.h"
+
+#include "gcmaps/GcTables.h"
+#include "support/ByteCodec.h"
+#include "support/Provenance.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+using namespace mgc;
+using namespace mgc::obs;
+
+//===----------------------------------------------------------------------===//
+// Profiler: interning
+//===----------------------------------------------------------------------===//
+
+Profiler::Profiler(const vm::Program &P, ProfilerConfig C)
+    : Prog(P), Cfg(C) {
+  if (Cfg.IntervalInstrs == 0)
+    Cfg.IntervalInstrs = 1;
+  NextSampleAt = Cfg.IntervalInstrs;
+  Nodes.push_back(Node());     // Id 0: root (empty chain).
+  Stacks.push_back(StackRec()); // Id 0: overflow bucket.
+  MutRows.resize(1);
+  AllocRows.resize(1);
+  NodeCache.resize(1u << 14);
+  StackCache.resize(1u << 13);
+  NodeCacheMask = NodeCache.size() - 1;
+  StackCacheMask = StackCache.size() - 1;
+  if (Cfg.UseMapIndex)
+    Cache = std::make_unique<gcmaps::DecodedPointCache>(128);
+}
+
+uint32_t Profiler::pushNodeSlow(uint32_t Parent, uint32_t RetPC, uint64_t K) {
+  auto It = NodeMap.find(K);
+  if (It != NodeMap.end()) {
+    NodeCache[slot(K, NodeCacheMask)] = {K, It->second};
+    return It->second;
+  }
+  if (Nodes.size() >= Cfg.MaxNodes) {
+    // Chain stops extending; pops stay correct through the shadow stack.
+    ++NodesDropped;
+    return Parent;
+  }
+  uint32_t Id = static_cast<uint32_t>(Nodes.size());
+  Nodes.push_back({Parent, RetPC});
+  NodeMap.emplace(K, Id);
+  NodeCache[slot(K, NodeCacheMask)] = {K, Id};
+  return Id;
+}
+
+uint32_t Profiler::internStackSlow(uint32_t NodeId, uint32_t LeafPC,
+                                   uint64_t K) {
+  auto It = StackMap.find(K);
+  if (It != StackMap.end()) {
+    StackCache[slot(K, StackCacheMask)] = {K, It->second};
+    return It->second;
+  }
+  if (Stacks.size() >= Cfg.MaxStacks) {
+    ++StacksDropped;
+    return 0;
+  }
+  uint32_t Id = static_cast<uint32_t>(Stacks.size());
+  Stacks.push_back({NodeId, LeafPC});
+  MutRows.resize(Stacks.size());
+  AllocRows.resize(Stacks.size());
+  StackMap.emplace(K, Id);
+  StackCache[slot(K, StackCacheMask)] = {K, Id};
+  return Id;
+}
+
+//===----------------------------------------------------------------------===//
+// Profiler: sampling
+//===----------------------------------------------------------------------===//
+
+void Profiler::takeSample(vm::VM &M, vm::ThreadContext &T, uint32_t LeafPC) {
+  uint64_t Now = M.Stats.Instrs;
+  uint64_t Weight = Now - LastSampleInstrs;
+  LastSampleInstrs = Now;
+  NextSampleAt = Now + Cfg.IntervalInstrs;
+
+  uint32_t Id = internStack(T.ProfNode, LeafPC);
+  MutAgg &Row = MutRows[Id];
+  ++Row.Samples;
+  Row.Weight += Weight;
+  ++TotalSamples;
+  TotalWeight += Weight;
+  ++CurReqSamples;
+  CurReqWeight += Weight;
+
+  verifyAndDecode(T, LeafPC);
+}
+
+void Profiler::verifyAndDecode(vm::ThreadContext &T, uint32_t LeafPC) {
+  // Phase 1+2 of the collector's walk (gc/Cheney's discipline): the leaf
+  // table pc, then the Stack[FP-1]/Stack[FP-2] chain to the root sentinel.
+  // Collect the caller ret pcs for the incremental-chain check and decode
+  // every frame's gc-point through the same machinery collections use.
+  WalkScratch.clear();
+  bool WalkBad = false;
+  uint32_t FP = T.FP;
+  uint32_t TablePC = LeafPC;
+  for (;;) {
+    // Phase 3: decode this frame's tables and charge its live roots.
+    unsigned Func = Prog.funcOfPC(TablePC - 1);
+    const gcmaps::EncodedFuncMaps &Maps = Prog.Maps[Func];
+    int Ordinal = gcmaps::findGcPoint(Maps, TablePC);
+    if (Ordinal < 0) {
+      // Possible by design: a poll inside a function whose calls are all
+      // NoGcCallee gets no table entry of its own in outer frames.
+      ++FramesUnmapped;
+    } else {
+      const gcmaps::GcPointInfo *Info = nullptr;
+      if (Cache && !Prog.MapIndexes.empty()) {
+        Info = Cache->lookup(Func, static_cast<uint32_t>(Ordinal));
+        if (!Info) {
+          gcmaps::GcPointInfo &Slot =
+              Cache->insert(Func, static_cast<uint32_t>(Ordinal));
+          gcmaps::decodeGcPointIndexed(Maps, Prog.MapIndexes[Func],
+                                       static_cast<unsigned>(Ordinal), Slot);
+          Info = &Slot;
+        }
+        if (Cfg.CrossCheck &&
+            !gcmaps::crossCheckPoint(Maps, Prog.MapIndexes[Func],
+                                     static_cast<unsigned>(Ordinal)))
+          WalkBad = true;
+      } else {
+        RefScratch = gcmaps::decodeGcPoint(Maps, static_cast<unsigned>(Ordinal));
+        Info = &RefScratch;
+      }
+      ++FramesSampled;
+      LiveSlotsSampled += Info->LiveSlots.size();
+      LiveRegsSampled += std::popcount(static_cast<unsigned>(Info->RegMask));
+      DerivedSampled += Info->Derivs.size();
+    }
+
+    if (FP < vm::CtlWords || FP > T.StackWords) {
+      WalkBad = true;
+      break;
+    }
+    uint32_t Ret = static_cast<uint32_t>(T.Stack[FP - 1]);
+    if (Ret == vm::SentinelRetPC)
+      break;
+    WalkScratch.push_back(Ret);
+    TablePC = Ret;
+    FP = static_cast<uint32_t>(T.Stack[FP - 2]);
+  }
+
+  // Check the incremental chain against the walked chain, innermost-first.
+  // A capped tree legitimately under-records depth; any other discrepancy
+  // is a bug in the hooks (or the tables) and is counted.
+  uint32_t NodeId = T.ProfNode;
+  size_t I = 0;
+  for (; NodeId != 0 && I != WalkScratch.size(); ++I) {
+    const Node &N = Nodes[NodeId];
+    if (N.RetPC != WalkScratch[I]) {
+      WalkBad = true;
+      break;
+    }
+    NodeId = N.Parent;
+  }
+  if (!WalkBad && NodeId != 0)
+    WalkBad = true; // Chain deeper than the real stack: always a bug.
+  if (!WalkBad && I != WalkScratch.size() && NodesDropped == 0)
+    WalkBad = true; // Chain shallower without a cap in effect: a bug.
+  if (WalkBad)
+    ++WalkErrors;
+}
+
+void Profiler::onRequestDone(uint64_t Seq) {
+  if (!Cfg.Enabled)
+    return;
+  if (Requests.size() >= Cfg.MaxRequests) {
+    ++RequestsDropped;
+  } else {
+    Requests.push_back(
+        {Seq, CurReqSamples, CurReqWeight, CurReqAllocs, CurReqAllocBytes});
+  }
+  CurReqSamples = CurReqWeight = CurReqAllocs = CurReqAllocBytes = 0;
+}
+
+void Profiler::finish(bool Ok, const std::string &Error, uint64_t Instrs) {
+  if (Finished)
+    return;
+  Finished = true;
+  RunOk = Ok;
+  RunError = Error;
+  TotalInstrs = Instrs;
+}
+
+uint64_t Profiler::decodeHits() const { return Cache ? Cache->hits() : 0; }
+uint64_t Profiler::decodeMisses() const { return Cache ? Cache->misses() : 0; }
+
+//===----------------------------------------------------------------------===//
+// Profiler: profile construction
+//===----------------------------------------------------------------------===//
+
+Profile Profiler::buildProfile() const {
+  Profile P;
+  P.ToolVersion = support::ToolVersion;
+  P.BuildFlags = support::buildFlags();
+  P.Seed = Cfg.Seed;
+
+  P.Program = Prog.Name;
+  P.RunOk = RunOk;
+  P.RunError = RunError;
+  P.IntervalInstrs = Cfg.IntervalInstrs;
+  P.TotalInstrs = TotalInstrs;
+  P.Samples = TotalSamples;
+  P.SampleWeight = TotalWeight;
+  P.Allocs = TotalAllocs;
+  P.AllocBytes = TotalAllocBytes;
+  P.FramesSampled = FramesSampled;
+  P.LiveSlotsSampled = LiveSlotsSampled;
+  P.LiveRegsSampled = LiveRegsSampled;
+  P.DerivedSampled = DerivedSampled;
+  P.FramesUnmapped = FramesUnmapped;
+  P.WalkErrors = WalkErrors;
+  P.NodesDropped = NodesDropped;
+  P.StacksDropped = StacksDropped;
+  P.RequestsDropped = RequestsDropped;
+
+  P.FuncNames.reserve(Prog.Funcs.size());
+  for (const vm::CompiledFunction &F : Prog.Funcs)
+    P.FuncNames.push_back(F.Name);
+  P.Sites.reserve(Prog.SiteTab.Sites.size());
+  for (const gcmaps::AllocSite &S : Prog.SiteTab.Sites)
+    P.Sites.push_back({S.Func, S.Line, S.Col, S.Desc});
+
+  // Expand every interned stack (each was interned by a sample or an
+  // allocation, so none is unused).  Frames innermost-first, truncated to
+  // the innermost MaxFrames — the truncation point is a deterministic
+  // function of the interned chain, preserving cross-tier identity.
+  P.Stacks.reserve(Stacks.size());
+  P.Stacks.push_back(Profile::Stack()); // Id 0: overflow, no frames.
+  for (size_t Id = 1; Id < Stacks.size(); ++Id) {
+    Profile::Stack St;
+    St.FirstFrame = static_cast<uint32_t>(P.Frames.size());
+    uint32_t LeafPC = Stacks[Id].LeafPC;
+    P.Frames.push_back(
+        {LeafPC, static_cast<uint32_t>(Prog.funcOfPC(LeafPC - 1))});
+    uint32_t N = 1;
+    for (uint32_t NodeId = Stacks[Id].Node; NodeId != 0 && N < Cfg.MaxFrames;
+         NodeId = Nodes[NodeId].Parent, ++N) {
+      uint32_t PC = Nodes[NodeId].RetPC;
+      P.Frames.push_back({PC, static_cast<uint32_t>(Prog.funcOfPC(PC - 1))});
+    }
+    St.NumFrames = N;
+    P.Stacks.push_back(St);
+  }
+
+  for (size_t Id = 0; Id < MutRows.size(); ++Id)
+    if (MutRows[Id].Samples)
+      P.Mutator.push_back({static_cast<uint32_t>(Id), MutRows[Id].Samples,
+                           MutRows[Id].Weight});
+  for (size_t Id = 0; Id < AllocRows.size(); ++Id)
+    if (AllocRows[Id].Count)
+      P.Alloc.push_back({static_cast<uint32_t>(Id), AllocRows[Id].Site,
+                         AllocRows[Id].Count, AllocRows[Id].Bytes});
+
+  P.Requests.reserve(Requests.size());
+  for (const ReqAgg &R : Requests)
+    P.Requests.push_back({R.Seq, R.Samples, R.Weight, R.Allocs, R.AllocBytes});
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Codec
+//===----------------------------------------------------------------------===//
+
+namespace {
+const char ProfMagic[4] = {'M', 'G', 'P', 'F'};
+} // namespace
+
+void obs::encodeProfileBody(const Profile &P, std::vector<uint8_t> &Out) {
+  appendPackedStr(Out, P.Program);
+  Out.push_back(P.RunOk ? 1 : 0);
+  appendPackedStr(Out, P.RunError);
+  appendPackedU64(Out, P.IntervalInstrs);
+  appendPackedU64(Out, P.TotalInstrs);
+  appendPackedU64(Out, P.Samples);
+  appendPackedU64(Out, P.SampleWeight);
+  appendPackedU64(Out, P.Allocs);
+  appendPackedU64(Out, P.AllocBytes);
+  appendPackedU64(Out, P.FramesSampled);
+  appendPackedU64(Out, P.LiveSlotsSampled);
+  appendPackedU64(Out, P.LiveRegsSampled);
+  appendPackedU64(Out, P.DerivedSampled);
+  appendPackedU64(Out, P.FramesUnmapped);
+  appendPackedU64(Out, P.WalkErrors);
+  appendPackedU64(Out, P.NodesDropped);
+  appendPackedU64(Out, P.StacksDropped);
+  appendPackedU64(Out, P.RequestsDropped);
+
+  appendPackedU32(Out, static_cast<uint32_t>(P.FuncNames.size()));
+  for (const std::string &F : P.FuncNames)
+    appendPackedStr(Out, F);
+  appendPackedU32(Out, static_cast<uint32_t>(P.Sites.size()));
+  for (const Profile::Site &S : P.Sites) {
+    appendPackedU32(Out, S.Func);
+    appendPackedU32(Out, S.Line);
+    appendPackedU32(Out, S.Col);
+    appendPackedU32(Out, S.Desc);
+  }
+  appendPackedU32(Out, static_cast<uint32_t>(P.Frames.size()));
+  for (const Profile::Frame &F : P.Frames) {
+    appendPackedU32(Out, F.RetPC);
+    appendPackedU32(Out, F.Func);
+  }
+  appendPackedU32(Out, static_cast<uint32_t>(P.Stacks.size()));
+  for (const Profile::Stack &S : P.Stacks) {
+    appendPackedU32(Out, S.FirstFrame);
+    appendPackedU32(Out, S.NumFrames);
+  }
+  appendPackedU32(Out, static_cast<uint32_t>(P.Mutator.size()));
+  for (const Profile::MutRow &R : P.Mutator) {
+    appendPackedU32(Out, R.StackId);
+    appendPackedU64(Out, R.Samples);
+    appendPackedU64(Out, R.Weight);
+  }
+  appendPackedU32(Out, static_cast<uint32_t>(P.Alloc.size()));
+  for (const Profile::AllocRow &R : P.Alloc) {
+    appendPackedU32(Out, R.StackId);
+    appendPackedU32(Out, R.Site);
+    appendPackedU64(Out, R.Count);
+    appendPackedU64(Out, R.Bytes);
+  }
+  appendPackedU32(Out, static_cast<uint32_t>(P.Requests.size()));
+  for (const Profile::Request &R : P.Requests) {
+    appendPackedU64(Out, R.Seq);
+    appendPackedU64(Out, R.Samples);
+    appendPackedU64(Out, R.Weight);
+    appendPackedU64(Out, R.Allocs);
+    appendPackedU64(Out, R.AllocBytes);
+  }
+}
+
+void obs::encodeProfile(const Profile &P, std::vector<uint8_t> &Out) {
+  Out.insert(Out.end(), ProfMagic, ProfMagic + 4);
+  appendPackedU32(Out, ProfileVersion);
+  appendPackedStr(Out, P.ToolVersion);
+  appendPackedStr(Out, P.BuildFlags);
+  appendPackedU64(Out, P.Seed);
+  encodeProfileBody(P, Out);
+}
+
+bool obs::decodeProfile(const std::vector<uint8_t> &Blob, Profile &P,
+                        std::string &Err) {
+  P.clear();
+  auto Bad = [&](const char *Msg) {
+    Err = std::string("profile decode: ") + Msg;
+    P.clear();
+    return false;
+  };
+
+  SafeReader R(Blob);
+  for (char M : ProfMagic)
+    if (R.byte() != static_cast<uint8_t>(M))
+      return Bad("bad magic (not a profile)");
+  uint32_t Version = R.u32();
+  if (R.failed())
+    return Bad("truncated header");
+  if (Version != ProfileVersion)
+    return Bad("unsupported profile version");
+
+  P.ToolVersion = R.str();
+  P.BuildFlags = R.str();
+  P.Seed = R.u64();
+
+  P.Program = R.str();
+  P.RunOk = R.byte() != 0;
+  P.RunError = R.str();
+  P.IntervalInstrs = R.u64();
+  P.TotalInstrs = R.u64();
+  P.Samples = R.u64();
+  P.SampleWeight = R.u64();
+  P.Allocs = R.u64();
+  P.AllocBytes = R.u64();
+  P.FramesSampled = R.u64();
+  P.LiveSlotsSampled = R.u64();
+  P.LiveRegsSampled = R.u64();
+  P.DerivedSampled = R.u64();
+  P.FramesUnmapped = R.u64();
+  P.WalkErrors = R.u64();
+  P.NodesDropped = R.u64();
+  P.StacksDropped = R.u64();
+  P.RequestsDropped = R.u64();
+  if (R.failed())
+    return Bad("truncated counters");
+
+  uint32_t NFuncs = R.u32();
+  if (!R.countOk(NFuncs))
+    return Bad("bad function-name count");
+  P.FuncNames.reserve(NFuncs);
+  for (uint32_t I = 0; I != NFuncs; ++I)
+    P.FuncNames.push_back(R.str());
+  uint32_t NSites = R.u32();
+  if (!R.countOk(NSites))
+    return Bad("bad site count");
+  P.Sites.reserve(NSites);
+  for (uint32_t I = 0; I != NSites; ++I) {
+    Profile::Site S;
+    S.Func = R.u32();
+    S.Line = R.u32();
+    S.Col = R.u32();
+    S.Desc = R.u32();
+    if (S.Func >= NFuncs && !R.failed())
+      return Bad("site function out of range");
+    P.Sites.push_back(S);
+  }
+
+  uint32_t NFrames = R.u32();
+  if (!R.countOk(NFrames))
+    return Bad("bad frame count");
+  P.Frames.reserve(NFrames);
+  for (uint32_t I = 0; I != NFrames; ++I) {
+    Profile::Frame F;
+    F.RetPC = R.u32();
+    F.Func = R.u32();
+    if (F.Func >= NFuncs && !R.failed())
+      return Bad("frame function out of range");
+    P.Frames.push_back(F);
+  }
+
+  uint32_t NStacks = R.u32();
+  if (!R.countOk(NStacks))
+    return Bad("bad stack count");
+  P.Stacks.reserve(NStacks);
+  for (uint32_t I = 0; I != NStacks; ++I) {
+    Profile::Stack S;
+    S.FirstFrame = R.u32();
+    S.NumFrames = R.u32();
+    if (!R.failed() && static_cast<uint64_t>(S.FirstFrame) + S.NumFrames >
+                           static_cast<uint64_t>(NFrames))
+      return Bad("stack frame range out of range");
+    P.Stacks.push_back(S);
+  }
+  if (R.failed())
+    return Bad("truncated stack table");
+
+  uint32_t NMut = R.u32();
+  if (!R.countOk(NMut))
+    return Bad("bad mutator row count");
+  P.Mutator.reserve(NMut);
+  for (uint32_t I = 0; I != NMut; ++I) {
+    Profile::MutRow Row;
+    Row.StackId = R.u32();
+    Row.Samples = R.u64();
+    Row.Weight = R.u64();
+    if (Row.StackId >= NStacks && !R.failed())
+      return Bad("mutator stack id out of range");
+    P.Mutator.push_back(Row);
+  }
+  uint32_t NAlloc = R.u32();
+  if (!R.countOk(NAlloc))
+    return Bad("bad allocation row count");
+  P.Alloc.reserve(NAlloc);
+  for (uint32_t I = 0; I != NAlloc; ++I) {
+    Profile::AllocRow Row;
+    Row.StackId = R.u32();
+    Row.Site = R.u32();
+    Row.Count = R.u64();
+    Row.Bytes = R.u64();
+    if (!R.failed()) {
+      if (Row.StackId >= NStacks)
+        return Bad("allocation stack id out of range");
+      if (Row.Site != vm::NoAllocSite && Row.Site >= NSites)
+        return Bad("allocation site out of range");
+    }
+    P.Alloc.push_back(Row);
+  }
+  uint32_t NReq = R.u32();
+  if (!R.countOk(NReq))
+    return Bad("bad request count");
+  P.Requests.reserve(NReq);
+  for (uint32_t I = 0; I != NReq; ++I) {
+    Profile::Request Q;
+    Q.Seq = R.u64();
+    Q.Samples = R.u64();
+    Q.Weight = R.u64();
+    Q.Allocs = R.u64();
+    Q.AllocBytes = R.u64();
+    P.Requests.push_back(Q);
+  }
+
+  if (R.failed())
+    return Bad("truncated profile");
+  if (R.remaining() != 0)
+    return Bad("trailing bytes after profile");
+  return true;
+}
+
+bool obs::writeProfileFile(const std::string &Path, const Profile &P,
+                           std::string &Err) {
+  std::vector<uint8_t> Blob;
+  encodeProfile(P, Blob);
+  std::ofstream F(Path, std::ios::binary | std::ios::trunc);
+  if (!F) {
+    Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  F.write(reinterpret_cast<const char *>(Blob.data()),
+          static_cast<std::streamsize>(Blob.size()));
+  F.flush();
+  if (!F) {
+    Err = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+bool obs::readProfileFile(const std::string &Path, Profile &P,
+                          std::string &Err) {
+  std::ifstream F(Path, std::ios::binary);
+  if (!F) {
+    Err = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::vector<uint8_t> Blob((std::istreambuf_iterator<char>(F)),
+                            std::istreambuf_iterator<char>());
+  return decodeProfile(Blob, P, Err);
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string funcName(const Profile &P, uint32_t Func) {
+  if (Func < P.FuncNames.size() && !P.FuncNames[Func].empty())
+    return P.FuncNames[Func];
+  return "func#" + std::to_string(Func);
+}
+
+std::string siteLabel(const Profile &P, uint32_t Site) {
+  if (Site == vm::NoAllocSite)
+    return "(no site)";
+  if (Site >= P.Sites.size())
+    return "site#" + std::to_string(Site);
+  const Profile::Site &S = P.Sites[Site];
+  std::string L = funcName(P, S.Func);
+  L += ':';
+  L += std::to_string(S.Line);
+  L += ':';
+  L += std::to_string(S.Col);
+  return L;
+}
+
+std::string pct(uint64_t Part, uint64_t Whole) {
+  if (Whole == 0)
+    return "0.0%";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f%%",
+                100.0 * static_cast<double>(Part) / static_cast<double>(Whole));
+  return Buf;
+}
+
+struct FuncAgg {
+  uint64_t SelfW = 0;
+  uint64_t CumW = 0;
+  uint64_t Samples = 0;
+};
+
+/// Per-function self/cumulative mutator aggregation.  Cumulative counts a
+/// function once per stack however many frames it occupies (recursion).
+std::map<std::string, FuncAgg> aggregateMutator(const Profile &P) {
+  std::map<std::string, FuncAgg> Agg;
+  std::vector<std::string> Seen;
+  for (const Profile::MutRow &Row : P.Mutator) {
+    const Profile::Stack &S = P.Stacks[Row.StackId];
+    if (S.NumFrames == 0) {
+      FuncAgg &A = Agg["[overflow]"];
+      A.SelfW += Row.Weight;
+      A.CumW += Row.Weight;
+      A.Samples += Row.Samples;
+      continue;
+    }
+    std::string Leaf = funcName(P, P.Frames[S.FirstFrame].Func);
+    FuncAgg &A = Agg[Leaf];
+    A.SelfW += Row.Weight;
+    A.Samples += Row.Samples;
+    Seen.clear();
+    for (uint32_t I = 0; I != S.NumFrames; ++I) {
+      std::string F = funcName(P, P.Frames[S.FirstFrame + I].Func);
+      if (std::find(Seen.begin(), Seen.end(), F) != Seen.end())
+        continue;
+      Seen.push_back(F);
+      Agg[F].CumW += Row.Weight;
+    }
+  }
+  return Agg;
+}
+
+std::string foldedKey(const Profile &P, uint32_t StackId) {
+  return obs::foldedStack(P, StackId);
+}
+
+void renderRule(std::string &Out, const std::string &Title) {
+  Out += "== ";
+  Out += Title;
+  Out += " ";
+  if (Title.size() < 60)
+    Out.append(60 - Title.size(), '=');
+  Out += '\n';
+}
+
+} // namespace
+
+std::string obs::foldedStack(const Profile &P, uint32_t StackId) {
+  if (StackId >= P.Stacks.size())
+    return "[invalid]";
+  const Profile::Stack &S = P.Stacks[StackId];
+  if (S.NumFrames == 0)
+    return "[overflow]";
+  std::string Key;
+  for (uint32_t I = S.NumFrames; I != 0; --I) {
+    if (!Key.empty())
+      Key += ';';
+    Key += funcName(P, P.Frames[S.FirstFrame + I - 1].Func);
+  }
+  return Key;
+}
+
+std::string obs::renderProfile(const Profile &P, size_t TopN) {
+  std::string Out;
+  renderRule(Out, "profile: " + P.Program);
+  if (!P.RunOk) {
+    Out += "run FAILED";
+    if (!P.RunError.empty()) {
+      Out += ": ";
+      Out += P.RunError;
+    }
+    Out += " (profile is partial)\n";
+  }
+  Out += "tool " + P.ToolVersion + "; seed " + std::to_string(P.Seed) + "\n";
+  Out += "interval " + std::to_string(P.IntervalInstrs) + " instrs; total " +
+         std::to_string(P.TotalInstrs) + " instrs; " +
+         std::to_string(P.Samples) + " samples covering " +
+         std::to_string(P.SampleWeight) + " instrs (" +
+         pct(P.SampleWeight, P.TotalInstrs) + ")\n";
+  Out += std::to_string(P.Allocs) + " allocations, " +
+         std::to_string(P.AllocBytes) + " bytes, " +
+         std::to_string(P.Alloc.size()) + " alloc stacks; " +
+         std::to_string(P.Mutator.size()) + " mutator stacks\n";
+  Out += "walk: " + std::to_string(P.FramesSampled) + " frames decoded, " +
+         std::to_string(P.LiveSlotsSampled) + " live slots, " +
+         std::to_string(P.LiveRegsSampled) + " live regs, " +
+         std::to_string(P.DerivedSampled) + " derived, " +
+         std::to_string(P.FramesUnmapped) + " unmapped, " +
+         std::to_string(P.WalkErrors) + " errors\n";
+  if (P.NodesDropped || P.StacksDropped || P.RequestsDropped)
+    Out += "dropped: " + std::to_string(P.NodesDropped) + " nodes, " +
+           std::to_string(P.StacksDropped) + " stacks, " +
+           std::to_string(P.RequestsDropped) + " requests\n";
+
+  // Mutator: top functions by self weight, with cumulative alongside.
+  auto Agg = aggregateMutator(P);
+  std::vector<std::pair<std::string, FuncAgg>> Rows(Agg.begin(), Agg.end());
+  std::stable_sort(Rows.begin(), Rows.end(), [](const auto &A, const auto &B) {
+    if (A.second.SelfW != B.second.SelfW)
+      return A.second.SelfW > B.second.SelfW;
+    return A.first < B.first;
+  });
+  Out += '\n';
+  renderRule(Out, "mutator time (by function)");
+  Out += "      self   self%        cum    cum%  samples  function\n";
+  size_t Shown = 0;
+  for (const auto &[Name, A] : Rows) {
+    if (Shown++ == TopN)
+      break;
+    char Buf[128];
+    std::snprintf(Buf, sizeof(Buf), "%10llu  %6s  %9llu  %6s  %7llu  ",
+                  static_cast<unsigned long long>(A.SelfW),
+                  pct(A.SelfW, P.SampleWeight).c_str(),
+                  static_cast<unsigned long long>(A.CumW),
+                  pct(A.CumW, P.SampleWeight).c_str(),
+                  static_cast<unsigned long long>(A.Samples));
+    Out += Buf;
+    Out += Name;
+    Out += '\n';
+  }
+  if (Rows.empty())
+    Out += "(no samples)\n";
+
+  // Allocation: by site.
+  std::map<std::string, std::pair<uint64_t, uint64_t>> BySite;
+  for (const Profile::AllocRow &Row : P.Alloc) {
+    auto &E = BySite[siteLabel(P, Row.Site)];
+    E.first += Row.Count;
+    E.second += Row.Bytes;
+  }
+  std::vector<std::pair<std::string, std::pair<uint64_t, uint64_t>>> SiteRows(
+      BySite.begin(), BySite.end());
+  std::stable_sort(SiteRows.begin(), SiteRows.end(),
+                   [](const auto &A, const auto &B) {
+                     if (A.second.second != B.second.second)
+                       return A.second.second > B.second.second;
+                     return A.first < B.first;
+                   });
+  Out += '\n';
+  renderRule(Out, "allocation (by site)");
+  Out += "     bytes  bytes%    count  site\n";
+  Shown = 0;
+  for (const auto &[Label, CB] : SiteRows) {
+    if (Shown++ == TopN)
+      break;
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf), "%10llu  %6s  %7llu  ",
+                  static_cast<unsigned long long>(CB.second),
+                  pct(CB.second, P.AllocBytes).c_str(),
+                  static_cast<unsigned long long>(CB.first));
+    Out += Buf;
+    Out += Label;
+    Out += '\n';
+  }
+  if (SiteRows.empty())
+    Out += "(no allocations)\n";
+
+  // Allocation: top stacks by bytes.
+  std::vector<const Profile::AllocRow *> AllocSorted;
+  AllocSorted.reserve(P.Alloc.size());
+  for (const Profile::AllocRow &Row : P.Alloc)
+    AllocSorted.push_back(&Row);
+  std::stable_sort(AllocSorted.begin(), AllocSorted.end(),
+                   [](const Profile::AllocRow *A, const Profile::AllocRow *B) {
+                     if (A->Bytes != B->Bytes)
+                       return A->Bytes > B->Bytes;
+                     return A->StackId < B->StackId;
+                   });
+  Out += '\n';
+  renderRule(Out, "allocation (top stacks)");
+  Shown = 0;
+  for (const Profile::AllocRow *Row : AllocSorted) {
+    if (Shown++ == TopN)
+      break;
+    Out += std::to_string(Row->Bytes) + " bytes / " +
+           std::to_string(Row->Count) + " objs at " +
+           siteLabel(P, Row->Site) + "\n    " + foldedKey(P, Row->StackId) +
+           '\n';
+  }
+  if (AllocSorted.empty())
+    Out += "(no allocations)\n";
+
+  // Requests.
+  if (!P.Requests.empty()) {
+    Out += '\n';
+    renderRule(Out, "requests");
+    Out += std::to_string(P.Requests.size()) + " requests";
+    if (P.RequestsDropped)
+      Out += " (+" + std::to_string(P.RequestsDropped) + " dropped)";
+    Out += "; top by sampled weight:\n";
+    std::vector<const Profile::Request *> ReqSorted;
+    ReqSorted.reserve(P.Requests.size());
+    for (const Profile::Request &Q : P.Requests)
+      ReqSorted.push_back(&Q);
+    std::stable_sort(ReqSorted.begin(), ReqSorted.end(),
+                     [](const Profile::Request *A, const Profile::Request *B) {
+                       if (A->Weight != B->Weight)
+                         return A->Weight > B->Weight;
+                       return A->Seq < B->Seq;
+                     });
+    Shown = 0;
+    for (const Profile::Request *Q : ReqSorted) {
+      if (Shown++ == TopN)
+        break;
+      Out += "req #" + std::to_string(Q->Seq) + ": " +
+             std::to_string(Q->Samples) + " samples / " +
+             std::to_string(Q->Weight) + " instrs, " +
+             std::to_string(Q->Allocs) + " allocs / " +
+             std::to_string(Q->AllocBytes) + " bytes\n";
+    }
+  }
+  return Out;
+}
+
+std::string obs::renderFolded(const Profile &P, bool Alloc) {
+  std::string Out;
+  if (Alloc) {
+    for (const Profile::AllocRow &Row : P.Alloc) {
+      Out += foldedKey(P, Row.StackId);
+      Out += ' ';
+      Out += std::to_string(Row.Bytes);
+      Out += '\n';
+    }
+  } else {
+    for (const Profile::MutRow &Row : P.Mutator) {
+      Out += foldedKey(P, Row.StackId);
+      Out += ' ';
+      Out += std::to_string(Row.Weight);
+      Out += '\n';
+    }
+  }
+  return Out;
+}
+
+std::string obs::renderDiff(const Profile &A, const Profile &B, size_t TopN) {
+  // Keyed by folded path so two profiles of different runs (different
+  // interned ids) still line up.
+  std::map<std::string, std::pair<int64_t, int64_t>> Delta; // {a, b}
+  for (const Profile::MutRow &Row : A.Mutator)
+    Delta[foldedKey(A, Row.StackId)].first +=
+        static_cast<int64_t>(Row.Weight);
+  for (const Profile::MutRow &Row : B.Mutator)
+    Delta[foldedKey(B, Row.StackId)].second +=
+        static_cast<int64_t>(Row.Weight);
+
+  std::vector<std::pair<std::string, int64_t>> Rows;
+  for (const auto &[Key, AB] : Delta)
+    if (AB.second != AB.first)
+      Rows.push_back({Key, AB.second - AB.first});
+  std::stable_sort(Rows.begin(), Rows.end(),
+                   [](const auto &X, const auto &Y) {
+                     int64_t AX = X.second < 0 ? -X.second : X.second;
+                     int64_t AY = Y.second < 0 ? -Y.second : Y.second;
+                     if (AX != AY)
+                       return AX > AY;
+                     return X.first < Y.first;
+                   });
+
+  std::string Out;
+  renderRule(Out, "profile diff (mutator weight, B - A)");
+  Out += "A: " + A.Program + ", " + std::to_string(A.SampleWeight) +
+         " instrs sampled\n";
+  Out += "B: " + B.Program + ", " + std::to_string(B.SampleWeight) +
+         " instrs sampled\n";
+  size_t Shown = 0;
+  for (const auto &[Key, D] : Rows) {
+    if (Shown++ == TopN)
+      break;
+    Out += (D >= 0 ? "+" : "") + std::to_string(D) + "  " + Key + '\n';
+  }
+  if (Rows.empty())
+    Out += "(no mutator-weight differences)\n";
+  return Out;
+}
+
+std::string obs::profileSummary(const Profile &P) {
+  std::vector<uint8_t> Body;
+  encodeProfileBody(P, Body);
+  uint64_t H = 14695981039346656037ull;
+  for (uint8_t B : Body) {
+    H ^= B;
+    H *= 1099511628211ull;
+  }
+  char Hex[17];
+  std::snprintf(Hex, sizeof(Hex), "%016llx",
+                static_cast<unsigned long long>(H));
+  std::string S = std::to_string(P.Samples);
+  S += ':';
+  S += std::to_string(P.SampleWeight);
+  S += ':';
+  S += std::to_string(P.Stacks.size());
+  S += ':';
+  S += std::to_string(P.Allocs);
+  S += ':';
+  S += std::to_string(P.AllocBytes);
+  S += ':';
+  S += std::to_string(P.WalkErrors);
+  S += ':';
+  S += Hex;
+  return S;
+}

@@ -297,6 +297,13 @@ bool obs::readTrace(std::istream &In, TraceReport &R, std::string &Err) {
       L.FirstFlagged = static_cast<uint64_t>(Rec.getInt("first_flagged"));
       L.Window = static_cast<uint32_t>(Rec.getInt("window"));
       R.Leaks.push_back(L);
+    } else if (Rec.Type == "prof_stack") {
+      TraceReport::HotStack H;
+      H.Rank = static_cast<uint64_t>(Rec.getInt("rank"));
+      H.Samples = static_cast<uint64_t>(Rec.getInt("samples"));
+      H.Weight = static_cast<uint64_t>(Rec.getInt("weight"));
+      H.Stack = Rec.getStr("stack");
+      R.HotStacks.push_back(H);
     } else if (Rec.Type == "run") {
       R.HasRun = true;
       R.RunOk = Rec.getStr("exit") == "ok";
@@ -398,6 +405,17 @@ std::string obs::renderReport(const TraceReport &R, size_t TopN) {
   Out += Buf;
   if (R.HasRun && !R.RunOk)
     Out += "RUN FAILED: " + R.RunError + " (trace is partial)\n";
+  // Ring overflow means the pause/volume sections below silently miss the
+  // oldest collections — say so up front, not buried in the run record.
+  if (uint64_t Dropped =
+          static_cast<uint64_t>(R.Run.getInt("events_dropped_from_ring"))) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "WARNING: %llu gc events dropped from the ring buffer; "
+                  "pause/volume sections cover only the last %zu "
+                  "collections\n",
+                  static_cast<unsigned long long>(Dropped), R.Events.size());
+    Out += Buf;
+  }
 
   // A run that never collected has no pause/volume/survival material: say
   // so instead of rendering a report of empty sections (and keep the
@@ -523,6 +541,25 @@ std::string obs::renderReport(const TraceReport &R, size_t TopN) {
                   fmtNanos(GcNs).c_str(),
                   static_cast<unsigned long long>(Colls));
     Out += Buf;
+  }
+
+  // --- Hot stacks from the sampling profiler (runs with --profile).
+  if (!R.HotStacks.empty()) {
+    Out += "\n-- hot stacks (sampling profiler, by mutator weight) --\n";
+    std::snprintf(Buf, sizeof(Buf), "  %4s %12s %10s  %s\n", "rank",
+                  "weight", "samples", "stack");
+    Out += Buf;
+    size_t N = std::min(TopN, R.HotStacks.size());
+    for (size_t I = 0; I != N; ++I) {
+      const TraceReport::HotStack &H = R.HotStacks[I];
+      std::snprintf(Buf, sizeof(Buf), "  %4llu %12llu %10llu  ",
+                    static_cast<unsigned long long>(H.Rank),
+                    static_cast<unsigned long long>(H.Weight),
+                    static_cast<unsigned long long>(H.Samples));
+      Out += Buf;
+      Out += H.Stack;
+      Out += '\n';
+    }
   }
 
   // --- Top allocation sites.
@@ -733,6 +770,8 @@ std::string obs::renderReportJson(const TraceReport &R, size_t TopN) {
     ju(Out, "run_ok", R.RunOk ? 1 : 0, Top);
     if (!R.RunOk)
       js(Out, "run_error", R.RunError, Top);
+    ju(Out, "events_dropped_from_ring",
+       static_cast<uint64_t>(R.Run.getInt("events_dropped_from_ring")), Top);
   }
 
   // --- Pause breakdown, mirroring Section().
@@ -847,6 +886,26 @@ std::string obs::renderReportJson(const TraceReport &R, size_t TopN) {
     ju(Out, "gc_ns", GcNs, F);
     ju(Out, "gc_collections", Colls, F);
     Out += '}';
+  }
+
+  // --- Hot stacks (sampling profiler; tracer order = weight desc).
+  if (!R.HotStacks.empty()) {
+    jkey(Out, "hot_stacks", Top);
+    Out += '[';
+    size_t N = std::min(TopN, R.HotStacks.size());
+    for (size_t I = 0; I != N; ++I) {
+      const TraceReport::HotStack &H = R.HotStacks[I];
+      if (I)
+        Out += ',';
+      bool F = true;
+      Out += '{';
+      ju(Out, "rank", H.Rank, F);
+      ju(Out, "samples", H.Samples, F);
+      ju(Out, "weight", H.Weight, F);
+      js(Out, "stack", H.Stack, F);
+      Out += '}';
+    }
+    Out += ']';
   }
 
   // --- Site tables: same ordering contract as the rendered report

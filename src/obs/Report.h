@@ -113,6 +113,18 @@ struct TraceReport {
   };
   std::vector<Leak> Leaks;
 
+  /// Trailing prof_stack records: the sampling profiler's hottest stacks
+  /// by mutator weight (folded root-first form, as `mgc-prof --folded`
+  /// renders them).  Present only when the run enabled --profile alongside
+  /// --trace; the full profile lives in the binary .prof file.
+  struct HotStack {
+    uint64_t Rank = 0;
+    uint64_t Samples = 0;
+    uint64_t Weight = 0; ///< Instructions attributed to this stack.
+    std::string Stack;   ///< Semicolon-folded, root first.
+  };
+  std::vector<HotStack> HotStacks;
+
   bool HasRun = false; ///< A trailing run record was present.
   bool RunOk = false;
   std::string RunError;

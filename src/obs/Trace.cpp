@@ -6,6 +6,7 @@
 
 #include "obs/Trace.h"
 
+#include "support/Provenance.h"
 #include "vm/Heap.h"
 
 #include <algorithm>
@@ -123,6 +124,9 @@ void Tracer::enable(std::ostream *S) {
 void Tracer::writeHeader() {
   std::string L = "{\"type\":\"meta\"";
   fieldStr(L, "program", Config.ProgramName);
+  fieldStr(L, "tool_version", support::ToolVersion);
+  fieldStr(L, "build_flags", support::buildFlags());
+  field(L, "seed", Config.Seed);
   if (!Config.Dispatch.empty())
     fieldStr(L, "dispatch", Config.Dispatch);
   field(L, "gen_gc", Config.GenGc ? 1 : 0);

@@ -149,6 +149,10 @@ struct TracerConfig {
   std::string Dispatch;
   bool GenGc = false;
   size_t SiteTableBytes = 0;
+  /// RNG seed of the run (0 when the program takes none); stamped into the
+  /// meta record alongside tool version and build flags so artifacts are
+  /// self-describing and reproducible.
+  uint64_t Seed = 0;
   size_t RingCapacity = 1024;
   /// Capacity of the first-collection survival buffer: allocations between
   /// consecutive collections beyond this are dropped (and counted).

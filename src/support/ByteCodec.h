@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace mgc {
@@ -61,6 +62,110 @@ public:
 
 private:
   std::vector<uint8_t> Bytes;
+};
+
+//===----------------------------------------------------------------------===//
+// Untrusted-input helpers (binary artifact files)
+//===----------------------------------------------------------------------===//
+//
+// The persistent artifact codecs (heap snapshots, profiles) reuse the
+// Figure-3 packing but face untrusted files, so they layer unsigned/64-bit/
+// string conveniences over appendPacked and decode through a bounds-checked
+// reader that fails cleanly where readPacked would assert.
+
+/// Appends \p V packed as a 32-bit word (values >= 2^31 round-trip through
+/// the signed packing unchanged).
+inline void appendPackedU32(std::vector<uint8_t> &Out, uint32_t V) {
+  appendPacked(Out, static_cast<int32_t>(V));
+}
+
+/// Appends \p V as two packed 32-bit words, low half first.
+inline void appendPackedU64(std::vector<uint8_t> &Out, uint64_t V) {
+  appendPackedU32(Out, static_cast<uint32_t>(V));
+  appendPackedU32(Out, static_cast<uint32_t>(V >> 32));
+}
+
+/// Appends a packed length followed by the raw bytes.
+template <typename StringT>
+inline void appendPackedStr(std::vector<uint8_t> &Out, const StringT &S) {
+  appendPackedU32(Out, static_cast<uint32_t>(S.size()));
+  Out.insert(Out.end(), S.begin(), S.end());
+}
+
+/// Bounds-checked varint reader: readPacked asserts on truncation, but a
+/// decoder facing untrusted files must fail cleanly instead.  Once any
+/// read fails, every subsequent read reports failure and returns zero.
+class SafeReader {
+public:
+  explicit SafeReader(const std::vector<uint8_t> &B) : B(B) {}
+
+  bool failed() const { return Fail; }
+  size_t position() const { return Pos; }
+  size_t remaining() const { return Fail ? 0 : B.size() - Pos; }
+
+  uint8_t byte() {
+    if (Pos >= B.size()) {
+      Fail = true;
+      return 0;
+    }
+    return B[Pos++];
+  }
+
+  int32_t word() {
+    uint8_t First = byte();
+    if (Fail)
+      return 0;
+    // Sign-extend the first byte's 7 payload bits (Figure 3).
+    int64_t V = static_cast<int8_t>(static_cast<uint8_t>(First << 1)) >> 1;
+    unsigned Groups = 1;
+    while (First & 0x80) {
+      if (++Groups > 5) {
+        Fail = true;
+        return 0;
+      }
+      First = byte();
+      if (Fail)
+        return 0;
+      V = (V << 7) | (First & 0x7f);
+    }
+    return static_cast<int32_t>(V);
+  }
+
+  uint32_t u32() { return static_cast<uint32_t>(word()); }
+
+  uint64_t u64() {
+    uint64_t Lo = u32();
+    uint64_t Hi = u32();
+    return (Hi << 32) | Lo;
+  }
+
+  std::string str() {
+    int32_t Len = word();
+    if (Len < 0 || static_cast<size_t>(Len) > remaining()) {
+      Fail = true;
+      return {};
+    }
+    std::string S(reinterpret_cast<const char *>(B.data()) + Pos,
+                  static_cast<size_t>(Len));
+    Pos += static_cast<size_t>(Len);
+    return S;
+  }
+
+  /// A count of items each at least one byte long can never exceed the
+  /// remaining bytes; reject early so hostile counts cannot force huge
+  /// allocations.
+  bool countOk(uint32_t N) {
+    if (Fail || N > remaining()) {
+      Fail = true;
+      return false;
+    }
+    return true;
+  }
+
+private:
+  const std::vector<uint8_t> &B;
+  size_t Pos = 0;
+  bool Fail = false;
 };
 
 /// Sequential reader over a byte-packed table blob.

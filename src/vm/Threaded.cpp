@@ -38,6 +38,8 @@
 
 #include "vm/VM.h"
 
+#include "obs/Profile.h"
+
 #include <cassert>
 #include <unordered_map>
 
@@ -118,6 +120,7 @@ DecodedProgram vm::decodeProgram(const Program &P) {
     T.Target1 = I.Target1;
     T.Site = I.Site;
     T.ArgBase = I.ArgBase;
+    T.IsGcPoint = I.isGcPoint();
     T.D = Conv(I.D);
     T.A = Conv(I.A);
     T.B = Conv(I.B);
@@ -461,6 +464,11 @@ L_NewArr: {
 }
 
 L_Call: {
+  if (__builtin_expect(Profiler != nullptr, 0)) {
+    MGC_SYNC(); // The due-check and sample read Stats.Instrs and T.PC.
+    Profiler->onCall(*this, T, I->IsGcPoint,
+                     static_cast<uint32_t>(I - Code) + 1);
+  }
   const CompiledFunction &Callee = Prog.Funcs[static_cast<size_t>(I->Index)];
   uint32_t CtlBase = T.FP + I->CallerFrameWords;
   uint32_t NewFP = CtlBase + CtlWords;
@@ -495,6 +503,8 @@ L_CallRt:
     break;
   case ir::RtFn::GcCollect:
     MGC_SYNC();
+    if (__builtin_expect(Profiler != nullptr, 0))
+      Profiler->onPoint(*this, T, T.PC + 1);
     if (!collect(T.PC + 1))
       return false;
     break;
@@ -514,6 +524,10 @@ L_CallRt:
 
 L_GcPoll:
   // A voluntary gc-point; the rendezvous loop stops *before* executing it.
+  if (__builtin_expect(Profiler != nullptr, 0)) {
+    MGC_SYNC();
+    Profiler->onPoint(*this, T, T.PC + 1);
+  }
   MGC_FALL();
 
 L_WriteBarrier:
@@ -537,6 +551,8 @@ L_Branch:
   MGC_DISPATCH();
 
 L_Ret: {
+  if (__builtin_expect(Profiler != nullptr, 0))
+    Profiler->onRet(T);
   const CompiledFunction &F = Prog.Funcs[I->FuncIdx];
   for (size_t K = 0; K != F.SavedRegs.size(); ++K)
     T.R[F.SavedRegs[K]] = T.Stack[T.FP + K];

@@ -107,6 +107,9 @@ struct DInstr {
   uint32_t FuncIdx = 0;
   uint16_t ArgBase = 0;
   MOp Op = MOp::Trap;
+  /// MInstr::isGcPoint() of the source instruction, pre-decoded so the
+  /// sampling profiler's due-check needs no re-derivation on hot paths.
+  bool IsGcPoint = false;
 };
 
 /// The pre-decoded program: instruction records plus the immediate pool

@@ -16,6 +16,7 @@
 
 #include "vm/VM.h"
 
+#include "obs/Profile.h"
 #include "obs/Trace.h"
 
 #include <cassert>
@@ -76,6 +77,13 @@ Word VM::allocate(unsigned DescIdx, int64_t Length, uint32_t RetPC) {
     fail("out of memory: object of " + Size + " bytes exceeds heap capacity");
     return 0;
   }
+
+  // Sampling profiler: charge the allocation to site + full stack (and
+  // take any due mutator sample) before a collection this allocation may
+  // trigger can run.  Both tiers reach here with Stats.Instrs synced, so
+  // samples land at bit-identical instruction ordinals.
+  if (__builtin_expect(Profiler != nullptr, 0))
+    Profiler->onAlloc(*this, ctx(), RetPC, CurAllocSite, Bytes);
 
   if (Opts.GcStress) {
     if (!collect(RetPC, TheHeap.generational() && TheHeap.minorHeadroomOk()
@@ -400,6 +408,8 @@ bool VM::step(ThreadContext &T) {
     break;
   }
   case MOp::Call: {
+    if (__builtin_expect(Profiler != nullptr, 0))
+      Profiler->onCall(*this, T, I.IsGcPoint, T.PC + 1);
     const CompiledFunction &Callee =
         Prog.Funcs[static_cast<size_t>(I.Index)];
     uint32_t CtlBase = T.FP + I.CallerFrameWords;
@@ -435,6 +445,8 @@ bool VM::step(ThreadContext &T) {
       Out += '\n';
       break;
     case ir::RtFn::GcCollect:
+      if (__builtin_expect(Profiler != nullptr, 0))
+        Profiler->onPoint(*this, T, T.PC + 1);
       if (!collect(T.PC + 1))
         return false;
       break;
@@ -464,6 +476,8 @@ bool VM::step(ThreadContext &T) {
     // A voluntary gc-point; nothing happens unless a collection is in
     // progress, in which case the rendezvous loop stops *before* executing
     // this instruction.
+    if (__builtin_expect(Profiler != nullptr, 0))
+      Profiler->onPoint(*this, T, T.PC + 1);
     break;
   case MOp::Jump:
     T.PC = I.Target0;
@@ -472,6 +486,8 @@ bool VM::step(ThreadContext &T) {
     T.PC = readD(I.A, Bases) != 0 ? I.Target0 : I.Target1;
     return true;
   case MOp::Ret: {
+    if (__builtin_expect(Profiler != nullptr, 0))
+      Profiler->onRet(T);
     const CompiledFunction &F = Prog.Funcs[I.FuncIdx];
     // Epilogue: restore saved registers.
     for (size_t K = 0; K != F.SavedRegs.size(); ++K)
@@ -516,6 +532,8 @@ void VM::finishRequest() {
   ReqGcNanosAccum = 0;
   if (Tracer)
     Tracer->recordRequest(Smp.Seq, Smp.Instrs, Smp.GcNanos, Smp.Collections);
+  if (Profiler)
+    Profiler->onRequestDone(Smp.Seq);
   if (RequestHook)
     RequestHook(*this, Smp);
 }

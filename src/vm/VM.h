@@ -36,6 +36,7 @@
 
 namespace mgc {
 namespace obs {
+class Profiler;
 class Tracer;
 } // namespace obs
 namespace vm {
@@ -117,6 +118,15 @@ struct ThreadContext {
   uint32_t AP = 0;
   bool Live = false;
   bool Finished = false;
+
+  /// Sampling-profiler state (obs/Profile.h): the interned prefix-tree id
+  /// of this thread's current call chain, and the shadow stack of parent
+  /// ids that makes Ret pops O(1) and correct even when the profiler's
+  /// node table is capped.  Maintained only while an enabled Profiler is
+  /// attached; plain data so the vm stays link-independent of obs.
+  uint32_t ProfNode = 0;
+  uint32_t ProfDepth = 0;
+  std::vector<uint32_t> ProfShadow;
 };
 
 /// What the VM is asking the installed collector for.
@@ -180,6 +190,13 @@ public:
   /// When attached, the allocation path pays one extra branch; when also
   /// enabled, allocations and collections are recorded.  Not owned.
   obs::Tracer *Tracer = nullptr;
+
+  /// Optional sampling profiler (obs/Profile.h): null in ordinary runs.
+  /// When attached, Call/Ret and every gc-point pay one predicted branch;
+  /// when also enabled, call chains are interned and samples fire at
+  /// gc-point granularity on the retired-instruction clock — at the same
+  /// instruction ordinals under both dispatch tiers.  Not owned.
+  obs::Profiler *Profiler = nullptr;
 
   /// Invoked after each successful collection, once the collector has
   /// returned and the event is committed but before the mutator resumes:

@@ -170,9 +170,20 @@ ServerRunResult workload::runServer(const vm::Program &Prog,
   // ring's capacity), and per-request aggregation via recordRequest.
   obs::TracerConfig TC;
   TC.ProgramName = "server";
+  TC.Seed = Config.Sched.Seed;
   obs::Tracer Tr(TC);
   Tr.enable(nullptr);
   M.Tracer = &Tr;
+
+  std::unique_ptr<obs::Profiler> Prof;
+  if (Config.Profile) {
+    obs::ProfilerConfig PC;
+    PC.IntervalInstrs = Config.ProfileInterval;
+    PC.UseMapIndex = Config.GCO.UseMapIndex;
+    PC.Seed = Config.Sched.Seed;
+    Prof = std::make_unique<obs::Profiler>(Prog, PC);
+    M.Profiler = Prof.get();
+  }
   M.PostGcHook = [&](vm::VM &) {
     if (const obs::GcEvent *Ev = Tr.lastCommitted())
       R.TracerGcNanosTotal += Ev->TotalNanos;
@@ -190,6 +201,11 @@ ServerRunResult workload::runServer(const vm::Program &Prog,
           .count());
   R.Out = M.Out;
   R.Stats = M.Stats;
+  if (Prof) {
+    Prof->finish(Ok, M.Error, M.Stats.Instrs);
+    R.Prof = Prof->buildProfile();
+    R.HasProf = true;
+  }
   R.HeapGrowths = M.TheHeap.HeapGrowths;
   R.NurseryResizes = M.TheHeap.NurseryResizes;
   R.FinalHeapBytes = M.TheHeap.capacityBytes();

@@ -28,6 +28,7 @@
 #define MGC_WORKLOAD_SERVER_H
 
 #include "gc/Collector.h"
+#include "obs/Profile.h"
 #include "vm/VM.h"
 
 #include <cstdint>
@@ -90,6 +91,11 @@ struct ServerRunConfig {
   gc::CollectorOptions GCO;     ///< --gc-threads / crosscheck.
   ScheduleConfig Sched;         ///< Arrival overlay.
   unsigned SpinThreads = 0;     ///< Extra threads running Spin().
+  /// Attach the sampling profiler (obs/Profile.h) for the run: per-request
+  /// sample/alloc attribution lands in ServerRunResult::Prof alongside the
+  /// latency percentiles, tying hot stacks to request cost.
+  bool Profile = false;
+  uint64_t ProfileInterval = 4096; ///< Instructions between samples.
 };
 
 /// Everything one server run produces.  The per-request vectors are
@@ -121,6 +127,11 @@ struct ServerRunResult {
   double Utilization = 0.0; ///< 1 - gc_nanos / wall_nanos.
   uint64_t LatP50Ns = 0, LatP99Ns = 0, LatMaxNs = 0;
   uint64_t LatP50Instr = 0, LatP99Instr = 0, LatMaxInstr = 0;
+
+  /// Sampling profile of the run (ServerRunConfig::Profile); per-request
+  /// rows align with the service samples by sequence number.
+  bool HasProf = false;
+  obs::Profile Prof;
 };
 
 /// Runs \p Prog (a compiled server program) to completion under

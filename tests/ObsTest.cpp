@@ -307,6 +307,102 @@ TEST(ObsInvariants, StressedDestroyBothModes) {
 }
 
 //===----------------------------------------------------------------------===//
+// Ring wrap-around: the drop counter must be loud everywhere
+//===----------------------------------------------------------------------===//
+
+TEST(ObsRingWrap, DropCounterSurfacedInSummaryAndReport) {
+  // A tiny ring under a collection-heavy run: most events are dropped,
+  // and every surface (summary JSON fields, run record, mgc-report text
+  // and JSON) must carry the exact drop count so truncated pause/volume
+  // sections are never mistaken for complete ones.
+  driver::CompilerOptions CO;
+  CO.OptLevel = 2;
+  CO.WriteBarriers = true;
+  auto C = driver::compile(programs::DestroySource, CO);
+  ASSERT_TRUE(C.Prog != nullptr) << C.Diags.str();
+
+  constexpr size_t Cap = 8;
+  vm::VMOptions VO;
+  VO.HeapBytes = 48u << 10;
+  VO.GenGc = true;
+  VO.NurseryBytes = 4u << 10;
+  vm::VM M(*C.Prog, VO);
+  gc::installPreciseCollector(M, {});
+
+  obs::TracerConfig TC;
+  TC.Sites = &C.Prog->SiteTab;
+  for (const auto &F : C.Prog->Funcs)
+    TC.FuncNames.push_back(F.Name);
+  TC.ProgramName = "ringwrap";
+  TC.GenGc = true;
+  TC.RingCapacity = Cap;
+  obs::Tracer Tracer(std::move(TC));
+  std::ostringstream OS;
+  Tracer.enable(&OS);
+  M.Tracer = &Tracer;
+
+  ASSERT_TRUE(M.run()) << M.Error;
+  Tracer.finish(true, "");
+
+  ASSERT_GT(Tracer.eventCount(), Cap) << "workload too small to wrap";
+  uint64_t Dropped = Tracer.eventsDropped();
+  EXPECT_EQ(Dropped, Tracer.eventCount() - Cap);
+
+  // --stats-json surface.
+  std::string Fields = Tracer.summaryJsonFields();
+  EXPECT_NE(Fields.find("\"events_dropped_from_ring\":" +
+                        std::to_string(Dropped)),
+            std::string::npos)
+      << Fields;
+
+  // The JSONL stream itself carries every event (records are written
+  // live); the ring bounds only the tracer's retained in-memory view, so
+  // the run record must advertise what its own percentiles cover.
+  std::istringstream In(OS.str());
+  obs::TraceReport Report;
+  std::string Err;
+  ASSERT_TRUE(obs::readTrace(In, Report, Err)) << Err;
+  ASSERT_TRUE(Report.HasRun);
+  EXPECT_EQ(Report.Events.size(), Tracer.eventCount());
+  EXPECT_EQ(static_cast<uint64_t>(Report.Run.getInt("events_retained")),
+            static_cast<uint64_t>(Cap));
+  EXPECT_EQ(static_cast<uint64_t>(
+                Report.Run.getInt("events_dropped_from_ring")),
+            Dropped);
+  EXPECT_EQ(static_cast<uint64_t>(Report.Run.getInt("events")),
+            Tracer.eventCount());
+
+  // mgc-report surfaces: a visible warning in the text report and the
+  // counter in the JSON mirror.
+  std::string Rendered = obs::renderReport(Report, /*TopN=*/5);
+  EXPECT_NE(Rendered.find("WARNING"), std::string::npos) << Rendered;
+  EXPECT_NE(Rendered.find("dropped from the ring buffer"),
+            std::string::npos);
+  std::string Json = obs::renderReportJson(Report, /*TopN=*/5);
+  EXPECT_NE(Json.find("\"events_dropped_from_ring\":" +
+                      std::to_string(Dropped)),
+            std::string::npos)
+      << Json;
+}
+
+TEST(ObsRingWrap, NoDropsWhenRingCovers) {
+  // Control: a ring larger than the event count reports zero drops and
+  // no warning banner.
+  TracedRun R = runTraced(programs::DestroySource, /*Opt=*/2, /*Gen=*/false,
+                          /*HeapBytes=*/64u << 10);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_LE(R.Events, 1024u) << "default ring no longer covers this run";
+  std::istringstream In(R.Trace);
+  obs::TraceReport Report;
+  std::string Err;
+  ASSERT_TRUE(obs::readTrace(In, Report, Err)) << Err;
+  ASSERT_TRUE(Report.HasRun);
+  EXPECT_EQ(Report.Run.getInt("events_dropped_from_ring"), 0);
+  EXPECT_EQ(obs::renderReport(Report, 5).find("dropped from the ring"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
 // Error-path flush
 //===----------------------------------------------------------------------===//
 

@@ -27,8 +27,12 @@
 # online growth detector costs more than its overhead gates (1% off, 3%
 # on), misses the injected leak within its window bound, flags the
 # leak-free §6 suite, or loses flag determinism across threads/tiers;
-# and the gc-, server-, and leak-labeled suites are additionally built
-# and run under ThreadSanitizer.  Snapshots are then captured
+# the profiler gate (BENCH_prof.json) exits non-zero when the sampling
+# profiler costs more than 1% attached-disabled / 5% enabled, when the
+# ground-truth workload pins less than 90% of the sampled weight to the
+# known hot function, or when the dispatch tiers' profiles diverge;
+# and the gc-, server-, leak-, and prof-labeled suites are additionally
+# built and run under ThreadSanitizer.  Snapshots are then captured
 # (cross-checked against an independent precise re-trace) and analyzed
 # for the four §6 benchmark programs and the frozen corpus in both
 # collector modes.
@@ -160,6 +164,15 @@ done
 # non-zero.  MGC_LEAK_RUNS tunes the timing repetitions.
 (cd "$ROOT" && ./build/bench/leak)
 
+# --- Sampling-profiler gate -----------------------------------------------
+# Times the gengc workloads with the profiler absent / attached-disabled /
+# enabled (<= 1% / <= 5% over baseline), checks the directed ground-truth
+# workload attributes >= 90% of the sampled mutator weight to its hot
+# function with zero table-walk errors, and verifies the threaded and
+# switch tiers produce byte-identical profile bodies.  Emits
+# BENCH_prof.json; MGC_PROF_RUNS tunes the timing repetitions.
+(cd "$ROOT" && ./build/bench/prof)
+
 # --- ThreadSanitizer sweep of the parallel collector ----------------------
 # The gc- and server-labeled suites drive the work-stealing evacuation,
 # the per-thread handshakes at 1/2/4 workers, and the request harness's
@@ -174,6 +187,7 @@ if [ "$SKIP_TESTS" -eq 0 ]; then
   (cd build-tsan && ctest -L gc --output-on-failure -j)
   (cd build-tsan && ctest -L server --output-on-failure -j)
   (cd build-tsan && ctest -L leak --output-on-failure -j)
+  (cd build-tsan && ctest -L prof --output-on-failure -j)
 fi
 
 # --- Differential fuzz budget --------------------------------------------
@@ -184,10 +198,37 @@ FUZZ_COUNT="${FUZZ_COUNT:-200}"
 ./build/tools/mgc-fuzz --seed 1 --count "$FUZZ_COUNT" \
   --out "$ROOT/fuzz-artifacts" --json "$ROOT/BENCH_fuzz.json"
 
+# --- BENCH_*.json provenance schema check ---------------------------------
+# Every benchmark artifact must be valid JSON and self-describe the build
+# that produced it: hand-built emitters carry a top-level "provenance"
+# object (support/Provenance.h), google-benchmark emitters carry the same
+# fields via AddCustomContext in "context".  A PR that breaks an emitter's
+# JSON or drops the provenance header fails here, not in a later analysis.
+python3 - "$ROOT"/BENCH_*.json <<'PYEOF'
+import json, sys
+bad = 0
+for path in sys.argv[1:]:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except Exception as e:
+        print(f"schema-check: {path}: invalid JSON: {e}")
+        bad = 1
+        continue
+    prov = doc.get("provenance") or doc.get("context") or {}
+    missing = [k for k in ("tool_version", "build_flags") if not prov.get(k)]
+    if missing:
+        print(f"schema-check: {path}: provenance missing {missing}")
+        bad = 1
+if bad:
+    sys.exit(1)
+print(f"schema-check: {len(sys.argv) - 1} BENCH files ok")
+PYEOF
+
 echo "check.sh: tier-1 ok (default + gen-gc); trace overhead ok;" \
      "snapshot gate ok; dispatch gate ok; pause gate ok; server gate ok;" \
-     "leak gate ok (+ TSan gc/server/leak slices); fuzz ok" \
-     "($FUZZ_COUNT programs); benchmarks written to BENCH_decode.json," \
-     "BENCH_gengc.json, BENCH_trace.json, BENCH_snapshot.json," \
-     "BENCH_dispatch.json, BENCH_pause.json, BENCH_server.json," \
-     "BENCH_leak.json, BENCH_fuzz.json"
+     "leak gate ok; prof gate ok (+ TSan gc/server/leak/prof slices);" \
+     "fuzz ok ($FUZZ_COUNT programs); benchmarks written to" \
+     "BENCH_decode.json, BENCH_gengc.json, BENCH_trace.json," \
+     "BENCH_snapshot.json, BENCH_dispatch.json, BENCH_pause.json," \
+     "BENCH_server.json, BENCH_leak.json, BENCH_prof.json, BENCH_fuzz.json"

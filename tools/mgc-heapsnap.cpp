@@ -137,6 +137,13 @@ int main(int argc, char **argv) {
     obs::HeapSnapshot Old, New;
     if (!load(Files[0], Old) || !load(Files[1], New))
       return 1;
+    if (Old.ToolVersion != New.ToolVersion ||
+        Old.BuildFlags != New.BuildFlags)
+      std::fprintf(stderr,
+                   "mgc-heapsnap: warning: snapshots come from different "
+                   "builds (%s / %s vs %s / %s)\n",
+                   Old.ToolVersion.c_str(), Old.BuildFlags.c_str(),
+                   New.ToolVersion.c_str(), New.BuildFlags.c_str());
     std::fputs(obs::diffSnapshots(Old, New, TopN).c_str(), stdout);
     return 0;
   }

@@ -44,6 +44,15 @@
 ///                    also the detection-latency bound)
 ///   --leak-min-bytes B
 ///                    ignore sites below B live bytes (default 4096)
+///   --profile FILE   gc-map-driven sampling profiler: deterministic
+///                    mutator-time samples at gc-point granularity plus
+///                    per-site/per-stack allocation attribution, written
+///                    as a binary profile (analyze with mgc-prof); byte-
+///                    identical across dispatch tiers, gc threads, and
+///                    decode modes
+///   --profile-interval N
+///                    mutator sampling interval in retired instructions
+///                    (default 4096)
 ///   --stress         collect before every allocation
 ///   --heap BYTES     semispace size (default 4 MiB)
 ///   --gen-gc         generational mode: nursery + write barriers +
@@ -74,12 +83,14 @@
 #include "driver/Compiler.h"
 #include "gc/Collector.h"
 #include "gc/Snapshot.h"
+#include "obs/Profile.h"
 #include "obs/Trace.h"
+#include "support/Provenance.h"
 #include "vm/VM.h"
 
-#include <cstdlib>
-
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -96,6 +107,7 @@ int usage(const char *Argv0) {
                "[--stats-json FILE] [--heap-snapshot FILE] "
                "[--snapshot-every N]\n           [--leak-detect] "
                "[--leak-window N] [--leak-min-bytes B]\n           "
+               "[--profile FILE] [--profile-interval N]\n           "
                "[--heap BYTES] [--gen-gc]\n           "
                "[--heap-growth PCT] [--heap-max BYTES] [--nursery-auto]\n"
                "           [--nursery-bytes BYTES] [--no-map-index] "
@@ -127,6 +139,8 @@ int main(int argc, char **argv) {
   const char *TracePath = nullptr;
   const char *StatsJsonPath = nullptr;
   const char *SnapPath = nullptr;
+  const char *ProfilePath = nullptr;
+  unsigned long long ProfileInterval = 4096;
   unsigned long long SnapEvery = 0;
   obs::LeakConfig Leak;
 
@@ -176,6 +190,19 @@ int main(int argc, char **argv) {
       if (++A == argc)
         return usage(argv[0]);
       Leak.MinBytes = static_cast<uint64_t>(std::atoll(argv[A]));
+    } else if (!std::strcmp(Arg, "--profile")) {
+      if (++A == argc)
+        return usage(argv[0]);
+      ProfilePath = argv[A];
+    } else if (!std::strcmp(Arg, "--profile-interval")) {
+      if (++A == argc)
+        return usage(argv[0]);
+      long long N = std::atoll(argv[A]);
+      if (N < 1) {
+        std::fprintf(stderr, "mgc: --profile-interval must be >= 1\n");
+        return 2;
+      }
+      ProfileInterval = static_cast<unsigned long long>(N);
     } else if (!std::strcmp(Arg, "--stress")) {
       VO.GcStress = true;
     } else if (!std::strcmp(Arg, "--no-map-index")) {
@@ -338,6 +365,18 @@ int main(int argc, char **argv) {
     Machine.Tracer = Tracer.get();
   }
 
+  std::unique_ptr<obs::Profiler> Prof;
+  if (ProfilePath) {
+    obs::ProfilerConfig PC;
+    PC.IntervalInstrs = ProfileInterval;
+    // Decode sampled frames through the same path the collector uses, so
+    // --no-map-index / --gc-crosscheck exercise the profiler's walk too.
+    PC.UseMapIndex = GCO.UseMapIndex;
+    PC.CrossCheck = GCO.CrossCheck;
+    Prof = std::make_unique<obs::Profiler>(Prog, PC);
+    Machine.Profiler = Prof.get();
+  }
+
   if (SpawnName) {
     int Idx = -1;
     for (unsigned F = 0; F != Prog.Funcs.size(); ++F)
@@ -382,14 +421,57 @@ int main(int argc, char **argv) {
   bool Ok = Machine.run();
   std::fputs(Machine.Out.c_str(), stdout);
   // A failed run still flushes everything below: the partial trace (the
-  // run record carries the error) and the statistics gathered so far are
-  // exactly what a mid-collection failure needs for diagnosis.
+  // run record carries the error), the in-progress profile (its body
+  // records RunOk=false and the error), and the statistics gathered so
+  // far are exactly what a mid-collection failure needs for diagnosis.
   if (Tracer)
     Tracer->finish(Ok, Machine.Error, &Machine.TheHeap);
+  bool ProfFailed = false;
+  obs::Profile Profile;
+  if (Prof) {
+    Prof->finish(Ok, Machine.Error, Machine.Stats.Instrs);
+    Profile = Prof->buildProfile();
+    std::string Err;
+    if (!obs::writeProfileFile(ProfilePath, Profile, Err)) {
+      std::fprintf(stderr, "mgc: %s\n", Err.c_str());
+      ProfFailed = true;
+    }
+    // Surface the hottest stacks in the trace stream so mgc-report shows
+    // them next to the gc events (top 10 by sampled weight).
+    if (TracePath && TraceOut) {
+      std::vector<const obs::Profile::MutRow *> Hot;
+      Hot.reserve(Profile.Mutator.size());
+      for (const obs::Profile::MutRow &Row : Profile.Mutator)
+        Hot.push_back(&Row);
+      std::stable_sort(Hot.begin(), Hot.end(),
+                       [](const obs::Profile::MutRow *A,
+                          const obs::Profile::MutRow *B) {
+                         if (A->Weight != B->Weight)
+                           return A->Weight > B->Weight;
+                         return A->StackId < B->StackId;
+                       });
+      if (Hot.size() > 10)
+        Hot.resize(10);
+      unsigned Rank = 0;
+      for (const obs::Profile::MutRow *Row : Hot) {
+        std::string Line = "{\"type\":\"prof_stack\"";
+        jsonField(Line, "rank", ++Rank);
+        jsonField(Line, "samples", Row->Samples);
+        jsonField(Line, "weight", Row->Weight);
+        Line += ",\"stack\":";
+        obs::appendJsonString(Line, obs::foldedStack(Profile, Row->StackId));
+        Line += "}";
+        TraceOut << Line << '\n';
+      }
+    }
+  }
   if (!Ok) {
     std::fprintf(stderr, "mgc: runtime error: %s\n", Machine.Error.c_str());
     if (Stats)
       std::printf("run FAILED; statistics below are partial\n");
+    if (Prof)
+      std::fprintf(stderr,
+                   "mgc: run FAILED; profile '%s' is partial\n", ProfilePath);
   }
 
   if (SnapPath) {
@@ -479,6 +561,17 @@ int main(int argc, char **argv) {
                       static_cast<double>(S.DecodeCacheHits +
                                           S.DecodeCacheMisses),
                   static_cast<unsigned long long>(S.DecodeBytesSkipped));
+    if (Prof)
+      std::printf("profile: %llu samples / %llu instrs sampled (interval "
+                  "%llu), %llu allocs attributed, %llu walk errors, "
+                  "%llu point-decode hits / %llu misses\n",
+                  static_cast<unsigned long long>(Profile.Samples),
+                  static_cast<unsigned long long>(Profile.SampleWeight),
+                  static_cast<unsigned long long>(Profile.IntervalInstrs),
+                  static_cast<unsigned long long>(Profile.Allocs),
+                  static_cast<unsigned long long>(Profile.WalkErrors),
+                  static_cast<unsigned long long>(Prof->decodeHits()),
+                  static_cast<unsigned long long>(Prof->decodeMisses()));
   }
 
   if (StatsJsonPath) {
@@ -532,6 +625,19 @@ int main(int argc, char **argv) {
       J += ',';
       J += Tracer->leakJsonFields();
     }
+    if (Prof) {
+      jsonField(J, "prof_samples", Profile.Samples);
+      jsonField(J, "prof_sample_weight", Profile.SampleWeight);
+      jsonField(J, "prof_interval", Profile.IntervalInstrs);
+      jsonField(J, "prof_allocs", Profile.Allocs);
+      jsonField(J, "prof_alloc_bytes", Profile.AllocBytes);
+      jsonField(J, "prof_stacks", Profile.Stacks.size());
+      jsonField(J, "prof_frames_sampled", Profile.FramesSampled);
+      jsonField(J, "prof_frames_unmapped", Profile.FramesUnmapped);
+      jsonField(J, "prof_walk_errors", Profile.WalkErrors);
+    }
+    J += ",\"provenance\":";
+    J += support::provenanceJson();
     J += "}\n";
     std::ofstream JOut(StatsJsonPath);
     if (!JOut) {
@@ -540,7 +646,7 @@ int main(int argc, char **argv) {
     }
     JOut << J;
   }
-  if (SnapFailed)
+  if (SnapFailed || ProfFailed)
     return 1;
   return Ok ? 0 : 1;
 }
